@@ -1,0 +1,306 @@
+//! Behavioural macro models and the full Flash ADC assembly.
+//!
+//! The paper's divide-and-conquer: circuit-level simulation happens per
+//! macro; propagation of fault signatures to the circuit edge uses
+//! "higher-level models of the other cells". This module provides those
+//! models — a comparator parameterised by its voltage fault signature, the
+//! reference taps, and the wired-OR decoder — plus the missing-code test
+//! itself (triangular stimulus, 1000 samples, check that every output
+//! number occurs).
+
+use crate::decoder::decode_thermometer;
+use crate::ladder::{ideal_tap_voltage, TAPS};
+use crate::process::{VREF_HI, VREF_LO};
+use std::collections::BTreeSet;
+
+/// Behavioural model of one comparator stage, as parameterised by a fault
+/// signature from the circuit-level analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComparatorBehavior {
+    /// Working comparator with an input-referred offset (V).
+    Normal {
+        /// Input-referred offset (V); positive offset makes the stage trip
+        /// at a higher input voltage.
+        offset: f64,
+    },
+    /// Output stuck high (thermometer bit always 1).
+    StuckHigh,
+    /// Output stuck low.
+    StuckLow,
+    /// Erratic ("mixed") behaviour: the decision inverts on a fraction of
+    /// the samples, deterministically derived from the sample index.
+    Erratic {
+        /// Invert every `period`-th sample (≥ 2).
+        period: usize,
+    },
+}
+
+impl ComparatorBehavior {
+    /// The decision of this stage for input `vin` against reference
+    /// `vref` on sample number `sample`.
+    pub fn decide(&self, vin: f64, vref: f64, sample: usize) -> bool {
+        match *self {
+            ComparatorBehavior::Normal { offset } => vin > vref + offset,
+            ComparatorBehavior::StuckHigh => true,
+            ComparatorBehavior::StuckLow => false,
+            ComparatorBehavior::Erratic { period } => {
+                let ideal = vin > vref;
+                if period >= 2 && sample % period == 0 {
+                    !ideal
+                } else {
+                    ideal
+                }
+            }
+        }
+    }
+
+    /// An ideal comparator.
+    pub fn ideal() -> Self {
+        ComparatorBehavior::Normal { offset: 0.0 }
+    }
+}
+
+/// Behavioural model of the complete flash converter: 256 reference taps,
+/// 256 comparator stages, and the transition-detect wired-OR decoder.
+#[derive(Debug, Clone)]
+pub struct FlashAdc {
+    refs: Vec<f64>,
+    comps: Vec<ComparatorBehavior>,
+}
+
+impl FlashAdc {
+    /// An ideal converter with evenly spaced references.
+    pub fn ideal() -> Self {
+        FlashAdc {
+            refs: (1..=TAPS).map(ideal_tap_voltage).collect(),
+            comps: vec![ComparatorBehavior::ideal(); TAPS],
+        }
+    }
+
+    /// Number of comparator stages.
+    pub fn stages(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Replaces the behaviour of stage `k` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn set_comparator(&mut self, k: usize, behavior: ComparatorBehavior) {
+        self.comps[k] = behavior;
+    }
+
+    /// Overrides reference tap `k` (0-based) — used for ladder fault
+    /// propagation.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn set_reference(&mut self, k: usize, volts: f64) {
+        self.refs[k] = volts;
+    }
+
+    /// Converts one sample.
+    pub fn convert(&self, vin: f64, sample: usize) -> u8 {
+        let therm: Vec<bool> = self
+            .comps
+            .iter()
+            .zip(&self.refs)
+            .map(|(c, &r)| c.decide(vin, r, sample))
+            .collect();
+        decode_thermometer(&therm)
+    }
+
+    /// Runs the paper's missing-code test: `n` samples of a triangular
+    /// sweep spanning slightly beyond the full reference range, then the
+    /// set of output codes that never occurred.
+    pub fn missing_codes(&self, n: usize) -> Vec<u8> {
+        let mut seen = BTreeSet::new();
+        let lo = VREF_LO - 0.01;
+        let hi = VREF_HI + 0.01;
+        for s in 0..n {
+            // Triangle over the sample index: up then down.
+            let half = n / 2;
+            let frac = if s <= half {
+                s as f64 / half as f64
+            } else {
+                (n - s) as f64 / (n - half) as f64
+            };
+            let vin = lo + (hi - lo) * frac;
+            seen.insert(self.convert(vin, s));
+        }
+        (0u8..=255).filter(|c| !seen.contains(c)).collect()
+    }
+
+    /// `true` if the missing-code test (with the paper's 1000 samples)
+    /// flags this converter as faulty.
+    pub fn fails_missing_code_test(&self) -> bool {
+        !self.missing_codes(1000).is_empty()
+    }
+}
+
+impl Default for FlashAdc {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_adc_has_no_missing_codes() {
+        let adc = FlashAdc::ideal();
+        assert!(adc.missing_codes(1000).is_empty());
+        assert!(!adc.fails_missing_code_test());
+    }
+
+    #[test]
+    fn conversion_is_monotone_for_ideal_adc() {
+        let adc = FlashAdc::ideal();
+        let mut last = 0u8;
+        for k in 0..200 {
+            let vin = VREF_LO + (VREF_HI - VREF_LO) * k as f64 / 199.0;
+            let code = adc.convert(vin, 0);
+            assert!(code >= last, "non-monotone at {vin}");
+            last = code;
+        }
+        assert_eq!(adc.convert(VREF_LO - 0.1, 0), 0);
+        assert_eq!(adc.convert(VREF_HI + 0.1, 0), 255);
+    }
+
+    #[test]
+    fn stuck_comparator_causes_missing_codes() {
+        for behavior in [ComparatorBehavior::StuckHigh, ComparatorBehavior::StuckLow] {
+            let mut adc = FlashAdc::ideal();
+            adc.set_comparator(100, behavior);
+            assert!(
+                adc.fails_missing_code_test(),
+                "{behavior:?} must cause missing codes"
+            );
+        }
+    }
+
+    #[test]
+    fn small_offset_is_not_detected_large_offset_is() {
+        // Offsets below one LSB (≈ 7.8 mV) leave every code reachable;
+        // offsets of several LSBs swallow codes.
+        let mut adc = FlashAdc::ideal();
+        adc.set_comparator(100, ComparatorBehavior::Normal { offset: 0.002 });
+        assert!(!adc.fails_missing_code_test(), "2 mV offset must pass");
+        let mut adc = FlashAdc::ideal();
+        adc.set_comparator(100, ComparatorBehavior::Normal { offset: 0.030 });
+        assert!(adc.fails_missing_code_test(), "30 mV offset must fail");
+    }
+
+    #[test]
+    fn erratic_comparator_corrupts_codes() {
+        let mut adc = FlashAdc::ideal();
+        adc.set_comparator(100, ComparatorBehavior::Erratic { period: 2 });
+        assert!(adc.fails_missing_code_test());
+    }
+
+    #[test]
+    fn shifted_reference_tap_swallows_codes() {
+        let mut adc = FlashAdc::ideal();
+        // Tap 100 jumps near tap 110's value: codes around 100 vanish.
+        adc.set_reference(100, ideal_tap_voltage(110));
+        assert!(adc.fails_missing_code_test());
+    }
+}
+
+/// Code-density linearity of a converter: DNL/INL in LSB estimated from a
+/// dense linear ramp (the histogram method every production test floor
+/// uses; the missing-code test is its cheap binary cousin).
+#[derive(Debug, Clone)]
+pub struct LinearityReport {
+    /// Differential nonlinearity per code (LSB), codes `1..=254`.
+    pub dnl: Vec<f64>,
+    /// Integral nonlinearity per code (LSB), cumulative sum of DNL.
+    pub inl: Vec<f64>,
+    /// Codes that never occurred.
+    pub missing: Vec<u8>,
+}
+
+impl LinearityReport {
+    /// Largest |DNL| (LSB).
+    pub fn max_dnl(&self) -> f64 {
+        self.dnl.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Largest |INL| (LSB).
+    pub fn max_inl(&self) -> f64 {
+        self.inl.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl FlashAdc {
+    /// Runs the code-density (histogram) linearity analysis with
+    /// `samples_per_code` ramp samples per nominal code bin.
+    pub fn code_density_linearity(&self, samples_per_code: usize) -> LinearityReport {
+        let n = samples_per_code.max(1) * 256;
+        let lo = VREF_LO;
+        let hi = VREF_HI;
+        let mut hist = [0usize; 256];
+        for s in 0..n {
+            let vin = lo + (hi - lo) * (s as f64 + 0.5) / n as f64;
+            hist[self.convert(vin, s) as usize] += 1;
+        }
+        // End bins absorb the clipped range; evaluate codes 1..=254.
+        let interior: usize = hist[1..255].iter().sum();
+        let ideal = interior as f64 / 254.0;
+        let mut dnl = Vec::with_capacity(254);
+        let mut inl = Vec::with_capacity(254);
+        let mut acc = 0.0;
+        for &count in &hist[1..255] {
+            let d = count as f64 / ideal - 1.0;
+            dnl.push(d);
+            acc += d;
+            inl.push(acc);
+        }
+        let missing = (0u8..=255).filter(|&c| hist[c as usize] == 0).collect();
+        LinearityReport { dnl, inl, missing }
+    }
+}
+
+#[cfg(test)]
+mod linearity_tests {
+    use super::*;
+    use crate::ladder::ideal_tap_voltage;
+
+    #[test]
+    fn ideal_adc_is_linear() {
+        let adc = FlashAdc::ideal();
+        let rep = adc.code_density_linearity(32);
+        assert!(rep.missing.is_empty());
+        assert!(rep.max_dnl() < 0.1, "max dnl {}", rep.max_dnl());
+        assert!(rep.max_inl() < 0.2, "max inl {}", rep.max_inl());
+    }
+
+    #[test]
+    fn offset_comparator_shows_dnl_spike() {
+        let mut adc = FlashAdc::ideal();
+        // Half-LSB offset: no missing code, but a visible DNL error.
+        adc.set_comparator(100, ComparatorBehavior::Normal { offset: 0.004 });
+        let rep = adc.code_density_linearity(32);
+        assert!(rep.missing.is_empty());
+        assert!(rep.max_dnl() > 0.3, "max dnl {}", rep.max_dnl());
+    }
+
+    #[test]
+    fn shifted_reference_appears_in_inl() {
+        let mut adc = FlashAdc::ideal();
+        adc.set_reference(100, ideal_tap_voltage(103));
+        let rep = adc.code_density_linearity(32);
+        assert!(rep.max_inl() >= 0.99, "max inl {}", rep.max_inl());
+        assert!(!rep.missing.is_empty());
+    }
+
+    #[test]
+    fn stuck_comparator_reports_missing_codes_in_histogram() {
+        let mut adc = FlashAdc::ideal();
+        adc.set_comparator(100, ComparatorBehavior::StuckLow);
+        let rep = adc.code_density_linearity(16);
+        assert!(!rep.missing.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! The class-A bias generator macro.
+//!
+//! Produces the four bias lines distributed to all 256 comparators:
+//! `vbn` (tail current), `vbnc` (NMOS bleed — deliberately close in value
+//! to `vbn`), `vbp` (PMOS bleed) and `vaz` (auto-zero common-mode level).
+//!
+//! A resistor-defined reference current through a diode-connected NMOS
+//! sets `vbn`; PMOS mirrors replicate the current into a second NMOS
+//! diode sized for the slightly higher `vbnc`; the PMOS mirror gate is
+//! itself `vbp`; `vaz` comes from a resistive divider.
+
+use crate::process::VDD;
+use dotm_netlist::{MosType, MosfetParams, Netlist, Waveform};
+
+fn nmos(w: f64, l: f64) -> MosfetParams {
+    MosfetParams::nmos_default().sized(w, l)
+}
+
+fn pmos(w: f64, l: f64) -> MosfetParams {
+    MosfetParams::pmos_default().sized(w, l)
+}
+
+/// Ports of the bias generator macro.
+pub const PORTS: &[&str] = &["vdd", "vbn", "vbnc", "vbp", "vaz"];
+
+/// Builds the bias generator macro.
+pub fn bias_macro() -> Netlist {
+    let mut nl = Netlist::new("bias_gen");
+    let gnd = Netlist::GROUND;
+    let vdd = nl.node("vdd");
+    let vbn = nl.node("vbn");
+    let vbnc = nl.node("vbnc");
+    let vbp = nl.node("vbp");
+    let vaz = nl.node("vaz");
+
+    // Reference branch: RREF from vdd into diode-connected MB1 → vbn.
+    nl.add_resistor("RREF", vdd, vbn, 175e3).unwrap();
+    nl.add_mosfet("MB1", vbn, vbn, gnd, gnd, MosType::Nmos, nmos(10e-6, 2e-6))
+        .unwrap();
+
+    // PMOS mirror: MB2 (gate vbn) pulls the mirrored current through the
+    // diode-connected MB4, defining vbp.
+    nl.add_mosfet("MB2", vbp, vbn, gnd, gnd, MosType::Nmos, nmos(10e-6, 2e-6))
+        .unwrap();
+    nl.add_mosfet("MB4", vbp, vbp, vdd, vdd, MosType::Pmos, pmos(8e-6, 2e-6))
+        .unwrap();
+
+    // Second branch: MB5 (gate vbp) sources the current into the
+    // diode-connected MB3, sized for the slightly higher vbnc.
+    nl.add_mosfet("MB5", vbnc, vbp, vdd, vdd, MosType::Pmos, pmos(8e-6, 2e-6))
+        .unwrap();
+    nl.add_mosfet("MB3", vbnc, vbnc, gnd, gnd, MosType::Nmos, nmos(7.6e-6, 2e-6))
+        .unwrap();
+
+    // Auto-zero level: resistive divider (~2.2 V), stiff enough that the
+    // line serves 256 comparators (Thevenin ≈ 8 kΩ).
+    nl.add_resistor("RD1", vdd, vaz, 18e3).unwrap();
+    nl.add_resistor("RD2", vaz, gnd, 14.3e3).unwrap();
+    nl
+}
+
+/// Builds the bias-generator testbench (macro plus the analog supply).
+pub fn bias_testbench() -> Netlist {
+    let mut nl = bias_macro();
+    let vdd = nl.node("vdd");
+    nl.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(VDD))
+        .unwrap();
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::BiasValues;
+    use dotm_sim::Simulator;
+
+    #[test]
+    fn outputs_are_near_nominal() {
+        let nl = bias_testbench();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        let nominal = BiasValues::default();
+        let checks = [
+            ("vbn", nominal.vbn, 0.15),
+            ("vbnc", nominal.vbnc, 0.15),
+            ("vbp", nominal.vbp, 0.25),
+            ("vaz", nominal.vaz, 0.10),
+        ];
+        for (name, expect, tol) in checks {
+            let v = op.voltage(nl.find_node(name).unwrap());
+            assert!(
+                (v - expect).abs() < tol,
+                "{name}: got {v:.3}, expected {expect:.3} ± {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn vbn_and_vbnc_are_similar_signals() {
+        let nl = bias_testbench();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        let vbn = op.voltage(nl.find_node("vbn").unwrap());
+        let vbnc = op.voltage(nl.find_node("vbnc").unwrap());
+        let vbp = op.voltage(nl.find_node("vbp").unwrap());
+        assert!((vbn - vbnc).abs() < 0.3, "vbn {vbn} vs vbnc {vbnc}");
+        assert!((vbn - vbp).abs() > 1.5, "vbn {vbn} vs vbp {vbp}");
+    }
+
+    #[test]
+    fn supply_current_is_tens_of_microamps() {
+        let nl = bias_testbench();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        let i = op
+            .branch_current(nl.device_id("VDD").unwrap())
+            .unwrap()
+            .abs();
+        assert!(i > 20e-6 && i < 500e-6, "bias IVdd {i}");
+    }
+
+    #[test]
+    fn short_between_similar_bias_lines_barely_shifts_current() {
+        // The DfT motivation: a vbn↔vbnc short (similar values) moves IVdd
+        // far less than a vbn↔vbp short (dissimilar values).
+        let measure = |edit: &dyn Fn(&mut Netlist)| {
+            let mut nl = bias_testbench();
+            edit(&mut nl);
+            let mut sim = Simulator::new(&nl);
+            let op = sim.dc_op().unwrap();
+            op.branch_current(nl.device_id("VDD").unwrap()).unwrap().abs()
+        };
+        let nominal = measure(&|_| {});
+        let similar = measure(&|nl: &mut Netlist| {
+            let a = nl.find_node("vbn").unwrap();
+            let b = nl.find_node("vbnc").unwrap();
+            nl.insert_bridge("F", a, b, 0.2, None).unwrap();
+        });
+        let dissimilar = measure(&|nl: &mut Netlist| {
+            let a = nl.find_node("vbn").unwrap();
+            let b = nl.find_node("vbp").unwrap();
+            nl.insert_bridge("F", a, b, 0.2, None).unwrap();
+        });
+        let d_sim = (similar - nominal).abs();
+        let d_dis = (dissimilar - nominal).abs();
+        assert!(
+            d_dis > 5.0 * d_sim.max(1e-9),
+            "dissimilar short must move IVdd much more: similar Δ{d_sim:.2e}, dissimilar Δ{d_dis:.2e}"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The dual-ladder resistor string generating the 256 reference voltages.
+//!
+//! The case-study ADC uses a dual ladder: a low-ohmic *coarse* ladder
+//! carries the main bias current between the reference terminals, and
+//! high-ohmic *fine* ladders interpolate 16 taps between consecutive
+//! coarse nodes. The paper reports 99.8 % of the faults in this macro as
+//! current-detectable — shorts across segments change the reference input
+//! current directly.
+
+use crate::process::{VREF_HI, VREF_LO};
+use dotm_netlist::{Netlist, NodeId, Waveform};
+
+/// Number of coarse segments.
+pub const COARSE_SEGMENTS: usize = 16;
+
+/// Fine taps per coarse segment.
+pub const FINE_PER_COARSE: usize = 16;
+
+/// Total number of reference taps (`tap1 ..= tap256`).
+pub const TAPS: usize = COARSE_SEGMENTS * FINE_PER_COARSE;
+
+/// Coarse unit resistance (Ω) — low-ohmic diffusion for a video-rate
+/// flash converter.
+pub const R_COARSE: f64 = 20.0;
+
+/// Fine unit resistance (Ω) — poly.
+pub const R_FINE: f64 = 200.0;
+
+/// Name of tap `k` (1-based, `1..=TAPS`).
+pub fn tap_name(k: usize) -> String {
+    format!("tap{k}")
+}
+
+/// Builds the dual-ladder macro. Ports: `vrh`, `vrl` and the fine tap
+/// nodes; coarse nodes are named `c1..c15`.
+pub fn ladder_macro() -> Netlist {
+    let mut nl = Netlist::new("ladder");
+    let vrl = nl.node("vrl");
+    let vrh = nl.node("vrh");
+    // Coarse nodes c0 = vrl .. c16 = vrh.
+    let mut coarse = vec![vrl];
+    for k in 1..COARSE_SEGMENTS {
+        coarse.push(nl.node(&format!("c{k}")));
+    }
+    coarse.push(vrh);
+    for k in 0..COARSE_SEGMENTS {
+        nl.add_resistor(&format!("RC{k}"), coarse[k], coarse[k + 1], R_COARSE)
+            .unwrap();
+    }
+    // Fine ladders: 16 resistors between c_k and c_{k+1}; their junctions
+    // are taps k*16+1 .. k*16+15, and tap (k+1)*16 is the coarse node.
+    for k in 0..COARSE_SEGMENTS {
+        let mut prev = coarse[k];
+        for j in 1..=FINE_PER_COARSE {
+            let t = k * FINE_PER_COARSE + j;
+            let next = if j == FINE_PER_COARSE {
+                coarse[k + 1]
+            } else {
+                nl.node(&tap_name(t))
+            };
+            nl.add_resistor(&format!("RF{}_{}", k, j - 1), prev, next, R_FINE)
+                .unwrap();
+            prev = next;
+        }
+    }
+    nl
+}
+
+/// Resolves the node carrying tap `k` (1-based).
+///
+/// # Panics
+/// Panics if `k` is 0 or greater than [`TAPS`].
+pub fn tap_node(nl: &Netlist, k: usize) -> NodeId {
+    assert!((1..=TAPS).contains(&k), "tap {k} out of range");
+    if k % FINE_PER_COARSE == 0 {
+        let c = k / FINE_PER_COARSE;
+        if c == COARSE_SEGMENTS {
+            nl.find_node("vrh").expect("vrh")
+        } else {
+            nl.find_node(&format!("c{c}")).expect("coarse node")
+        }
+    } else {
+        nl.find_node(&tap_name(k)).expect("fine tap")
+    }
+}
+
+/// Builds the ladder testbench: macro plus the reference sources `VRH`
+/// and `VRL` (their branch currents are the ladder's Iinput measurement).
+pub fn ladder_testbench() -> Netlist {
+    let mut nl = ladder_macro();
+    let vrh = nl.node("vrh");
+    let vrl = nl.node("vrl");
+    nl.add_vsource("VRH", vrh, Netlist::GROUND, Waveform::dc(VREF_HI))
+        .unwrap();
+    nl.add_vsource("VRL", vrl, Netlist::GROUND, Waveform::dc(VREF_LO))
+        .unwrap();
+    nl
+}
+
+/// The ideal voltage of tap `k`.
+pub fn ideal_tap_voltage(k: usize) -> f64 {
+    VREF_LO + (VREF_HI - VREF_LO) * k as f64 / TAPS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dotm_sim::Simulator;
+
+    #[test]
+    fn structure_counts() {
+        let nl = ladder_macro();
+        // 16 coarse + 256 fine resistors.
+        assert_eq!(nl.device_count(), COARSE_SEGMENTS + TAPS);
+    }
+
+    #[test]
+    fn taps_are_linear() {
+        let nl = ladder_testbench();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        for k in [1, 7, 16, 100, 128, 255, 256] {
+            let v = op.voltage(tap_node(&nl, k));
+            let ideal = ideal_tap_voltage(k);
+            assert!(
+                (v - ideal).abs() < 2e-3,
+                "tap {k}: {v:.4} vs ideal {ideal:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_current_is_dominated_by_coarse_chain() {
+        let nl = ladder_testbench();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        let i = op
+            .branch_current(nl.device_id("VRH").unwrap())
+            .unwrap()
+            .abs();
+        // Coarse chain: 2 V / 320 Ω = 6.25 mA; fine ladders add ~10 %.
+        assert!(i > 5e-3 && i < 8e-3, "ladder current {i}");
+    }
+
+    #[test]
+    fn tap_short_shifts_reference_current() {
+        // The 99.8 %-current-detectable claim in miniature: a short across
+        // a coarse segment visibly changes the VRH current.
+        let current = |faulty: bool| {
+            let mut nl = ladder_testbench();
+            if faulty {
+                let c4 = nl.find_node("c4").unwrap();
+                let c5 = nl.find_node("c5").unwrap();
+                nl.insert_bridge("FSHORT", c4, c5, 0.2, None).unwrap();
+            }
+            let mut sim = Simulator::new(&nl);
+            let op = sim.dc_op().unwrap();
+            op.branch_current(nl.device_id("VRH").unwrap())
+                .unwrap()
+                .abs()
+        };
+        let nominal = current(false);
+        let shorted = current(true);
+        assert!(
+            (shorted - nominal) / nominal > 0.03,
+            "short must raise ladder current by >3%: {nominal} -> {shorted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tap_zero_is_rejected() {
+        let nl = ladder_macro();
+        let _ = tap_node(&nl, 0);
+    }
+}

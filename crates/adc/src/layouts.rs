@@ -1,0 +1,835 @@
+//! Procedural mask layouts of the five macro cells.
+//!
+//! The defect statistics of the paper depend on layout *structure* — long
+//! parallel trunk wires (clocks, biases) dominating the bridging exposure,
+//! device areas for pinholes, contact/via counts for opens. These
+//! generators produce stylised but electrically consistent layouts:
+//!
+//! * every shape is tagged with the netlist node name it implements;
+//! * geometric extraction ([`dotm_layout::connect::extract`]) of every
+//!   macro reproduces its netlist connectivity with zero violations
+//!   (asserted in tests);
+//! * device terminals carry [`Pin`]s so opens partition correctly.
+//!
+//! Routing discipline: metal-1 strictly vertical (risers from device
+//! contacts), metal-2 strictly horizontal (net tracks and the shared
+//! trunks). The trunk order is a parameter — exchanging the bias lines is
+//! the paper's second DfT measure.
+
+use dotm_layout::{ChannelType, Layer, Layout, NetId, Pin, Rect, TransistorGeom};
+use std::collections::HashMap;
+
+/// Slot width for one placed device (nm).
+const SLOT_W: i64 = 7_000;
+/// Y of the device row's active bottom (nm).
+const DEV_Y: i64 = 2_000;
+/// Height of the device active region (nm) — wider than tall, so an
+/// extra-poly spot can span a diffusion finger and create a parasitic
+/// device, as in VLASIC's new-device extraction.
+const DEV_H: i64 = 2_000;
+/// Gate poly width (nm).
+const GATE_L: i64 = 800;
+/// Contact size (nm).
+const CUT: i64 = 600;
+/// M1 riser width (nm).
+const M1_W: i64 = 600;
+/// M2 wire width (nm).
+const M2_W: i64 = 800;
+/// Track pitch (nm).
+const PITCH: i64 = 1_400;
+/// Y of the first routing track (above the gate contact pads).
+const TRACK_Y0: i64 = DEV_Y + DEV_H + 3_400;
+
+/// Layout build options shared by the macro generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayoutConfig {
+    /// Apply the paper's DfT bias-line reorder: separate the two
+    /// similar-signal bias trunks (`vbn`, `vbnc`) with the strongly
+    /// deviating `vbp`.
+    pub dft_bias_order: bool,
+}
+
+/// A terminal feed: the external driver device electrically anchoring a
+/// trunk (the "main side" when an open splits the trunk).
+#[derive(Debug, Clone)]
+struct Feed {
+    net: String,
+    device: String,
+    terminal: usize,
+}
+
+/// Incremental layout synthesiser for one macro cell.
+#[derive(Debug)]
+struct CellSynth {
+    lo: Layout,
+    next_col: i64,
+    /// Pending M1 risers: (net, x centre, y of contact centre).
+    risers: Vec<(NetId, i64, i64)>,
+    feeds: Vec<Feed>,
+}
+
+impl CellSynth {
+    fn new(name: &str) -> Self {
+        let mut lo = Layout::new(name);
+        let gnd = lo.net("gnd");
+        lo.set_substrate_net(gnd);
+        CellSynth {
+            lo,
+            next_col: 0,
+            risers: Vec::new(),
+            feeds: Vec::new(),
+        }
+    }
+
+    fn net(&mut self, name: &str) -> NetId {
+        self.lo.net(name)
+    }
+
+    fn alloc_slot(&mut self) -> i64 {
+        let x = self.next_col;
+        self.next_col += SLOT_W;
+        x
+    }
+
+    /// Places a MOSFET in the next slot: drain/source active pads, a
+    /// vertical poly gate with a contact pad, contacts and riser requests
+    /// for all three routed terminals, and the channel record.
+    fn place_mosfet(&mut self, name: &str, d: &str, g: &str, s: &str, b: &str, ty: ChannelType) {
+        let x0 = self.alloc_slot();
+        let dn = self.net(d);
+        let gn = self.net(g);
+        let sn = self.net(s);
+        let bn = self.net(b);
+        let y0 = DEV_Y;
+        let gate_x0 = x0 + 3_100;
+        let gate_x1 = gate_x0 + GATE_L;
+        // Drain and source diffusions abut the channel.
+        self.lo
+            .add_rect(dn, Layer::Active, Rect::new(x0 + 500, y0, gate_x0, y0 + DEV_H));
+        self.lo
+            .add_rect(sn, Layer::Active, Rect::new(gate_x1, y0, x0 + 6_500, y0 + DEV_H));
+        // Poly gate strip with a contact pad above the device.
+        self.lo.add_rect(
+            gn,
+            Layer::Poly,
+            Rect::new(gate_x0, y0 - 800, gate_x1, y0 + DEV_H + 1_400),
+        );
+        self.lo.add_rect(
+            gn,
+            Layer::Poly,
+            Rect::new(x0 + 2_900, y0 + DEV_H + 600, x0 + 4_100, y0 + DEV_H + 1_400),
+        );
+        // N-well for PMOS devices (tagged with the bulk net).
+        if ty == ChannelType::P {
+            self.lo.add_rect(
+                bn,
+                Layer::Nwell,
+                Rect::new(x0, y0 - 1_500, x0 + SLOT_W, y0 + DEV_H + 2_000),
+            );
+        }
+        self.lo.add_transistor(TransistorGeom {
+            device: name.to_string(),
+            ty,
+            channel: Rect::new(gate_x0, y0, gate_x1, y0 + DEV_H),
+            gate_net: gn,
+            drain_net: dn,
+            source_net: sn,
+            bulk_net: bn,
+        });
+        // Contacts + risers: drain, gate pad, source.
+        let dc = (x0 + 1_500, y0 + DEV_H / 2);
+        let gc = (x0 + 3_500, y0 + DEV_H + 1_000);
+        let sc = (x0 + 5_500, y0 + DEV_H / 2);
+        for (net, (cx, cy)) in [(dn, dc), (gn, gc), (sn, sc)] {
+            self.lo.add_contact(net, cx, cy, CUT);
+            self.risers.push((net, cx, cy));
+        }
+        // Terminal pins sit at the channel edges — that is where the
+        // device electrically joins its nets. A defect severing the
+        // diffusion finger between channel and contact therefore isolates
+        // the terminal (an open, or a new device in series when the
+        // severing spot is poly).
+        self.lo.add_pin(Pin {
+            device: name.to_string(),
+            terminal: 0,
+            net: dn,
+            layer: Layer::Active,
+            at: Rect::new(gate_x0 - 400, y0, gate_x0, y0 + DEV_H),
+        });
+        self.lo.add_pin(Pin {
+            device: name.to_string(),
+            terminal: 1,
+            net: gn,
+            layer: Layer::Poly,
+            at: Rect::new(gate_x0, y0, gate_x1, y0 + DEV_H),
+        });
+        self.lo.add_pin(Pin {
+            device: name.to_string(),
+            terminal: 2,
+            net: sn,
+            layer: Layer::Active,
+            at: Rect::new(gate_x1, y0, gate_x1 + 400, y0 + DEV_H),
+        });
+    }
+
+    /// Places a two-terminal resistor as two body halves (tagged with the
+    /// terminal nets, separated by a small resistive gap) with end
+    /// contacts. `layer` is `Poly` (fine/bias resistors) or `Active`
+    /// (low-ohmic diffusion).
+    fn place_resistor(&mut self, name: &str, a: &str, b: &str, layer: Layer) {
+        let x0 = self.alloc_slot();
+        let an = self.net(a);
+        let bn = self.net(b);
+        let y = DEV_Y + 1_000;
+        let mid = x0 + 3_500;
+        self.lo
+            .add_rect(an, layer, Rect::new(x0 + 500, y, mid - 100, y + 800));
+        self.lo
+            .add_rect(bn, layer, Rect::new(mid + 100, y, x0 + 6_500, y + 800));
+        for (term, net, cx) in [(0usize, an, x0 + 900), (1, bn, x0 + 6_100)] {
+            self.lo.add_contact(net, cx, y + 400, CUT);
+            self.risers.push((net, cx, y + 400));
+            self.lo.add_pin(Pin {
+                device: name.to_string(),
+                terminal: term,
+                net,
+                layer: Layer::Metal1,
+                at: Rect::square(cx, y + 400, CUT),
+            });
+        }
+    }
+
+    /// Places a poly/metal-1 plate capacitor: terminal 0 is the poly
+    /// bottom plate, terminal 1 the metal-1 top plate.
+    fn place_capacitor(&mut self, name: &str, a: &str, b: &str) {
+        let x0 = self.alloc_slot();
+        let an = self.net(a);
+        let bn = self.net(b);
+        let y0 = DEV_Y;
+        // Poly bottom plate with a contact tab clear of the top plate.
+        self.lo.add_rect(
+            an,
+            Layer::Poly,
+            Rect::new(x0 + 500, y0, x0 + 6_500, y0 + DEV_H + 1_000),
+        );
+        let ac = (x0 + 900, y0 + DEV_H + 600);
+        self.lo.add_contact(an, ac.0, ac.1, CUT);
+        self.risers.push((an, ac.0, ac.1));
+        self.lo.add_pin(Pin {
+            device: name.to_string(),
+            terminal: 0,
+            net: an,
+            layer: Layer::Metal1,
+            at: Rect::square(ac.0, ac.1, CUT),
+        });
+        // Metal-1 top plate, kept clear of the poly contact tab.
+        let plate = Rect::new(x0 + 1_800, y0 + 300, x0 + 6_200, y0 + DEV_H - 300);
+        self.lo.add_rect(bn, Layer::Metal1, plate);
+        // The riser continues from inside the plate.
+        self.risers.push((bn, x0 + 5_800, y0 + DEV_H - 600));
+        self.lo.add_pin(Pin {
+            device: name.to_string(),
+            terminal: 1,
+            net: bn,
+            layer: Layer::Metal1,
+            at: plate,
+        });
+    }
+
+    /// Places a substrate or well tap tying `rail` to the bulk.
+    fn place_tap(&mut self, rail: &str, well: bool) {
+        let x0 = self.alloc_slot();
+        let rn = self.net(rail);
+        let y0 = DEV_Y;
+        if well {
+            self.lo.add_rect(
+                rn,
+                Layer::Nwell,
+                Rect::new(x0, y0 - 1_500, x0 + SLOT_W, y0 + DEV_H + 2_000),
+            );
+        }
+        self.lo
+            .add_rect(rn, Layer::Active, Rect::new(x0 + 2_000, y0, x0 + 5_000, y0 + 1_500));
+        self.lo.add_contact(rn, x0 + 3_500, y0 + 750, CUT);
+        self.risers.push((rn, x0 + 3_500, y0 + 750));
+    }
+
+    /// Registers an external feed device for a trunk net.
+    fn feed(&mut self, net: &str, device: &str, terminal: usize) {
+        self.feeds.push(Feed {
+            net: net.to_string(),
+            device: device.to_string(),
+            terminal,
+        });
+    }
+
+    /// Finalises the cell: assigns M2 tracks (internal nets first, then the
+    /// trunks in the given order at the top), draws risers and vias, and
+    /// attaches feed pins.
+    fn finish(mut self, trunk_order: &[&str]) -> Layout {
+        let mut riser_nets: Vec<NetId> = self.risers.iter().map(|r| r.0).collect();
+        riser_nets.sort_unstable();
+        riser_nets.dedup();
+        let trunk_ids: Vec<NetId> = trunk_order.iter().map(|n| self.lo.net(n)).collect();
+        let mut track_y: HashMap<NetId, i64> = HashMap::new();
+        let mut y = TRACK_Y0;
+        let mut internal: Vec<NetId> = riser_nets
+            .iter()
+            .copied()
+            .filter(|n| !trunk_ids.contains(n))
+            .collect();
+        internal.sort_by_key(|n| self.lo.net_name(*n).to_string());
+        for net in &internal {
+            track_y.insert(*net, y);
+            y += PITCH;
+        }
+        // Trunk zone above the internal tracks; adjacency within the trunk
+        // order is the bridging hot spot.
+        y += PITCH;
+        for net in &trunk_ids {
+            track_y.insert(*net, y);
+            y += PITCH;
+        }
+
+        let cell_w = self.next_col.max(SLOT_W);
+        // Internal tracks span their risers; trunks span the full cell.
+        let mut span: HashMap<NetId, (i64, i64)> = HashMap::new();
+        for (net, x, _) in &self.risers {
+            let e = span.entry(*net).or_insert((*x, *x));
+            e.0 = e.0.min(*x);
+            e.1 = e.1.max(*x);
+        }
+        for net in internal.iter() {
+            let (x0, x1) = span[net];
+            let ty = track_y[net];
+            self.lo.add_rect(
+                *net,
+                Layer::Metal2,
+                Rect::new(x0 - 700, ty - M2_W / 2, x1 + 700, ty + M2_W / 2),
+            );
+        }
+        for net in trunk_ids.iter() {
+            let ty = track_y[net];
+            self.lo.add_rect(
+                *net,
+                Layer::Metal2,
+                Rect::new(-2_000, ty - M2_W / 2, cell_w + 2_000, ty + M2_W / 2),
+            );
+        }
+        // Risers and vias.
+        for (net, x, cy) in std::mem::take(&mut self.risers) {
+            let ty = track_y[&net];
+            self.lo.add_rect(
+                net,
+                Layer::Metal1,
+                Rect::new(x - M1_W / 2, cy - CUT / 2, x + M1_W / 2, ty + M2_W / 2),
+            );
+            self.lo.add_via(net, x, ty, CUT);
+        }
+        // Feed pins at the left end of their trunk.
+        for feed in std::mem::take(&mut self.feeds) {
+            let net = self.lo.net(&feed.net);
+            let ty = *track_y
+                .get(&net)
+                .expect("feed nets must be routed trunks");
+            self.lo.add_pin(Pin {
+                device: feed.device,
+                terminal: feed.terminal,
+                net,
+                layer: Layer::Metal2,
+                at: Rect::new(-2_000, ty - M2_W / 2, -1_200, ty + M2_W / 2),
+            });
+        }
+        self.lo
+    }
+}
+
+/// The comparator trunk order: the shared lines crossing every comparator
+/// in the column. Without DfT, `vbn` and `vbnc` (nearly identical
+/// voltages) are adjacent; the DfT reorder separates them with `vbp`.
+pub fn comparator_trunk_order(cfg: LayoutConfig) -> Vec<&'static str> {
+    if cfg.dft_bias_order {
+        vec![
+            "vdd", "gnd", "ck1", "ck2", "ck3", "vbn", "vbp", "vbnc", "vaz", "vin", "vref", "fa",
+            "fb",
+        ]
+    } else {
+        vec![
+            "vdd", "gnd", "ck1", "ck2", "ck3", "vbn", "vbnc", "vbp", "vaz", "vin", "vref", "fa",
+            "fb",
+        ]
+    }
+}
+
+/// Generates the comparator macro layout matching
+/// [`crate::comparator::comparator_macro`].
+pub fn comparator_layout(cfg: crate::comparator::ComparatorConfig, lcfg: LayoutConfig) -> Layout {
+    let mut s = CellSynth::new(if cfg.dft_flipflop {
+        "comparator_dft"
+    } else {
+        "comparator"
+    });
+    // Input sampling network.
+    s.place_mosfet("MS1A", "vref", "ck1", "na", "gnd", ChannelType::N);
+    s.place_mosfet("MS1B", "vin", "ck1", "nb", "gnd", ChannelType::N);
+    s.place_mosfet("MS2A", "vin", "ck2", "na", "gnd", ChannelType::N);
+    s.place_mosfet("MS2B", "vref", "ck2", "nb", "gnd", ChannelType::N);
+    s.place_capacitor("CA", "na", "ga");
+    s.place_capacitor("CB", "nb", "gb");
+    s.place_mosfet("MS3A", "ga", "ck1", "vaz", "gnd", ChannelType::N);
+    s.place_mosfet("MS3B", "gb", "ck1", "vaz", "gnd", ChannelType::N);
+    // Amplifier.
+    s.place_mosfet("M1", "oa", "ga", "ntail", "gnd", ChannelType::N);
+    s.place_mosfet("M2", "ob", "gb", "ntail", "gnd", ChannelType::N);
+    s.place_mosfet("M3", "ntail", "vbn", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("M4", "oa", "oa", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("M5", "ob", "ob", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("M16", "oa", "vbp", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("M17", "ob", "vbp", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("M18", "oa", "vbnc", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("M19", "ob", "vbnc", "gnd", "gnd", ChannelType::N);
+    // Latch.
+    s.place_mosfet("ML1", "xa", "oa", "nls", "gnd", ChannelType::N);
+    s.place_mosfet("ML2", "xb", "ob", "nls", "gnd", ChannelType::N);
+    s.place_mosfet("ML3", "la", "lb", "xa", "gnd", ChannelType::N);
+    s.place_mosfet("ML4", "lb", "la", "xb", "gnd", ChannelType::N);
+    s.place_mosfet("ML5", "la", "lb", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("ML6", "lb", "la", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("ML7", "nls", "ck3", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("MI2N", "ck2b", "ck2", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("MI2P", "ck2b", "ck2", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("MLE1", "la", "ck2b", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("MLE2", "lb", "ck2b", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("MLE3", "la", "ck2b", "lb", "vdd", ChannelType::P);
+    // Flipflop.
+    s.place_mosfet("MFP1", "la", "ck1", "fa", "gnd", ChannelType::N);
+    s.place_mosfet("MFP2", "lb", "ck1", "fb", "gnd", ChannelType::N);
+    s.place_mosfet("MFN1", "fb", "fa", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("MFI1", "fb", "fa", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("MFN2", "fa", "fb", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("MFI2", "fa", "fb", "vdd", "vdd", ChannelType::P);
+    if !cfg.dft_flipflop {
+        s.place_mosfet("MEQ", "fa", "ck1", "fb", "gnd", ChannelType::N);
+    }
+    // Taps.
+    s.place_tap("gnd", false);
+    s.place_tap("vdd", true);
+    // External feeds (testbench sources and the clock-gen drivers).
+    s.feed("vdd", "VDD", 0);
+    s.feed("vin", "VIN", 0);
+    // Bias and reference trunks are fed through their source-impedance
+    // resistors; the line-side resistor terminal is the anchor.
+    s.feed("vref", "RVREF", 1);
+    s.feed("vbn", "RVBN", 1);
+    s.feed("vbnc", "RVBNC", 1);
+    s.feed("vbp", "RVBP", 1);
+    s.feed("vaz", "RVAZ", 1);
+    s.feed("ck1", "MCB1BN", 0);
+    s.feed("ck2", "MCB2BN", 0);
+    s.feed("ck3", "MCB3BN", 0);
+    s.finish(&comparator_trunk_order(lcfg))
+}
+
+/// Generates the bias-generator layout matching [`crate::bias::bias_macro`].
+pub fn bias_layout() -> Layout {
+    let mut s = CellSynth::new("bias_gen");
+    s.place_resistor("RREF", "vdd", "vbn", Layer::Poly);
+    s.place_mosfet("MB1", "vbn", "vbn", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("MB2", "vbp", "vbn", "gnd", "gnd", ChannelType::N);
+    s.place_mosfet("MB4", "vbp", "vbp", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("MB5", "vbnc", "vbp", "vdd", "vdd", ChannelType::P);
+    s.place_mosfet("MB3", "vbnc", "vbnc", "gnd", "gnd", ChannelType::N);
+    s.place_resistor("RD1", "vdd", "vaz", Layer::Poly);
+    s.place_resistor("RD2", "vaz", "gnd", Layer::Poly);
+    s.place_tap("gnd", false);
+    s.place_tap("vdd", true);
+    s.feed("vdd", "VDD", 0);
+    s.finish(&["vdd", "gnd", "vbn", "vbnc", "vbp", "vaz"])
+}
+
+/// Generates the clock-generator layout matching
+/// [`crate::clockgen::clockgen_macro`].
+pub fn clockgen_layout() -> Layout {
+    let mut s = CellSynth::new("clock_gen");
+    for n in 1..=3usize {
+        let x = format!("x{n}");
+        let a = format!("a{n}");
+        let b = format!("b{n}");
+        let c = format!("c{n}");
+        let y = format!("ck{n}");
+        let y_prev = format!("ck{}", [3, 1, 2][n - 1]);
+        let mid = format!("nmid{n}");
+        s.place_mosfet(&format!("MG{n}IN"), &a, &x, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MG{n}IP"), &a, &x, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(&format!("MG{n}NA"), &b, &a, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MG{n}NB"), &b, &y_prev, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MG{n}PA"), &mid, &a, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MG{n}PB"),
+            &b,
+            &y_prev,
+            &mid,
+            "vdd_dig",
+            ChannelType::P,
+        );
+        s.place_mosfet(&format!("MG{n}CN"), &c, &b, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MG{n}CP"), &c, &b, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(&format!("MG{n}DN"), &y, &c, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MG{n}DP"), &y, &c, "vdd_dig", "vdd_dig", ChannelType::P);
+    }
+    s.place_tap("gnd", false);
+    s.place_tap("vdd_dig", true);
+    s.feed("vdd_dig", "VDDDIG", 0);
+    s.feed("x1", "VX1", 0);
+    s.feed("x2", "VX2", 0);
+    s.feed("x3", "VX3", 0);
+    s.finish(&["vdd_dig", "gnd", "x1", "x2", "x3", "ck1", "ck2", "ck3"])
+}
+
+/// Generates the decoder column-section layout matching
+/// [`crate::decoder::decoder_slice_macro`]: three ROM rows on the shared
+/// precharged bitlines.
+pub fn decoder_slice_layout(codes: [u8; 3]) -> Layout {
+    let mut s = CellSynth::new("decoder_slice");
+    for bit in 0..8u8 {
+        let bl = format!("bl{bit}");
+        s.place_mosfet(&format!("MDP{bit}"), &bl, "pc", "vdd_dig", "vdd_dig", ChannelType::P);
+    }
+    for (r, &code) in codes.iter().enumerate() {
+        let t_cur = format!("t{r}");
+        let t_next = format!("t{}", r + 1);
+        let tn_b = format!("tn_b{r}");
+        let e_b = format!("e_b{r}");
+        let e = format!("e{r}");
+        let mid = format!("nmid{r}");
+        s.place_mosfet(&format!("MD1N{r}"), &tn_b, &t_next, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MD1P{r}"), &tn_b, &t_next, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(&format!("MD2A{r}"), &mid, &t_cur, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MD2B{r}"), &e_b, &tn_b, &mid, "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MD2PA{r}"), &e_b, &t_cur, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(&format!("MD2PB{r}"), &e_b, &tn_b, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(&format!("MD3N{r}"), &e, &e_b, "gnd", "gnd", ChannelType::N);
+        s.place_mosfet(&format!("MD3P{r}"), &e, &e_b, "vdd_dig", "vdd_dig", ChannelType::P);
+        for bit in 0..8u8 {
+            if code & (1 << bit) != 0 {
+                let bl = format!("bl{bit}");
+                s.place_mosfet(&format!("MDR{bit}_{r}"), &bl, &e, "gnd", "gnd", ChannelType::N);
+            }
+        }
+    }
+    s.place_tap("gnd", false);
+    s.place_tap("vdd_dig", true);
+    s.feed("vdd_dig", "VDDDIG", 0);
+    s.feed("t0", "VT0", 0);
+    s.feed("t1", "VT1", 0);
+    s.feed("t2", "VT2", 0);
+    s.feed("t3", "VT3", 0);
+    s.feed("pc", "RPC", 1);
+    s.finish(&[
+        "vdd_dig", "gnd", "pc", "t0", "t1", "t2", "t3", "bl0", "bl1", "bl2", "bl3", "bl4",
+        "bl5", "bl6", "bl7",
+    ])
+}
+
+/// Generates the dual-ladder layout matching
+/// [`crate::ladder::ladder_macro`]: one row per coarse segment, each with
+/// a low-ohmic diffusion bar (the coarse resistor) and a parallel poly
+/// chain of 16 fine resistors, with metal taps; coarse nodes chain between
+/// rows through M2 links in the inter-row gaps.
+pub fn ladder_layout() -> Layout {
+    use crate::ladder::{COARSE_SEGMENTS, FINE_PER_COARSE};
+    let mut lo = Layout::new("ladder");
+    let gnd = lo.net("gnd");
+    lo.set_substrate_net(gnd);
+    let row_h: i64 = 6_200;
+    let seg_w: i64 = 3_400; // fine segment pitch
+    let width = seg_w * FINE_PER_COARSE as i64 + 2_000;
+    let left_x = 1_400i64;
+    let right_x = width - 1_400;
+
+    let coarse_name = |k: usize| -> String {
+        if k == 0 {
+            "vrl".to_string()
+        } else if k == COARSE_SEGMENTS {
+            "vrh".to_string()
+        } else {
+            format!("c{k}")
+        }
+    };
+
+    for k in 0..COARSE_SEGMENTS {
+        let y0 = k as i64 * row_h;
+        let na = lo.net(&coarse_name(k));
+        let nb = lo.net(&coarse_name(k + 1));
+        // Coarse diffusion bar: two halves per the resistor convention.
+        let mid = width / 2;
+        lo.add_rect(na, Layer::Active, Rect::new(1_000, y0, mid - 100, y0 + 900));
+        lo.add_rect(nb, Layer::Active, Rect::new(mid + 100, y0, width - 1_000, y0 + 900));
+        for (term, net, cx) in [(0usize, na, left_x), (1, nb, right_x)] {
+            lo.add_contact(net, cx, y0 + 450, CUT);
+            lo.add_pin(Pin {
+                device: format!("RC{k}"),
+                terminal: term,
+                net,
+                layer: Layer::Metal1,
+                at: Rect::square(cx, y0 + 450, CUT),
+            });
+        }
+        // Fine poly chain at fy; adjacent segments share tap junctions by
+        // abutment. The end contacts align with the coarse side risers.
+        let fy = y0 + 1_800;
+        for j in 0..FINE_PER_COARSE {
+            let t = k * FINE_PER_COARSE + j; // left node tap index
+            let left = if j == 0 {
+                coarse_name(k)
+            } else {
+                crate::ladder::tap_name(t)
+            };
+            let right = if j == FINE_PER_COARSE - 1 {
+                coarse_name(k + 1)
+            } else {
+                crate::ladder::tap_name(t + 1)
+            };
+            let ln = lo.net(&left);
+            let rn = lo.net(&right);
+            let x0 = 1_000 + j as i64 * seg_w;
+            let xm = x0 + seg_w / 2;
+            lo.add_rect(ln, Layer::Poly, Rect::new(x0, fy, xm - 100, fy + 700));
+            lo.add_rect(rn, Layer::Poly, Rect::new(xm + 100, fy, x0 + seg_w, fy + 700));
+            let dev = format!("RF{}_{}", k, j);
+            let left_cx = if j == 0 { left_x } else { x0 + 300 };
+            let right_cx = if j == FINE_PER_COARSE - 1 {
+                right_x
+            } else {
+                x0 + seg_w - 300
+            };
+            for (term, net, cx) in [(0usize, ln, left_cx), (1, rn, right_cx)] {
+                lo.add_contact(net, cx, fy + 350, CUT);
+                lo.add_pin(Pin {
+                    device: dev.clone(),
+                    terminal: term,
+                    net,
+                    layer: Layer::Metal1,
+                    at: Rect::square(cx, fy + 350, CUT),
+                });
+                // Interior tap pad (the tap lines leave toward the
+                // comparator column).
+                if cx != left_x && cx != right_x {
+                    lo.add_rect(
+                        net,
+                        Layer::Metal1,
+                        Rect::new(cx - M1_W / 2, fy + 50, cx + M1_W / 2, fy + 1_500),
+                    );
+                }
+            }
+        }
+        // Side risers joining the coarse bar and the fine chain ends, and
+        // reaching the inter-row link levels.
+        let gap_below = y0 - 1_200; // link level of coarse node k
+        let gap_above = y0 + row_h - 1_200; // link level of node k+1
+        let left_riser_y0 = if k == 0 { y0 + 150 } else { gap_below };
+        lo.add_rect(
+            na,
+            Layer::Metal1,
+            Rect::new(left_x - M1_W / 2, left_riser_y0, left_x + M1_W / 2, fy + 700),
+        );
+        let right_riser_y1 = if k == COARSE_SEGMENTS - 1 {
+            fy + 700
+        } else {
+            gap_above
+        };
+        lo.add_rect(
+            nb,
+            Layer::Metal1,
+            Rect::new(right_x - M1_W / 2, y0 + 150, right_x + M1_W / 2, right_riser_y1),
+        );
+        // Inter-row M2 link for coarse node k+1 (except after last row).
+        if k + 1 < COARSE_SEGMENTS {
+            lo.add_rect(
+                nb,
+                Layer::Metal2,
+                Rect::new(left_x - 700, gap_above - M2_W / 2, right_x + 700, gap_above + M2_W / 2),
+            );
+            lo.add_via(nb, right_x, gap_above, CUT);
+            lo.add_via(nb, left_x, gap_above, CUT);
+        }
+    }
+    // The reference feed terminals anchor on the side risers.
+    let vrl = lo.net("vrl");
+    let vrh = lo.net("vrh");
+    lo.add_pin(Pin {
+        device: "VRL".into(),
+        terminal: 0,
+        net: vrl,
+        layer: Layer::Metal1,
+        at: Rect::square(left_x, 1_000, CUT),
+    });
+    let top_fy = (COARSE_SEGMENTS as i64 - 1) * row_h + 1_800;
+    lo.add_pin(Pin {
+        device: "VRH".into(),
+        terminal: 0,
+        net: vrh,
+        layer: Layer::Metal1,
+        at: Rect::square(right_x, top_fy + 500, CUT),
+    });
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dotm_layout::{connect, SpatialIndex};
+
+    fn assert_extracts_clean(lo: &Layout) {
+        let idx = SpatialIndex::build(lo);
+        let ex = connect::extract(lo, &idx);
+        let msgs: Vec<String> = ex
+            .violations
+            .iter()
+            .map(|v| match v {
+                dotm_layout::ExtractViolation::Bridged { nets } => format!(
+                    "bridged {} / {}",
+                    lo.net_name(nets.0),
+                    lo.net_name(nets.1)
+                ),
+                dotm_layout::ExtractViolation::SplitNet { net, components } => {
+                    format!("split {} into {components}", lo.net_name(*net))
+                }
+            })
+            .collect();
+        assert!(msgs.is_empty(), "{}: {msgs:?}", lo.name());
+    }
+
+    #[test]
+    fn comparator_layout_extracts_clean() {
+        let lo = comparator_layout(
+            crate::comparator::ComparatorConfig::default(),
+            LayoutConfig::default(),
+        );
+        assert_extracts_clean(&lo);
+        assert!(lo.transistors().len() >= 30);
+    }
+
+    #[test]
+    fn comparator_dft_layout_extracts_clean() {
+        let lo = comparator_layout(
+            crate::comparator::ComparatorConfig { dft_flipflop: true },
+            LayoutConfig {
+                dft_bias_order: true,
+            },
+        );
+        assert_extracts_clean(&lo);
+        assert!(lo.transistors().iter().all(|t| t.device != "MEQ"));
+    }
+
+    #[test]
+    fn trunk_order_separates_similar_biases_under_dft() {
+        let plain = comparator_trunk_order(LayoutConfig::default());
+        let dft = comparator_trunk_order(LayoutConfig {
+            dft_bias_order: true,
+        });
+        let pos = |v: &[&str], n: &str| v.iter().position(|x| *x == n).unwrap() as i64;
+        assert_eq!(
+            (pos(&plain, "vbn") - pos(&plain, "vbnc")).abs(),
+            1,
+            "plain order must keep vbn/vbnc adjacent"
+        );
+        assert!(
+            (pos(&dft, "vbn") - pos(&dft, "vbnc")).abs() > 1,
+            "dft order must separate vbn/vbnc"
+        );
+    }
+
+    #[test]
+    fn bias_layout_extracts_clean() {
+        assert_extracts_clean(&bias_layout());
+    }
+
+    #[test]
+    fn clockgen_layout_extracts_clean() {
+        assert_extracts_clean(&clockgen_layout());
+    }
+
+    #[test]
+    fn decoder_slice_layout_extracts_clean() {
+        assert_extracts_clean(&decoder_slice_layout(crate::decoder::SLICE_CODES));
+    }
+
+    #[test]
+    fn ladder_layout_extracts_clean() {
+        assert_extracts_clean(&ladder_layout());
+    }
+
+    #[test]
+    fn layout_nets_match_macro_netlists() {
+        // Every layout net must exist as a node in the corresponding
+        // testbench netlist, or fault injection could not resolve it.
+        let checks: Vec<(Layout, dotm_netlist::Netlist)> = vec![
+            (
+                comparator_layout(
+                    crate::comparator::ComparatorConfig::default(),
+                    LayoutConfig::default(),
+                ),
+                crate::comparator::comparator_testbench(
+                    crate::comparator::ComparatorConfig::default(),
+                    &crate::comparator::ComparatorStimulus::dc_offset(2.5, 0.0),
+                ),
+            ),
+            (bias_layout(), crate::bias::bias_testbench()),
+            (clockgen_layout(), crate::clockgen::clockgen_testbench()),
+            (
+                decoder_slice_layout(crate::decoder::SLICE_CODES),
+                crate::decoder::decoder_slice_testbench(crate::decoder::SLICE_CODES, 1),
+            ),
+            (ladder_layout(), crate::ladder::ladder_testbench()),
+        ];
+        for (lo, nl) in &checks {
+            for (_, name) in lo.nets() {
+                assert!(
+                    nl.find_node(name).is_some(),
+                    "{}: layout net `{name}` missing from netlist",
+                    lo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_trunks_dominate_bridging_exposure() {
+        // The clock/bias trunk region must be a large share of the metal2
+        // exposure — that is what makes most comparator faults touch nets
+        // shared with other macros, as in the paper (72.2 %).
+        let lo = comparator_layout(
+            crate::comparator::ComparatorConfig::default(),
+            LayoutConfig::default(),
+        );
+        let m2 = lo.layer_area(Layer::Metal2) as f64;
+        let bbox = lo.bbox().unwrap();
+        let trunk_area = 13.0 * (M2_W as f64) * (bbox.width() as f64);
+        assert!(
+            trunk_area / m2 > 0.5,
+            "trunk share {:.2} too small",
+            trunk_area / m2
+        );
+    }
+
+    #[test]
+    fn pins_cover_every_macro_device_terminal() {
+        // Every placed device terminal must carry a pin so opens partition.
+        let lo = comparator_layout(
+            crate::comparator::ComparatorConfig::default(),
+            LayoutConfig::default(),
+        );
+        for t in lo.transistors() {
+            for term in [0usize, 1, 2] {
+                assert!(
+                    lo.pins()
+                        .iter()
+                        .any(|p| p.device == t.device && p.terminal == term),
+                    "missing pin {}:{term}",
+                    t.device
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # dotm-adc — the Flash ADC case study
+//!
+//! The paper evaluates its defect-oriented test methodology on an 8-bit
+//! CMOS full-flash ADC for embedded video, decomposed into five macro cell
+//! types. This crate provides those macros at transistor level (netlists
+//! generated with `dotm-netlist`, layouts with `dotm-layout`) plus the
+//! behavioural models used for fault-signature propagation:
+//!
+//! * [`comparator`] — the three-phase auto-zeroed comparator with its
+//!   flipflop load (256 instances; the analog/digital boundary);
+//! * [`ladder`] — the dual-ladder resistor string generating the 256
+//!   reference voltages;
+//! * [`bias`] — the class-A bias generator (`vbn`, `vbnc`, `vbp`, `vaz`);
+//! * [`clockgen`] — the three-phase clock generator with its large output
+//!   buffers (a digital cell: its quiescent supply current is the paper's
+//!   IDDQ measurement);
+//! * [`decoder`] — the thermometer→binary decoder (behavioural plus a
+//!   representative gate-level slice for defect analysis);
+//! * [`behavior`] — calibrated behavioural models of all macros assembled
+//!   into a full [`behavior::FlashAdc`] for missing-code evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod bias;
+pub mod clockgen;
+pub mod column;
+pub mod comparator;
+pub mod decoder;
+pub mod ladder;
+pub mod layouts;
+pub mod process;

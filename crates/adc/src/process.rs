@@ -1,0 +1,158 @@
+//! Shared process and timing constants of the case-study ADC.
+
+use dotm_netlist::Waveform;
+
+/// Analog and digital supply voltage (V).
+pub const VDD: f64 = 5.0;
+
+/// Reference-ladder top voltage (V).
+pub const VREF_HI: f64 = 3.5;
+
+/// Reference-ladder bottom voltage (V).
+pub const VREF_LO: f64 = 1.5;
+
+/// Number of comparator stages (8-bit full flash).
+pub const N_COMPARATORS: usize = 256;
+
+/// Conversion clock period (s): the video-rate converter runs its three
+/// phases within 100 ns.
+pub const CLOCK_PERIOD: f64 = 100e-9;
+
+/// Clock edge rise/fall time used by the ideal phase sources (s).
+pub const CLOCK_EDGE: f64 = 2e-9;
+
+/// Nominal bias voltages produced by the bias generator.
+///
+/// `vbn` and `vbnc` are deliberately *marginally different* — the paper's
+/// DfT analysis hinges on shorts between two bias lines that carry very
+/// similar signals being nearly undetectable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasValues {
+    /// NMOS tail-current bias (V).
+    pub vbn: f64,
+    /// NMOS bleed bias, close to `vbn` (V).
+    pub vbnc: f64,
+    /// PMOS bleed bias (V).
+    pub vbp: f64,
+    /// Auto-zero common-mode level (V).
+    pub vaz: f64,
+}
+
+impl Default for BiasValues {
+    fn default() -> Self {
+        BiasValues {
+            vbn: 1.05,
+            vbnc: 1.10,
+            vbp: 3.60,
+            vaz: 2.20,
+        }
+    }
+}
+
+/// The three comparator phases within one clock period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Input sampling / auto-zero.
+    Sample,
+    /// Amplification of the sampled difference.
+    Amplify,
+    /// Regenerative latching.
+    Latch,
+}
+
+impl Phase {
+    /// All phases in order.
+    pub const ALL: [Phase; 3] = [Phase::Sample, Phase::Amplify, Phase::Latch];
+
+    /// `(start, end)` of the active window within a period, in seconds.
+    pub fn window(self) -> (f64, f64) {
+        match self {
+            Phase::Sample => (0.0, 0.40 * CLOCK_PERIOD),
+            Phase::Amplify => (0.45 * CLOCK_PERIOD, 0.70 * CLOCK_PERIOD),
+            Phase::Latch => (0.75 * CLOCK_PERIOD, 0.95 * CLOCK_PERIOD),
+        }
+    }
+
+    /// A time (within period 0) at which this phase's currents have
+    /// settled: just before the phase ends.
+    pub fn settle_time(self) -> f64 {
+        let (_, end) = self.window();
+        end - 2.0 * CLOCK_EDGE
+    }
+
+    /// The ideal (pre-buffer) clock waveform for this phase, repeating with
+    /// [`CLOCK_PERIOD`].
+    pub fn waveform(self) -> Waveform {
+        let (start, end) = self.window();
+        Waveform::pulse(
+            0.0,
+            VDD,
+            start,
+            CLOCK_EDGE,
+            CLOCK_EDGE,
+            end - start - CLOCK_EDGE,
+            CLOCK_PERIOD,
+        )
+    }
+
+    /// Short display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sample => "sampling",
+            Phase::Amplify => "amplification",
+            Phase::Latch => "latching",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_do_not_overlap() {
+        let windows: Vec<(f64, f64)> = Phase::ALL.iter().map(|p| p.window()).collect();
+        for w in windows.windows(2) {
+            assert!(w[0].1 < w[1].0, "phases must be non-overlapping: {w:?}");
+        }
+        assert!(windows[2].1 < CLOCK_PERIOD);
+    }
+
+    #[test]
+    fn waveforms_are_high_mid_phase_only() {
+        for p in Phase::ALL {
+            let w = p.waveform();
+            let (start, end) = p.window();
+            let mid = (start + end) / 2.0;
+            assert_eq!(w.value_at(mid), VDD, "{p:?} must be high mid-phase");
+            for q in Phase::ALL {
+                if q != p {
+                    let (qs, qe) = q.window();
+                    assert_eq!(
+                        w.value_at((qs + qe) / 2.0),
+                        0.0,
+                        "{p:?} must be low during {q:?}"
+                    );
+                }
+            }
+            // Repeats across periods.
+            assert_eq!(w.value_at(mid + CLOCK_PERIOD), VDD);
+        }
+    }
+
+    #[test]
+    fn settle_times_fall_inside_windows() {
+        for p in Phase::ALL {
+            let (s, e) = p.window();
+            let t = p.settle_time();
+            assert!(t > s && t < e);
+        }
+    }
+
+    #[test]
+    fn bias_values_have_a_similar_pair() {
+        let b = BiasValues::default();
+        assert!((b.vbn - b.vbnc).abs() < 0.3, "vbn/vbnc must be similar");
+        assert!((b.vbn - b.vbp).abs() > 1.0, "vbn/vbp must differ strongly");
+    }
+}

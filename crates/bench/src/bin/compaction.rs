@@ -1,0 +1,44 @@
+//! Test-set compaction study (paper §3.2: "the overlap between different
+//! detection mechanisms gives room for the optimization of the test
+//! method"): how few of the comparator's current measurements preserve
+//! the full current-test coverage?
+
+use dotm_bench::{comparator_report, rule};
+use dotm_core::harnesses::ComparatorHarness;
+use dotm_core::{compact_current_tests, MacroHarness};
+use dotm_faults::Severity;
+
+fn main() {
+    let harness = ComparatorHarness::production();
+    let report = comparator_report(false);
+    let c = compact_current_tests(&harness, &report, Severity::Catastrophic);
+    println!();
+    println!("Current-test compaction (comparator, catastrophic faults)");
+    println!(
+        "{} current measurements available; {:.0} weighted faults current-detectable",
+        c.available, c.detectable_weight
+    );
+    println!();
+    println!("{:>4} {:<34} {:>10}", "step", "measurement", "coverage");
+    rule(52);
+    for (i, step) in c.steps.iter().enumerate() {
+        println!(
+            "{:>4} {:<34} {:>9.1}%",
+            i + 1,
+            step.label,
+            100.0 * step.cumulative_coverage
+        );
+    }
+    rule(52);
+    println!();
+    if let Some(n90) = c.count_for_coverage(0.90) {
+        println!("90% of the current coverage needs only {n90} measurements;");
+    }
+    println!(
+        "full current coverage needs {} of the {} available — the paper's 6-measurement",
+        c.selected_count(),
+        c.available
+    );
+    println!("current test (3 phases x 2 input levels) is itself a compacted set");
+    let _ = harness.plan();
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 4**: global detectability of (a) catastrophic and
+//! (b) non-catastrophic faults for the whole converter, compiled from the
+//! five macro paths under the uniform-defect-density scaling.
+//!
+//! Paper anchors: total coverage 93.3 % (cat) / 93.1 % (non-cat);
+//! current-detectable 71.8 %; 32.5 % current-only; current measurements
+//! "a better test method" than voltage; clock generator 93.8 % and ladder
+//! 99.8 % current-detectable.
+
+use dotm_bench::{global_report, rule};
+use dotm_core::GlobalDetectability;
+use dotm_faults::Severity;
+
+fn print_panel(label: &str, d: &GlobalDetectability) {
+    println!("({label})");
+    println!("  voltage detectable:   {:>5.1}%", d.voltage_pct);
+    println!("  current detectable:   {:>5.1}%", d.current_pct);
+    println!("  voltage only:         {:>5.1}%", d.voltage_only_pct);
+    println!("  current only:         {:>5.1}%", d.current_only_pct);
+    println!("  both:                 {:>5.1}%", d.both_pct);
+    println!("  IDDQ only:            {:>5.1}%", d.iddq_only_pct);
+    println!("  total fault coverage: {:>5.1}%", d.coverage_pct);
+}
+
+fn main() {
+    let global = global_report(false);
+    println!();
+    println!("Fig 4: Global detectability of (a) catastrophic and (b) non-catastrophic faults");
+    println!();
+    let cat = global.detectability(Severity::Catastrophic);
+    let ncat = global.detectability(Severity::NonCatastrophic);
+    print_panel("a — catastrophic", &cat);
+    println!();
+    print_panel("b — non-catastrophic", &ncat);
+    println!();
+    rule(72);
+    println!(
+        "paper: coverage 93.3% / 93.1%; current 71.8%; current-only 32.5%;"
+    );
+    println!("       IDDQ-only ~11%; combination of both tests required for the maximum");
+    rule(72);
+    println!();
+    println!("per-macro current detectability (catastrophic):");
+    for report in global.macros() {
+        let current = report.pct_where(Severity::Catastrophic, |o| o.detection.currents.any());
+        println!(
+            "  {:<16} {:>5.1}%  ({} faults, {} classes, weight {:.2e})",
+            report.name,
+            current,
+            report.total_faults,
+            report.class_count,
+            report.global_weight()
+        );
+    }
+    println!("  (paper: clock generator 93.8%, reference ladder 99.8%)");
+}

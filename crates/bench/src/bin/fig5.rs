@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 5**: global detectability after the paper's two
+//! DfT measures — the redesigned flipflop (no sampling-phase static
+//! current, collapsing the IVdd spread) and the reordered bias trunks
+//! (the similar-signal `vbn`/`vbnc` pair separated by `vbp`).
+//!
+//! Paper anchors: fault coverage rises from 93.3 % to 99.1 %; the
+//! voltage-only share shrinks to 5.8 % (cat) / 5.6 % (non-cat), making a
+//! current-only wafer-sort test feasible.
+
+use dotm_bench::{global_report, rule};
+use dotm_core::GlobalDetectability;
+use dotm_faults::Severity;
+
+fn print_panel(label: &str, d: &GlobalDetectability) {
+    println!("({label})");
+    println!("  voltage detectable:   {:>5.1}%", d.voltage_pct);
+    println!("  current detectable:   {:>5.1}%", d.current_pct);
+    println!("  voltage only:         {:>5.1}%", d.voltage_only_pct);
+    println!("  current only:         {:>5.1}%", d.current_only_pct);
+    println!("  both:                 {:>5.1}%", d.both_pct);
+    println!("  total fault coverage: {:>5.1}%", d.coverage_pct);
+}
+
+fn main() {
+    println!("Fig 5: Global detectability after DfT measures");
+    println!("  DfT 1: flipflop redesign (no static sampling-phase current)");
+    println!("  DfT 2: bias-line reorder (vbn / vbnc separated by vbp)");
+    println!();
+    let global = global_report(true);
+    let cat = global.detectability(Severity::Catastrophic);
+    let ncat = global.detectability(Severity::NonCatastrophic);
+    print_panel("a — catastrophic, after DfT", &cat);
+    println!();
+    print_panel("b — non-catastrophic, after DfT", &ncat);
+    println!();
+    rule(72);
+    println!("paper: coverage rises to 99.1%; voltage-only shrinks to 5.8% / 5.6%,");
+    println!("       so a current-only wafer-sort test becomes feasible");
+    rule(72);
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 2**: voltage fault signatures of the comparator
+//! macro (% of catastrophic and non-catastrophic faults per signature).
+//!
+//! Paper anchors: "many of the faults cause a stuck-at behavior of the
+//! comparator... due to the balanced nature of the design and the small
+//! biasing currents"; for non-catastrophic faults the clock-value
+//! signature becomes more important.
+
+use dotm_bench::{comparator_report, rule};
+use dotm_core::voltage_table;
+
+fn main() {
+    let report = comparator_report(false);
+    let rows = voltage_table(&report);
+    println!();
+    println!("Table 2: Voltage fault signatures comparator");
+    println!();
+    println!(
+        "{:<18} {:>12} {:>16}",
+        "fault signature", "% cat faults", "% non-cat faults"
+    );
+    rule(50);
+    for row in &rows {
+        println!(
+            "{:<18} {:>11.1}% {:>15.1}%",
+            row.signature.to_string(),
+            row.catastrophic_pct,
+            row.non_catastrophic_pct
+        );
+    }
+    rule(50);
+    let stuck = &rows[0];
+    println!();
+    println!(
+        "stuck-at dominates the voltage signatures: {:.1}% cat / {:.1}% non-cat",
+        stuck.catastrophic_pct, stuck.non_catastrophic_pct
+    );
+    let cv = &rows[3];
+    println!(
+        "clock-value share: {:.1}% cat vs {:.1}% non-cat (paper: grows for non-catastrophic)",
+        cv.catastrophic_pct, cv.non_catastrophic_pct
+    );
+}

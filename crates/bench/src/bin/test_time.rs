@@ -1,0 +1,39 @@
+//! Regenerates the paper's test-time comparison (§3.2 and §4): the
+//! defect-oriented test — 1000 full-speed samples for the missing-code
+//! check plus six settled current measurements — against a representative
+//! specification-oriented test suite.
+
+use dotm_bench::rule;
+use dotm_core::TestTimeModel;
+
+fn main() {
+    let m = TestTimeModel::default();
+    println!("Test-time comparison (defect-oriented vs specification-oriented)");
+    println!();
+    println!(
+        "missing-code test:  {:>10.3} ms  ({} samples at {:.0} ns)",
+        m.missing_code_time() * 1e3,
+        m.missing_code_samples,
+        m.sample_period * 1e9
+    );
+    println!(
+        "current test:       {:>10.3} ms  ({} measurements, {:.0} µs settle + {:.0} µs window)",
+        m.current_time() * 1e3,
+        m.current_measurements,
+        m.current_settle * 1e6,
+        m.current_window * 1e6
+    );
+    rule(64);
+    println!(
+        "defect-oriented total:        {:>8.3} ms",
+        m.total() * 1e3
+    );
+    println!(
+        "specification-oriented suite: {:>8.1} ms  (code density + FFTs + trims)",
+        m.specification_test_time() * 1e3
+    );
+    println!(
+        "speed-up: {:.0}x  (paper: 'compares favourably with specification-oriented tests')",
+        m.specification_test_time() / m.total()
+    );
+}

@@ -1,0 +1,128 @@
+//! # dotm-bench — reproduction harness for the paper's tables and figures
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of
+//! Kuijstermans et al. (ED&TC 1995):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — catastrophic faults & classes for the comparator |
+//! | `table2` | Table 2 — voltage fault signatures of the comparator |
+//! | `table3` | Table 3 — current fault signatures of the comparator |
+//! | `fig3` | Fig. 3 — detectability overlap for comparator faults |
+//! | `fig4` | Fig. 4 — global detectability (catastrophic / non-catastrophic) |
+//! | `fig5` | Fig. 5 — global detectability after the DfT measures |
+//! | `test_time` | §3.2/§4 — test-time comparison |
+//! | `sigma_sweep` | ablation: good-space width vs coverage |
+//!
+//! Runs are deterministic. Environment knobs (all optional):
+//! `DOTM_DEFECTS` (pilot sprinkle size, default 25000),
+//! `DOTM_TABLE1_FULL` (Table 1 recount size, default 10000000),
+//! `DOTM_GS_COMMON` / `DOTM_GS_MM` (good-space Monte-Carlo sizes),
+//! `DOTM_MAX_CLASSES` (truncate to the most frequent classes — smoke runs
+//! only), `DOTM_SEED`.
+
+use dotm_core::harnesses::{
+    BiasHarness, ClockgenHarness, ComparatorHarness, DecoderHarness, LadderHarness,
+};
+use dotm_core::{
+    run_macro_path, GlobalReport, GoodSpaceConfig, MacroHarness, MacroReport, PipelineConfig,
+};
+
+/// Reads a `usize` environment knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` environment knob.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The standard pipeline configuration, honouring the environment knobs.
+pub fn standard_config() -> PipelineConfig {
+    let max_classes = std::env::var("DOTM_MAX_CLASSES")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    PipelineConfig {
+        defects: env_usize("DOTM_DEFECTS", 25_000),
+        seed: env_u64("DOTM_SEED", 1995),
+        goodspace: GoodSpaceConfig {
+            common_samples: env_usize("DOTM_GS_COMMON", 5),
+            mismatch_samples: env_usize("DOTM_GS_MM", 4),
+            seed: env_u64("DOTM_SEED", 1995) ^ 0xD07,
+        },
+        max_classes,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Runs the comparator test path (production or DfT variant).
+pub fn comparator_report(dft: bool) -> MacroReport {
+    let harness = if dft {
+        ComparatorHarness::dft()
+    } else {
+        ComparatorHarness::production()
+    };
+    run_with_progress(&harness)
+}
+
+/// Runs one macro's path with a stderr progress note.
+pub fn run_with_progress(harness: &dyn MacroHarness) -> MacroReport {
+    let cfg = standard_config();
+    eprintln!(
+        "[dotm] running {} path: {} defects, goodspace {}x{} ...",
+        harness.name(),
+        cfg.defects,
+        cfg.goodspace.common_samples,
+        cfg.goodspace.mismatch_samples
+    );
+    let t0 = std::time::Instant::now();
+    let report = run_macro_path(harness, &cfg).expect("macro path must run");
+    eprintln!(
+        "[dotm] {}: {} faults in {} classes, evaluated in {:.1}s",
+        report.name,
+        report.total_faults,
+        report.class_count,
+        t0.elapsed().as_secs_f64()
+    );
+    report
+}
+
+/// Runs all five macro paths for the global figures.
+pub fn global_report(dft: bool) -> GlobalReport {
+    let comparator = comparator_report(dft);
+    let ladder = run_with_progress(&LadderHarness);
+    let bias = run_with_progress(&BiasHarness::default());
+    let clockgen = run_with_progress(&ClockgenHarness::default());
+    let decoder = run_with_progress(&DecoderHarness::default());
+    GlobalReport::new(vec![comparator, ladder, bias, clockgen, decoder])
+}
+
+/// Prints a ruled table row.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("DOTM_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_u64("DOTM_DOES_NOT_EXIST", 9), 9);
+    }
+
+    #[test]
+    fn standard_config_is_sane() {
+        let cfg = standard_config();
+        assert!(cfg.defects > 0);
+        assert!(cfg.goodspace.common_samples > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Compilation of the multi-dimensional good-signature space.
+//!
+//! "In the analog domain, the output of a fault-free circuit can vary
+//! under the influence of environmental conditions like process, supply
+//! voltage and temperature. Thus the good signature is a multi-dimensional
+//! space, which has to be compiled for each set of test stimuli" — this
+//! module is that compilation: a two-level Monte Carlo separating die-wide
+//! (common) variation from per-instance mismatch, so current-detection
+//! thresholds can be scaled to the full chip (256 comparators share one
+//! supply pin).
+
+use crate::harness::MacroHarness;
+use crate::measure::MeasureKind;
+use crate::processvar::ProcessModel;
+use crate::signature::{CurrentFlags, CurrentKind};
+use dotm_sim::SimError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo sizes for good-space compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoodSpaceConfig {
+    /// Number of die-wide (common) samples.
+    pub common_samples: usize,
+    /// Mismatch samples per common sample.
+    pub mismatch_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GoodSpaceConfig {
+    fn default() -> Self {
+        GoodSpaceConfig {
+            common_samples: 5,
+            mismatch_samples: 4,
+            seed: 1995,
+        }
+    }
+}
+
+/// The compiled good space: nominal measurements plus the per-measurement
+/// common and mismatch standard deviations.
+#[derive(Debug, Clone)]
+pub struct GoodSpace {
+    /// Measurement of the unperturbed circuit (the detection reference).
+    pub nominal: Vec<f64>,
+    /// Monte-Carlo mean.
+    pub mean: Vec<f64>,
+    /// Die-to-die (common) σ.
+    pub sigma_common: Vec<f64>,
+    /// Within-die (mismatch) σ.
+    pub sigma_mismatch: Vec<f64>,
+}
+
+impl GoodSpace {
+    /// Compiles the good space for a harness.
+    ///
+    /// # Errors
+    /// Propagates simulator failures (a fault-free circuit failing to
+    /// converge is a configuration error worth surfacing).
+    pub fn compile(
+        harness: &dyn MacroHarness,
+        model: &ProcessModel,
+        cfg: GoodSpaceConfig,
+    ) -> Result<GoodSpace, SimError> {
+        let nominal = harness.measure(&harness.testbench())?;
+        let n = nominal.len();
+        let s = cfg.common_samples.max(1);
+        let m = cfg.mismatch_samples.max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // samples[s][m][i]. A perturbed sample at an extreme corner can
+        // leave the simulator's convergence envelope; the good space is a
+        // statistical estimate, so such a sample is redrawn (bounded
+        // retries) rather than failing the whole compilation.
+        let mut retries_left = 2 * s * m;
+        let mut samples: Vec<Vec<Vec<f64>>> = Vec::with_capacity(s);
+        while samples.len() < s {
+            let common = model.sample_common(&mut rng);
+            let mut per_mm = Vec::with_capacity(m);
+            let mut corner_failed = false;
+            for _ in 0..m {
+                let mut nl = harness.testbench();
+                harness.perturb(&mut nl, model, &common, &mut rng);
+                match harness.measure(&nl) {
+                    Ok(v) => per_mm.push(v),
+                    Err(e) => {
+                        if retries_left == 0 {
+                            return Err(e);
+                        }
+                        retries_left -= 1;
+                        corner_failed = true;
+                        break;
+                    }
+                }
+            }
+            if !corner_failed {
+                samples.push(per_mm);
+            }
+        }
+        let mut mean = vec![0.0; n];
+        let mut sigma_common = vec![0.0; n];
+        let mut sigma_mismatch = vec![0.0; n];
+        for i in 0..n {
+            let common_means: Vec<f64> = samples
+                .iter()
+                .map(|mm| mm.iter().map(|v| v[i]).sum::<f64>() / m as f64)
+                .collect();
+            let grand = common_means.iter().sum::<f64>() / s as f64;
+            mean[i] = grand;
+            let var_c = common_means
+                .iter()
+                .map(|v| (v - grand) * (v - grand))
+                .sum::<f64>()
+                / (s.max(2) - 1) as f64;
+            sigma_common[i] = var_c.sqrt();
+            let var_m = samples
+                .iter()
+                .map(|mm| {
+                    let cm = mm.iter().map(|v| v[i]).sum::<f64>() / m as f64;
+                    mm.iter().map(|v| (v[i] - cm) * (v[i] - cm)).sum::<f64>()
+                        / (m.max(2) - 1) as f64
+                })
+                .sum::<f64>()
+                / s as f64;
+            sigma_mismatch[i] = var_m.sqrt();
+        }
+        Ok(GoodSpace {
+            nominal,
+            mean,
+            sigma_common,
+            sigma_mismatch,
+        })
+    }
+
+    /// Chip-level 3σ detection threshold for measurement `i` when `n`
+    /// instances of the macro contribute to the measured pin: the common
+    /// part adds linearly, mismatch in quadrature.
+    pub fn threshold(&self, i: usize, n_instances: usize) -> f64 {
+        let n = n_instances as f64;
+        let sigma_chip = ((n * self.sigma_common[i]).powi(2)
+            + n * self.sigma_mismatch[i].powi(2))
+        .sqrt();
+        3.0 * sigma_chip
+    }
+
+    /// Evaluates the current flags of a faulty measurement vector.
+    ///
+    /// `shared` scales the fault's *supply-current* deviation by the
+    /// instance count: a fault on a shared trunk shifts the operating
+    /// point of every instance, and all instances hang on the same supply
+    /// pins. Input-terminal deviations are never scaled — the fault's
+    /// bridge current flows once per chip, and the instances' own input
+    /// currents are gate currents (≈ 0) before and after.
+    pub fn current_flags(
+        &self,
+        harness: &dyn MacroHarness,
+        faulty: &[f64],
+        shared: bool,
+    ) -> CurrentFlags {
+        let plan = harness.plan();
+        let n_inst = harness.instance_count();
+        let mut flags = CurrentFlags::default();
+        for (i, label) in plan.labels.iter().enumerate() {
+            if let MeasureKind::Current(kind) = label.kind {
+                let mult = if shared && kind != CurrentKind::Iinput {
+                    n_inst as f64
+                } else {
+                    1.0
+                };
+                let deviation = (faulty[i] - self.nominal[i]).abs() * mult;
+                let threshold = self
+                    .threshold(i, n_inst)
+                    .max(harness.current_floor(kind));
+                if deviation > threshold {
+                    flags.set(kind, true);
+                }
+            }
+        }
+        flags
+    }
+
+    /// Indices of the current measurements whose deviation exceeds the
+    /// detection threshold — the raw material for test-set compaction.
+    pub fn flagged_indices(
+        &self,
+        harness: &dyn MacroHarness,
+        faulty: &[f64],
+        shared: bool,
+    ) -> Vec<usize> {
+        let plan = harness.plan();
+        let n_inst = harness.instance_count();
+        let mut out = Vec::new();
+        for (i, label) in plan.labels.iter().enumerate() {
+            if let MeasureKind::Current(kind) = label.kind {
+                let mult = if shared && kind != CurrentKind::Iinput {
+                    n_inst as f64
+                } else {
+                    1.0
+                };
+                let deviation = (faulty[i] - self.nominal[i]).abs() * mult;
+                let threshold = self
+                    .threshold(i, n_inst)
+                    .max(harness.current_floor(kind));
+                if deviation > threshold {
+                    out.push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// The largest deviation-to-threshold ratio over all current
+    /// measurements of a kind (diagnostic helper for reports and the
+    /// sigma-sweep ablation).
+    pub fn worst_margin(
+        &self,
+        harness: &dyn MacroHarness,
+        faulty: &[f64],
+        kind: CurrentKind,
+        shared: bool,
+    ) -> f64 {
+        let plan = harness.plan();
+        let n_inst = harness.instance_count();
+        let mult = if shared && kind != CurrentKind::Iinput {
+            n_inst as f64
+        } else {
+            1.0
+        };
+        let mut worst = 0.0f64;
+        for i in plan.current_indices(kind) {
+            let deviation = (faulty[i] - self.nominal[i]).abs() * mult;
+            let threshold = self.threshold(i, n_inst).max(harness.current_floor(kind));
+            worst = worst.max(deviation / threshold);
+        }
+        worst
+    }
+}

@@ -1,0 +1,78 @@
+//! The [`MacroHarness`] abstraction: how the test path drives one macro
+//! cell type.
+//!
+//! A harness bundles everything the methodology needs per macro: the
+//! testbench netlist (macro plus the "affected other macros" — bias
+//! impedances, clock drivers — per the paper's §3.2 observation that
+//! boundary-crossing faults must be simulated with the affected cells),
+//! the layout to sprinkle, the measurement procedure, the process
+//! perturbation, and the macro-specific voltage-signature classifier.
+
+use crate::measure::MeasurementPlan;
+use crate::processvar::{CommonSample, ProcessModel};
+use crate::signature::{CurrentKind, VoltageSignature};
+use dotm_layout::Layout;
+use dotm_netlist::Netlist;
+use dotm_sim::SimError;
+use rand::rngs::StdRng;
+
+/// Drives circuit-level analysis of one macro cell type.
+pub trait MacroHarness {
+    /// Macro name (matches the layout name).
+    fn name(&self) -> &str;
+
+    /// The macro's layout for defect sprinkling.
+    fn layout(&self) -> Layout;
+
+    /// Number of instances of this macro in the full circuit (256 for the
+    /// comparator; 1 for ladder, bias and clock generator; 256 slices for
+    /// the decoder).
+    fn instance_count(&self) -> usize;
+
+    /// A fresh testbench netlist (fault injection edits a clone of this).
+    fn testbench(&self) -> Netlist;
+
+    /// The measurement plan produced by [`MacroHarness::measure`].
+    fn plan(&self) -> MeasurementPlan;
+
+    /// Runs the macro's measurement procedure on a (possibly faulted,
+    /// possibly perturbed) netlist.
+    ///
+    /// # Errors
+    /// Propagates simulator failures; the pipeline treats a non-converging
+    /// faulty circuit as a grossly faulty part.
+    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError>;
+
+    /// Applies one process Monte-Carlo sample. The default perturbs every
+    /// device generically; harnesses whose bias inputs track the process
+    /// (comparator) override this.
+    fn perturb(
+        &self,
+        nl: &mut Netlist,
+        model: &ProcessModel,
+        common: &CommonSample,
+        rng: &mut StdRng,
+    ) {
+        model.perturb(nl, common, rng);
+    }
+
+    /// Classifies the voltage fault signature from the nominal and faulty
+    /// measurement vectors.
+    fn classify_voltage(&self, nominal: &[f64], faulty: &[f64]) -> VoltageSignature;
+
+    /// Nets shared with other macros (clock/bias/reference/supply trunks):
+    /// a fault touching one of these shifts *every* instance, so its
+    /// current deviation scales with [`MacroHarness::instance_count`].
+    fn shared_nets(&self) -> Vec<&'static str>;
+
+    /// Chip-level absolute detection floor per current kind (A). Models
+    /// tester accuracy plus the quiescent contribution of the macros not
+    /// included in this harness's testbench.
+    fn current_floor(&self, kind: CurrentKind) -> f64 {
+        match kind {
+            CurrentKind::IVdd => 500e-6,
+            CurrentKind::Iddq => 20e-6,
+            CurrentKind::Iinput => 50e-6,
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Concrete [`crate::harness::MacroHarness`] implementations for the five
+//! macro cell types of the case-study ADC.
+
+pub mod bias;
+pub mod clockgen;
+pub mod comparator;
+pub mod decoder;
+pub mod ladder;
+
+pub use bias::BiasHarness;
+pub use clockgen::ClockgenHarness;
+pub use comparator::ComparatorHarness;
+pub use decoder::DecoderHarness;
+pub use ladder::LadderHarness;

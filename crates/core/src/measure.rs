@@ -1,0 +1,108 @@
+//! Measurement plans: the labelled observation vector a macro harness
+//! produces for the good and every faulty circuit.
+
+use crate::signature::CurrentKind;
+
+/// What one entry of a measurement vector represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// A functional (voltage) observation used for signature
+    /// classification — e.g. a comparator decision.
+    Decision,
+    /// A current measurement compared against the 3σ good space.
+    Current(CurrentKind),
+    /// An auxiliary DC level (e.g. a clock-distribution line) used for the
+    /// "clock value" signature.
+    Level,
+}
+
+/// One labelled measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureLabel {
+    /// Semantic kind.
+    pub kind: MeasureKind,
+    /// Human-readable name (e.g. `"ivdd@sampling/vin_hi"`).
+    pub name: String,
+}
+
+impl MeasureLabel {
+    /// Convenience constructor.
+    pub fn new(kind: MeasureKind, name: impl Into<String>) -> Self {
+        MeasureLabel {
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+/// The ordered list of measurements a harness produces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeasurementPlan {
+    /// Labels, in the order of the measurement vector.
+    pub labels: Vec<MeasureLabel>,
+}
+
+impl MeasurementPlan {
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Indices of all current measurements of a given kind.
+    pub fn current_indices(&self, kind: CurrentKind) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == MeasureKind::Current(kind))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all decision measurements.
+    pub fn decision_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == MeasureKind::Decision)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all level measurements.
+    pub fn level_indices(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == MeasureKind::Level)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_indexing() {
+        let plan = MeasurementPlan {
+            labels: vec![
+                MeasureLabel::new(MeasureKind::Decision, "d0"),
+                MeasureLabel::new(MeasureKind::Current(CurrentKind::IVdd), "ivdd"),
+                MeasureLabel::new(MeasureKind::Current(CurrentKind::Iddq), "iddq"),
+                MeasureLabel::new(MeasureKind::Level, "ck1"),
+                MeasureLabel::new(MeasureKind::Current(CurrentKind::IVdd), "ivdd2"),
+            ],
+        };
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.decision_indices(), vec![0]);
+        assert_eq!(plan.current_indices(CurrentKind::IVdd), vec![1, 4]);
+        assert_eq!(plan.current_indices(CurrentKind::Iddq), vec![2]);
+        assert_eq!(plan.level_indices(), vec![3]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Process, supply and temperature variation — the environment that makes
+//! the good signature "a multi-dimensional space" rather than a point.
+
+use dotm_netlist::{DeviceKind, MosType, Netlist};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard deviations of the variation model.
+///
+/// The *common* components shift every device of a die together (process
+/// corner, supply, temperature — temperature enters through its effect on
+/// mobility and threshold, so it is folded into `kp`/`vt`); the *mismatch*
+/// components vary device-to-device within the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessModel {
+    /// Common threshold shift σ (V).
+    pub sigma_vt_common: f64,
+    /// Common relative transconductance shift σ.
+    pub sigma_kp_common: f64,
+    /// Common relative resistor shift σ.
+    pub sigma_r_common: f64,
+    /// Relative supply-voltage shift σ.
+    pub sigma_vdd: f64,
+    /// Per-device threshold mismatch σ (V).
+    pub sigma_vt_mismatch: f64,
+    /// Per-device relative transconductance mismatch σ.
+    pub sigma_kp_mismatch: f64,
+    /// Per-device relative resistor mismatch σ.
+    pub sigma_r_mismatch: f64,
+    /// Operating-temperature span (°C), sampled uniformly around the
+    /// nominal 27 °C. Temperature enters the devices through its standard
+    /// deratings — threshold −2 mV/K and mobility ∝ T^−1.5 — i.e. as
+    /// additional *correlated* vt/kp shifts.
+    pub temp_span_c: f64,
+}
+
+impl Default for ProcessModel {
+    fn default() -> Self {
+        ProcessModel {
+            sigma_vt_common: 0.030,
+            sigma_kp_common: 0.05,
+            sigma_r_common: 0.10,
+            sigma_vdd: 0.02,
+            sigma_vt_mismatch: 0.008,
+            sigma_kp_mismatch: 0.02,
+            sigma_r_mismatch: 0.02,
+            temp_span_c: 70.0, // 0 °C .. 70 °C commercial range
+        }
+    }
+}
+
+/// The common (die-wide) part of one Monte-Carlo sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommonSample {
+    /// NMOS threshold shift (V).
+    pub dvt_n: f64,
+    /// PMOS threshold shift (V, applied to |vt|).
+    pub dvt_p: f64,
+    /// Relative kp shift.
+    pub dkp: f64,
+    /// Relative resistor shift.
+    pub dr: f64,
+    /// Relative supply shift.
+    pub dvdd: f64,
+    /// Temperature offset from the 27 °C nominal (K).
+    pub dtemp: f64,
+}
+
+impl ProcessModel {
+    /// Draws a common sample.
+    pub fn sample_common(&self, rng: &mut StdRng) -> CommonSample {
+        let g = |rng: &mut StdRng| -> f64 {
+            // Box-Muller standard normal.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let dtemp = if self.temp_span_c > 0.0 {
+            rng.gen_range(-0.5..0.5) * self.temp_span_c
+        } else {
+            0.0
+        };
+        // Standard deratings: vt drops ~2 mV/K for both polarities (|vt|
+        // shrinks), mobility goes as T^-1.5 around 300 K.
+        let dvt_temp = -2e-3 * dtemp;
+        let dkp_temp = (300.0f64 / (300.0 + dtemp)).powf(1.5) - 1.0;
+        CommonSample {
+            dvt_n: g(rng) * self.sigma_vt_common + dvt_temp,
+            dvt_p: g(rng) * self.sigma_vt_common + dvt_temp,
+            dkp: g(rng) * self.sigma_kp_common + dkp_temp,
+            dr: g(rng) * self.sigma_r_common,
+            dvdd: g(rng) * self.sigma_vdd,
+            dtemp,
+        }
+    }
+
+    /// Applies a common sample plus fresh per-device mismatch to every
+    /// device of a netlist. Voltage sources whose name starts with `VDD`
+    /// are treated as supplies and scaled by the supply shift.
+    pub fn perturb(&self, nl: &mut Netlist, common: &CommonSample, rng: &mut StdRng) {
+        let g = |rng: &mut StdRng| -> f64 {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let n = nl.device_count();
+        for i in 0..n {
+            let id = dotm_netlist::DeviceId::from_index(i);
+            let is_supply = nl
+                .device_by_id(id)
+                .map(|d| d.name.starts_with("VDD"))
+                .unwrap_or(false);
+            let dev = nl.device_by_id_mut(id).expect("index in range");
+            match &mut dev.kind {
+                DeviceKind::Mosfet { ty, params, .. } => {
+                    let dvt_c = match ty {
+                        MosType::Nmos => common.dvt_n,
+                        MosType::Pmos => common.dvt_p,
+                    };
+                    let dvt = dvt_c + g(rng) * self.sigma_vt_mismatch;
+                    match ty {
+                        MosType::Nmos => params.vt0 += dvt,
+                        // PMOS vt0 is negative; a positive shift makes it
+                        // "slower" (more negative).
+                        MosType::Pmos => params.vt0 -= dvt,
+                    }
+                    let dkp = common.dkp + g(rng) * self.sigma_kp_mismatch;
+                    params.kp *= (1.0 + dkp).max(0.2);
+                }
+                DeviceKind::Resistor { ohms, .. } => {
+                    let dr = common.dr + g(rng) * self.sigma_r_mismatch;
+                    *ohms *= (1.0 + dr).max(0.2);
+                }
+                DeviceKind::Vsource { waveform, .. } if is_supply => {
+                    *waveform = waveform.scaled(1.0 + common.dvdd);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dotm_netlist::{MosfetParams, Waveform};
+    use rand::SeedableRng;
+
+    fn sample_rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn common_samples_have_expected_spread() {
+        let model = ProcessModel {
+            temp_span_c: 0.0,
+            ..ProcessModel::default()
+        };
+        let mut rng = sample_rng(1);
+        let n = 4000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let s = model.sample_common(&mut rng);
+            sum += s.dvt_n;
+            sum2 += s.dvt_n * s.dvt_n;
+        }
+        let mean = sum / n as f64;
+        let sigma = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.003, "mean {mean}");
+        assert!(
+            (sigma - model.sigma_vt_common).abs() < 0.003,
+            "sigma {sigma}"
+        );
+    }
+
+    #[test]
+    fn perturb_shifts_devices_and_supply() {
+        let mut nl = Netlist::new("t");
+        let a = nl.node("a");
+        nl.add_vsource("VDD", a, Netlist::GROUND, Waveform::dc(5.0))
+            .unwrap();
+        nl.add_resistor("R1", a, Netlist::GROUND, 1000.0).unwrap();
+        nl.add_mosfet(
+            "M1",
+            a,
+            a,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            MosfetParams::nmos_default(),
+        )
+        .unwrap();
+        let model = ProcessModel::default();
+        let common = CommonSample {
+            dvt_n: 0.05,
+            dvt_p: 0.0,
+            dkp: 0.1,
+            dr: 0.2,
+            dvdd: -0.05,
+            dtemp: 0.0,
+        };
+        let mut rng = sample_rng(2);
+        // Zero out mismatch so the shifts are exact.
+        let model = ProcessModel {
+            sigma_vt_mismatch: 0.0,
+            sigma_kp_mismatch: 0.0,
+            sigma_r_mismatch: 0.0,
+            ..model
+        };
+        model.perturb(&mut nl, &common, &mut rng);
+        match &nl.device("M1").unwrap().kind {
+            DeviceKind::Mosfet { params, .. } => {
+                assert!((params.vt0 - 0.80).abs() < 1e-12);
+                assert!((params.kp - 110e-6).abs() < 1e-12);
+            }
+            _ => unreachable!(),
+        }
+        match &nl.device("R1").unwrap().kind {
+            DeviceKind::Resistor { ohms, .. } => assert!((ohms - 1200.0).abs() < 1e-9),
+            _ => unreachable!(),
+        }
+        match &nl.device("VDD").unwrap().kind {
+            DeviceKind::Vsource { waveform, .. } => {
+                assert!((waveform.dc_value() - 4.75).abs() < 1e-12)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn temperature_derates_vt_and_kp_together() {
+        // With zero process sigma, the only common variation left is the
+        // temperature derating: hot dies are slower (lower kp) with lower
+        // thresholds — and the two shifts are perfectly correlated.
+        let model = ProcessModel {
+            sigma_vt_common: 0.0,
+            sigma_kp_common: 0.0,
+            sigma_r_common: 0.0,
+            sigma_vdd: 0.0,
+            temp_span_c: 70.0,
+            ..ProcessModel::default()
+        };
+        let mut rng = sample_rng(9);
+        let mut saw_hot = false;
+        for _ in 0..100 {
+            let s = model.sample_common(&mut rng);
+            assert!(s.dtemp.abs() <= 35.0 + 1e-9);
+            // dvt = −2 mV/K · dtemp exactly.
+            assert!((s.dvt_n + 2e-3 * s.dtemp).abs() < 1e-12);
+            if s.dtemp > 10.0 {
+                saw_hot = true;
+                assert!(s.dkp < 0.0, "hot die must lose mobility");
+                assert!(s.dvt_n < 0.0, "hot die must lose threshold");
+            }
+        }
+        assert!(saw_hot);
+    }
+
+    #[test]
+    fn pmos_threshold_moves_away_from_zero() {
+        let mut nl = Netlist::new("t");
+        let a = nl.node("a");
+        nl.add_mosfet(
+            "MP",
+            a,
+            a,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Pmos,
+            MosfetParams::pmos_default(),
+        )
+        .unwrap();
+        let model = ProcessModel {
+            sigma_vt_mismatch: 0.0,
+            sigma_kp_mismatch: 0.0,
+            sigma_r_mismatch: 0.0,
+            ..ProcessModel::default()
+        };
+        let common = CommonSample {
+            dvt_p: 0.05,
+            ..Default::default()
+        };
+        let mut rng = sample_rng(3);
+        model.perturb(&mut nl, &common, &mut rng);
+        match &nl.device("MP").unwrap().kind {
+            DeviceKind::Mosfet { params, .. } => {
+                assert!((params.vt0 + 0.90).abs() < 1e-12, "vt0 = {}", params.vt0);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

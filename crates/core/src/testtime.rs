@@ -1,0 +1,92 @@
+//! Test-time model (paper §3.2): the missing-code test runs at full
+//! conversion speed; the current test waits for transients to die out
+//! before each of its six measurements.
+
+use dotm_adc::process::CLOCK_PERIOD;
+
+/// Parameters of the production-test timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestTimeModel {
+    /// Samples taken by the missing-code test.
+    pub missing_code_samples: usize,
+    /// Conversion period (s).
+    pub sample_period: f64,
+    /// Current measurements (3 phases × 2 input levels).
+    pub current_measurements: usize,
+    /// Settling wait before each current measurement (s) — the paper's
+    /// "approximately 100 µs... for the transient currents to disappear".
+    pub current_settle: f64,
+    /// Integration window of one current measurement (s).
+    pub current_window: f64,
+}
+
+impl Default for TestTimeModel {
+    fn default() -> Self {
+        TestTimeModel {
+            missing_code_samples: 1000,
+            sample_period: CLOCK_PERIOD,
+            current_measurements: 6,
+            current_settle: 100e-6,
+            current_window: 100e-6,
+        }
+    }
+}
+
+impl TestTimeModel {
+    /// Time of the missing-code test (s).
+    pub fn missing_code_time(&self) -> f64 {
+        self.missing_code_samples as f64 * self.sample_period
+    }
+
+    /// Time of the current test (s).
+    pub fn current_time(&self) -> f64 {
+        self.current_measurements as f64 * (self.current_settle + self.current_window)
+    }
+
+    /// Total defect-oriented test time (s).
+    pub fn total(&self) -> f64 {
+        self.missing_code_time() + self.current_time()
+    }
+
+    /// Time of a representative specification-oriented test suite for an
+    /// 8-bit video ADC: code-density INL/DNL (many samples per code),
+    /// SNR/THD FFT captures and gain/offset trims.
+    pub fn specification_test_time(&self) -> f64 {
+        // 64 samples per code for a 4096-point code-density run, repeated
+        // over 4 conditions, plus four 16k-point FFT captures.
+        let code_density = 4.0 * 64.0 * 4096.0 * self.sample_period;
+        let ffts = 4.0 * 16384.0 * self.sample_period;
+        let trims = 2e-3;
+        code_density + ffts + trims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_code_test_is_fast() {
+        let m = TestTimeModel::default();
+        // 1000 samples at 100 ns = 100 µs.
+        assert!((m.missing_code_time() - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_test_dominated_by_settling() {
+        let m = TestTimeModel::default();
+        assert!((m.current_time() - 1.2e-3).abs() < 1e-12);
+        assert!(m.total() < 2e-3);
+    }
+
+    #[test]
+    fn defect_oriented_test_beats_specification_test() {
+        let m = TestTimeModel::default();
+        assert!(
+            m.total() < m.specification_test_time() / 10.0,
+            "defect-oriented {} vs spec {}",
+            m.total(),
+            m.specification_test_time()
+        );
+    }
+}

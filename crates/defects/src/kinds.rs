@@ -1,0 +1,290 @@
+//! Spot-defect taxonomy and process statistics.
+
+use rand::Rng;
+use std::fmt;
+
+/// The physical spot-defect types of the reference fabrication process.
+///
+/// Mirrors the VLASIC defect universe: extra/missing material on each
+/// patterned layer, oxide and junction pinholes, and extra (unintended)
+/// contacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectKind {
+    /// Extra metal-1 material (bridging).
+    ExtraMetal1,
+    /// Extra metal-2 material (bridging).
+    ExtraMetal2,
+    /// Extra polysilicon (bridging; may form a parasitic device over
+    /// active).
+    ExtraPoly,
+    /// Extra active/diffusion material (bridging).
+    ExtraActive,
+    /// Missing metal-1 material (opens).
+    MissingMetal1,
+    /// Missing metal-2 material (opens).
+    MissingMetal2,
+    /// Missing polysilicon (opens; may sever a gate).
+    MissingPoly,
+    /// Missing active material (opens).
+    MissingActive,
+    /// Missing contact cut (inter-layer open).
+    MissingContact,
+    /// Missing via cut (inter-layer open).
+    MissingVia,
+    /// Pinhole in the gate oxide under a channel.
+    GateOxidePinhole,
+    /// Pinhole in the field (thick) oxide under a conductor.
+    ThickOxidePinhole,
+    /// Pinhole in a source/drain junction.
+    JunctionPinhole,
+    /// Unintended contact where metal-1 crosses poly or active.
+    ExtraContact,
+}
+
+impl DefectKind {
+    /// All defect kinds.
+    pub const ALL: [DefectKind; 14] = [
+        DefectKind::ExtraMetal1,
+        DefectKind::ExtraMetal2,
+        DefectKind::ExtraPoly,
+        DefectKind::ExtraActive,
+        DefectKind::MissingMetal1,
+        DefectKind::MissingMetal2,
+        DefectKind::MissingPoly,
+        DefectKind::MissingActive,
+        DefectKind::MissingContact,
+        DefectKind::MissingVia,
+        DefectKind::GateOxidePinhole,
+        DefectKind::ThickOxidePinhole,
+        DefectKind::JunctionPinhole,
+        DefectKind::ExtraContact,
+    ];
+}
+
+impl fmt::Display for DefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DefectKind::ExtraMetal1 => "extra-metal1",
+            DefectKind::ExtraMetal2 => "extra-metal2",
+            DefectKind::ExtraPoly => "extra-poly",
+            DefectKind::ExtraActive => "extra-active",
+            DefectKind::MissingMetal1 => "missing-metal1",
+            DefectKind::MissingMetal2 => "missing-metal2",
+            DefectKind::MissingPoly => "missing-poly",
+            DefectKind::MissingActive => "missing-active",
+            DefectKind::MissingContact => "missing-contact",
+            DefectKind::MissingVia => "missing-via",
+            DefectKind::GateOxidePinhole => "gate-oxide-pinhole",
+            DefectKind::ThickOxidePinhole => "thick-oxide-pinhole",
+            DefectKind::JunctionPinhole => "junction-pinhole",
+            DefectKind::ExtraContact => "extra-contact",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The `x₀²⁄x³` spot-defect size law used across the yield literature
+/// (and by VLASIC): sizes below the resolution limit `x0` do not occur,
+/// density falls off with the cube of the size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeDistribution {
+    /// Minimum (peak) defect size in nm.
+    pub x0: i64,
+    /// Truncation size in nm.
+    pub xmax: i64,
+}
+
+impl SizeDistribution {
+    /// Samples a defect size via the inverse CDF of `2·x0²/x³` on
+    /// `[x0, xmax]`.
+    pub fn sample(&self, rng: &mut impl Rng) -> i64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // CDF on the truncated support: F(x) = (1 − x0²/x²)/(1 − x0²/xmax²).
+        let x0 = self.x0 as f64;
+        let xmax = self.xmax as f64;
+        let norm = 1.0 - (x0 * x0) / (xmax * xmax);
+        let x = x0 / (1.0 - u * norm).sqrt();
+        (x.round() as i64).clamp(self.x0, self.xmax)
+    }
+}
+
+impl Default for SizeDistribution {
+    /// 0.8 µm-era defaults: 0.6 µm resolution limit, 8 µm truncation.
+    fn default() -> Self {
+        SizeDistribution {
+            x0: 600,
+            xmax: 8_000,
+        }
+    }
+}
+
+/// Relative defect densities per kind plus the shared size law.
+///
+/// The defaults encode the paper's observation that "the majority of the
+/// spot defects in the fabrication process consist of extra material
+/// defects in the metallization steps" — extra metal dominates, missing
+/// material is rare, pinholes sit in between.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefectStatistics {
+    weights: Vec<(DefectKind, f64)>,
+    /// Size law shared by the material-defect kinds.
+    pub size: SizeDistribution,
+}
+
+impl DefectStatistics {
+    /// Creates statistics from explicit relative weights.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero or any weight is negative.
+    pub fn from_weights(weights: Vec<(DefectKind, f64)>, size: SizeDistribution) -> Self {
+        assert!(
+            weights.iter().all(|(_, w)| *w >= 0.0),
+            "defect weights must be non-negative"
+        );
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "at least one defect weight must be positive");
+        DefectStatistics { weights, size }
+    }
+
+    /// The relative weight of a kind.
+    pub fn weight(&self, kind: DefectKind) -> f64 {
+        self.weights
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterates over `(kind, weight)` pairs.
+    pub fn weights(&self) -> impl Iterator<Item = (DefectKind, f64)> + '_ {
+        self.weights.iter().copied()
+    }
+
+    /// Samples a defect kind according to the weights.
+    pub fn sample_kind(&self, rng: &mut impl Rng) -> DefectKind {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        for (kind, w) in &self.weights {
+            if pick < *w {
+                return *kind;
+            }
+            pick -= w;
+        }
+        self.weights.last().expect("non-empty").0
+    }
+}
+
+impl Default for DefectStatistics {
+    fn default() -> Self {
+        DefectStatistics::from_weights(
+            vec![
+                (DefectKind::ExtraMetal1, 0.34),
+                (DefectKind::ExtraMetal2, 0.27),
+                (DefectKind::ExtraPoly, 0.14),
+                (DefectKind::ExtraActive, 0.04),
+                (DefectKind::MissingMetal1, 0.004),
+                (DefectKind::MissingMetal2, 0.003),
+                (DefectKind::MissingPoly, 0.002),
+                (DefectKind::MissingActive, 0.001),
+                (DefectKind::MissingContact, 0.002),
+                (DefectKind::MissingVia, 0.002),
+                (DefectKind::GateOxidePinhole, 0.07),
+                (DefectKind::ThickOxidePinhole, 0.022),
+                (DefectKind::JunctionPinhole, 0.022),
+                (DefectKind::ExtraContact, 0.05),
+            ],
+            SizeDistribution::default(),
+        )
+    }
+}
+
+/// One sprinkled spot defect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Defect {
+    /// Defect type.
+    pub kind: DefectKind,
+    /// Centre x (nm).
+    pub x: i64,
+    /// Centre y (nm).
+    pub y: i64,
+    /// Size (side of the square spot), nm.
+    pub size: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_distribution_respects_bounds() {
+        let d = SizeDistribution::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= d.x0 && s <= d.xmax);
+        }
+    }
+
+    #[test]
+    fn size_distribution_is_small_heavy() {
+        let d = SizeDistribution::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let small = (0..n)
+            .filter(|_| d.sample(&mut rng) < 2 * d.x0)
+            .count() as f64
+            / n as f64;
+        // P(x < 2·x0) = (1 − 1/4)/(1 − x0²/xmax²) ≈ 0.754.
+        assert!(
+            (small - 0.754).abs() < 0.01,
+            "P(x < 2x0) = {small}, expected ≈ 0.754"
+        );
+    }
+
+    #[test]
+    fn kind_sampling_tracks_weights() {
+        let stats = DefectStatistics::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut extra_m1 = 0usize;
+        for _ in 0..n {
+            if stats.sample_kind(&mut rng) == DefectKind::ExtraMetal1 {
+                extra_m1 += 1;
+            }
+        }
+        let total: f64 = stats.weights().map(|(_, w)| w).sum();
+        let expect = stats.weight(DefectKind::ExtraMetal1) / total;
+        let got = extra_m1 as f64 / n as f64;
+        assert!((got - expect).abs() < 0.01, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = DefectStatistics::from_weights(
+            vec![(DefectKind::ExtraMetal1, -1.0)],
+            SizeDistribution::default(),
+        );
+    }
+
+    #[test]
+    fn default_weights_are_metal_dominated() {
+        let stats = DefectStatistics::default();
+        let extra_metal = stats.weight(DefectKind::ExtraMetal1) + stats.weight(DefectKind::ExtraMetal2);
+        let missing: f64 = [
+            DefectKind::MissingMetal1,
+            DefectKind::MissingMetal2,
+            DefectKind::MissingPoly,
+            DefectKind::MissingActive,
+            DefectKind::MissingContact,
+            DefectKind::MissingVia,
+        ]
+        .iter()
+        .map(|&k| stats.weight(k))
+        .sum();
+        assert!(extra_metal > 0.5);
+        assert!(missing < 0.02);
+    }
+}

@@ -1,0 +1,48 @@
+//! # dotm-defects — a VLASIC-style catastrophic defect simulator
+//!
+//! Reimplements the role VLASIC (Walker & Director, IEEE TCAD 1986) plays
+//! in the paper: spot defects are sprinkled over a cell layout in a
+//! Monte-Carlo manner, each defect is classified geometrically, and the
+//! resulting circuit-level faults are collapsed into equivalence classes
+//! whose multiplicity measures their likelihood.
+//!
+//! * [`DefectKind`] / [`DefectStatistics`] — the defect universe (extra and
+//!   missing material per layer, oxide/junction pinholes, extra contacts)
+//!   with relative densities and the classic `x₀²⁄x³` size law
+//!   ([`SizeDistribution`]).
+//! * [`Sprinkler`] — samples defects over a [`dotm_layout::Layout`] and
+//!   extracts faults: bridges, node splits (opens), gate-oxide shorts,
+//!   bulk leaks, new and shorted devices ([`FaultEffect`]).
+//! * [`collapse`] / [`sprinkle_collapsed`] — fault collapsing into
+//!   [`FaultClass`]es, streaming for multi-million-defect runs.
+//!
+//! ```
+//! use dotm_defects::{sprinkle_collapsed, DefectStatistics, Sprinkler};
+//! use dotm_layout::{Layer, Layout};
+//! let mut lo = Layout::new("pair");
+//! let gnd = lo.net("gnd");
+//! lo.set_substrate_net(gnd);
+//! let a = lo.net("a");
+//! let b = lo.net("b");
+//! lo.wire_h(a, Layer::Metal1, 0, 50_000, 0, 700);
+//! lo.wire_h(b, Layer::Metal1, 0, 50_000, 1_600, 700);
+//! let sprinkler = Sprinkler::new(&lo, DefectStatistics::default());
+//! let report = sprinkle_collapsed(&sprinkler, 50_000, 1995);
+//! // Two long parallel wires: every bridging fault collapses to one class.
+//! assert_eq!(report.class_count(), 1);
+//! assert!(report.total_faults > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+pub mod critical;
+mod fault;
+mod kinds;
+mod sprinkle;
+
+pub use collapse::{collapse, recount, sprinkle_collapsed, CollapseReport, FaultClass};
+pub use fault::{BridgeMedium, Fault, FaultEffect, FaultMechanism, TerminalName};
+pub use kinds::{Defect, DefectKind, DefectStatistics, SizeDistribution};
+pub use sprinkle::{SprinkleReport, Sprinkler};

@@ -1,0 +1,82 @@
+//! Property-based tests on the defect simulator: statistical invariants
+//! of the sprinkler and structural invariants of fault collapsing.
+
+use dotm_defects::{collapse, sprinkle_collapsed, DefectStatistics, Sprinkler};
+use dotm_layout::{Layer, Layout};
+use proptest::prelude::*;
+
+fn two_wire_layout(gap: i64) -> Layout {
+    let mut lo = Layout::new("pair");
+    let gnd = lo.net("gnd");
+    lo.set_substrate_net(gnd);
+    let a = lo.net("a");
+    let b = lo.net("b");
+    lo.wire_h(a, Layer::Metal1, 0, 50_000, 0, 700);
+    lo.wire_h(b, Layer::Metal1, 0, 50_000, 700 + gap, 700);
+    lo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn class_counts_sum_to_total_faults(seed in 0u64..500, n in 1000usize..8000) {
+        let lo = two_wire_layout(900);
+        let sp = Sprinkler::new(&lo, DefectStatistics::default());
+        let report = sprinkle_collapsed(&sp, n, seed);
+        let sum: usize = report.classes.iter().map(|c| c.count).sum();
+        prop_assert_eq!(sum, report.total_faults);
+        // Percentages over mechanisms sum to 100 (when any faults exist).
+        if report.total_faults > 0 {
+            let total: f64 = dotm_defects::FaultMechanism::ALL
+                .iter()
+                .map(|&m| report.fault_pct(m))
+                .sum();
+            prop_assert!((total - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sprinkle_is_seed_deterministic(seed in 0u64..500) {
+        let lo = two_wire_layout(900);
+        let sp = Sprinkler::new(&lo, DefectStatistics::default());
+        let a = sp.sprinkle(2000, seed);
+        let b = sp.sprinkle(2000, seed);
+        prop_assert_eq!(a.faults.len(), b.faults.len());
+        for (x, y) in a.faults.iter().zip(&b.faults) {
+            prop_assert_eq!(x.canonical_key(), y.canonical_key());
+        }
+    }
+
+    #[test]
+    fn wider_gap_means_fewer_bridges(seed in 0u64..200) {
+        let near = two_wire_layout(700);
+        let far = two_wire_layout(4_000);
+        let sp_near = Sprinkler::new(&near, DefectStatistics::default());
+        let sp_far = Sprinkler::new(&far, DefectStatistics::default());
+        let n = 30_000;
+        let f_near = sp_near.sprinkle(n, seed).faults.len();
+        let f_far = sp_far.sprinkle(n, seed).faults.len();
+        // Bridging dominates this layout; the critical area shrinks fast
+        // with the gap under the x⁻³ size law.
+        prop_assert!(
+            f_far * 2 < f_near + 40,
+            "near {f_near} vs far {f_far}"
+        );
+    }
+
+    #[test]
+    fn collapse_is_permutation_invariant(seed in 0u64..200) {
+        let lo = two_wire_layout(900);
+        let sp = Sprinkler::new(&lo, DefectStatistics::default());
+        let report = sp.sprinkle(5_000, seed);
+        let mut faults = report.faults.clone();
+        let c1 = collapse(5_000, faults.clone());
+        faults.reverse();
+        let c2 = collapse(5_000, faults);
+        prop_assert_eq!(c1.class_count(), c2.class_count());
+        let k1: Vec<&str> = c1.classes.iter().map(|c| c.key.as_str()).collect();
+        let k2: Vec<&str> = c2.classes.iter().map(|c| c.key.as_str()).collect();
+        prop_assert_eq!(k1, k2);
+    }
+}

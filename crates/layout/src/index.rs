@@ -1,0 +1,189 @@
+//! Uniform-grid spatial index over a layout's shapes.
+//!
+//! The defect sprinkler performs tens of millions of point/rect queries;
+//! a per-layer uniform grid makes each query O(shapes in the local cell)
+//! instead of O(all shapes). The `sprinkle` criterion bench compares this
+//! against a linear scan.
+
+use crate::geom::Rect;
+use crate::layer::Layer;
+use crate::layout::{Layout, ShapeId};
+
+/// A per-layer uniform-grid index over the shapes of one [`Layout`].
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    origin_x: i64,
+    origin_y: i64,
+    cell: i64,
+    nx: usize,
+    ny: usize,
+    /// buckets[layer][cell] -> shape ids whose rect touches the cell
+    buckets: Vec<Vec<Vec<ShapeId>>>,
+}
+
+impl SpatialIndex {
+    /// Default grid pitch: 2 µm.
+    pub const DEFAULT_CELL: i64 = 2_000;
+
+    /// Builds an index with the default grid pitch.
+    pub fn build(layout: &Layout) -> Self {
+        Self::build_with_cell(layout, Self::DEFAULT_CELL)
+    }
+
+    /// Builds an index with an explicit grid pitch (nm).
+    ///
+    /// # Panics
+    /// Panics if `cell <= 0`.
+    pub fn build_with_cell(layout: &Layout, cell: i64) -> Self {
+        assert!(cell > 0, "grid pitch must be positive");
+        let bbox = layout
+            .bbox()
+            .unwrap_or(Rect::new(0, 0, 1, 1))
+            .expanded(cell);
+        let nx = ((bbox.width() / cell) + 1) as usize;
+        let ny = ((bbox.height() / cell) + 1) as usize;
+        let mut buckets = vec![vec![Vec::new(); nx * ny]; Layer::ALL.len()];
+        for (i, shape) in layout.shapes().iter().enumerate() {
+            let id = ShapeId(i as u32);
+            let l = shape.layer.index();
+            let (cx0, cy0) = Self::cell_of(bbox.x0, bbox.y0, cell, shape.rect.x0, shape.rect.y0);
+            let (cx1, cy1) = Self::cell_of(bbox.x0, bbox.y0, cell, shape.rect.x1, shape.rect.y1);
+            for cy in cy0..=cy1.min(ny - 1) {
+                for cx in cx0..=cx1.min(nx - 1) {
+                    buckets[l][cy * nx + cx].push(id);
+                }
+            }
+        }
+        SpatialIndex {
+            origin_x: bbox.x0,
+            origin_y: bbox.y0,
+            cell,
+            nx,
+            ny,
+            buckets,
+        }
+    }
+
+    fn cell_of(ox: i64, oy: i64, cell: i64, x: i64, y: i64) -> (usize, usize) {
+        let cx = ((x - ox).max(0) / cell) as usize;
+        let cy = ((y - oy).max(0) / cell) as usize;
+        (cx, cy)
+    }
+
+    /// Calls `f` for every shape id on `layer` whose grid cells intersect
+    /// `query`. A shape spanning several cells may be reported more than
+    /// once; callers that need uniqueness should deduplicate (see
+    /// [`SpatialIndex::query`]).
+    pub fn for_each_candidate(&self, layer: Layer, query: &Rect, mut f: impl FnMut(ShapeId)) {
+        let l = layer.index();
+        let (cx0, cy0) = Self::cell_of(self.origin_x, self.origin_y, self.cell, query.x0, query.y0);
+        let (cx1, cy1) = Self::cell_of(self.origin_x, self.origin_y, self.cell, query.x1, query.y1);
+        for cy in cy0..=cy1.min(self.ny - 1) {
+            for cx in cx0..=cx1.min(self.nx - 1) {
+                for &id in &self.buckets[l][cy * self.nx + cx] {
+                    f(id);
+                }
+            }
+        }
+    }
+
+    /// Returns the deduplicated shapes on `layer` whose rectangles touch
+    /// `query`.
+    pub fn query(&self, layout: &Layout, layer: Layer, query: &Rect) -> Vec<ShapeId> {
+        let mut out = Vec::new();
+        self.for_each_candidate(layer, query, |id| {
+            if layout.shape(id).rect.touches(query) {
+                out.push(id);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Like [`SpatialIndex::query`] but requiring strict interior overlap.
+    pub fn query_overlapping(&self, layout: &Layout, layer: Layer, query: &Rect) -> Vec<ShapeId> {
+        let mut out = Vec::new();
+        self.for_each_candidate(layer, query, |id| {
+            if layout.shape(id).rect.overlaps(query) {
+                out.push(id);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    fn grid_layout() -> Layout {
+        let mut lo = Layout::new("grid");
+        for i in 0..10 {
+            let net = lo.net(&format!("n{i}"));
+            // Horizontal metal1 wires 10 µm long, 0.7 µm wide, 2 µm pitch.
+            lo.wire_h(net, Layer::Metal1, 0, 10_000, i * 2_000, 700);
+        }
+        lo
+    }
+
+    #[test]
+    fn query_finds_touching_wires() {
+        let lo = grid_layout();
+        let idx = SpatialIndex::build(&lo);
+        // A 1 µm square centred between wires 2 and 3 touches neither.
+        let q = Rect::square(5_000, 5_000, 800);
+        assert!(idx.query(&lo, Layer::Metal1, &q).is_empty());
+        // A 3 µm square centred on wire 2 touches wires 2 and 3.
+        let q = Rect::square(5_000, 4_500, 3_000);
+        let hits = idx.query(&lo, Layer::Metal1, &q);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let lo = grid_layout();
+        let idx = SpatialIndex::build_with_cell(&lo, 1_500);
+        for (cx, cy, s) in [
+            (0i64, 0i64, 500i64),
+            (5_000, 3_000, 2_500),
+            (9_900, 18_000, 4_000),
+            (-500, -500, 200),
+            (12_000, 9_000, 6_000),
+        ] {
+            let q = Rect::square(cx, cy, s);
+            let fast = idx.query(&lo, Layer::Metal1, &q);
+            let slow: Vec<ShapeId> = lo
+                .shapes()
+                .iter()
+                .enumerate()
+                .filter(|(_, sh)| sh.layer == Layer::Metal1 && sh.rect.touches(&q))
+                .map(|(i, _)| ShapeId(i as u32))
+                .collect();
+            assert_eq!(fast, slow, "mismatch at ({cx},{cy}) size {s}");
+        }
+    }
+
+    #[test]
+    fn empty_layout_does_not_panic() {
+        let lo = Layout::new("empty");
+        let idx = SpatialIndex::build(&lo);
+        assert!(idx
+            .query(&lo, Layer::Metal1, &Rect::new(0, 0, 10, 10))
+            .is_empty());
+    }
+
+    #[test]
+    fn overlapping_excludes_edge_touch() {
+        let mut lo = Layout::new("t");
+        let a = lo.net("a");
+        lo.add_rect(a, Layer::Poly, Rect::new(0, 0, 100, 100));
+        let idx = SpatialIndex::build(&lo);
+        let edge = Rect::new(100, 0, 200, 100);
+        assert_eq!(idx.query(&lo, Layer::Poly, &edge).len(), 1);
+        assert!(idx.query_overlapping(&lo, Layer::Poly, &edge).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! The CMOS layer stack.
+
+use std::fmt;
+
+/// Mask layers of the reference single-poly, double-metal CMOS process —
+/// the stack of the paper's 0.8 µm-era Philips process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// N-well (bulk of PMOS devices).
+    Nwell,
+    /// Active (diffusion) area.
+    Active,
+    /// Polysilicon.
+    Poly,
+    /// Contact cut (metal1 to poly or active).
+    Contact,
+    /// First metal.
+    Metal1,
+    /// Via cut (metal1 to metal2).
+    Via,
+    /// Second metal.
+    Metal2,
+}
+
+impl Layer {
+    /// All layers, in stack order.
+    pub const ALL: [Layer; 7] = [
+        Layer::Nwell,
+        Layer::Active,
+        Layer::Poly,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via,
+        Layer::Metal2,
+    ];
+
+    /// Dense index for per-layer tables.
+    pub fn index(self) -> usize {
+        match self {
+            Layer::Nwell => 0,
+            Layer::Active => 1,
+            Layer::Poly => 2,
+            Layer::Contact => 3,
+            Layer::Metal1 => 4,
+            Layer::Via => 5,
+            Layer::Metal2 => 6,
+        }
+    }
+
+    /// `true` for layers that route signals (can be bridged by extra
+    /// material or cut by missing material).
+    pub fn is_conductor(self) -> bool {
+        matches!(
+            self,
+            Layer::Active | Layer::Poly | Layer::Metal1 | Layer::Metal2
+        )
+    }
+
+    /// `true` for inter-layer connection cuts.
+    pub fn is_cut(self) -> bool {
+        matches!(self, Layer::Contact | Layer::Via)
+    }
+
+    /// The pair of conductor layers a cut layer connects.
+    pub fn connects(self) -> Option<(Layer, Layer)> {
+        match self {
+            // A contact joins metal1 to poly *or* active, depending on what
+            // lies underneath; both candidates are returned by the caller's
+            // geometry query. Report the wider option here.
+            Layer::Contact => Some((Layer::Metal1, Layer::Poly)),
+            Layer::Via => Some((Layer::Metal1, Layer::Metal2)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Layer::Nwell => "nwell",
+            Layer::Active => "active",
+            Layer::Poly => "poly",
+            Layer::Contact => "contact",
+            Layer::Metal1 => "metal1",
+            Layer::Via => "via",
+            Layer::Metal2 => "metal2",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 7];
+        for layer in Layer::ALL {
+            assert!(!seen[layer.index()]);
+            seen[layer.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Layer::Metal1.is_conductor());
+        assert!(!Layer::Contact.is_conductor());
+        assert!(Layer::Via.is_cut());
+        assert!(!Layer::Poly.is_cut());
+        assert_eq!(Layer::Via.connects(), Some((Layer::Metal1, Layer::Metal2)));
+    }
+}

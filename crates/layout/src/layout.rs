@@ -1,0 +1,399 @@
+//! The [`Layout`] container: tagged mask shapes, transistor channels and
+//! terminal pins.
+
+use crate::geom::Rect;
+use crate::layer::Layer;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a net within a [`Layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a shape within a [`Layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapeId(pub(crate) u32);
+
+impl ShapeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A rectangle of mask material tagged with the circuit net it implements.
+///
+/// Net tags come from the layout generator (which knows the connectivity by
+/// construction); the extraction pass in [`crate::connect`] verifies that
+/// geometric connectivity agrees with the tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Mask layer.
+    pub layer: Layer,
+    /// Geometry.
+    pub rect: Rect,
+    /// The net this piece of material belongs to.
+    pub net: NetId,
+}
+
+/// Channel polarity of a transistor's geometry (kept independent of
+/// `dotm-netlist` so the layout crate stands alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelType {
+    /// N-channel.
+    N,
+    /// P-channel.
+    P,
+}
+
+/// The geometric record of a MOSFET: where its channel sits and which nets
+/// its terminals belong to. Gate-oxide pinholes and new/shorted-device
+/// defects are resolved against these records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransistorGeom {
+    /// Netlist device name.
+    pub device: String,
+    /// Channel polarity.
+    pub ty: ChannelType,
+    /// The channel region (poly over active).
+    pub channel: Rect,
+    /// Gate net.
+    pub gate_net: NetId,
+    /// Drain net.
+    pub drain_net: NetId,
+    /// Source net.
+    pub source_net: NetId,
+    /// Bulk net (substrate or well).
+    pub bulk_net: NetId,
+}
+
+/// A device terminal's landing position in the layout, used to partition
+/// terminals across the two sides of an open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pin {
+    /// Netlist device name.
+    pub device: String,
+    /// Terminal index in `dotm_netlist::Device::terminals` order.
+    pub terminal: usize,
+    /// The net the terminal connects to.
+    pub net: NetId,
+    /// Layer the terminal lands on.
+    pub layer: Layer,
+    /// Landing region.
+    pub at: Rect,
+}
+
+/// A mask-level cell layout with net-tagged shapes.
+///
+/// ```
+/// use dotm_layout::{Layer, Layout, Rect};
+/// let mut lo = Layout::new("cell");
+/// let a = lo.net("a");
+/// lo.add_rect(a, Layer::Metal1, Rect::new(0, 0, 10_000, 700));
+/// assert_eq!(lo.shape_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    name: String,
+    net_names: Vec<String>,
+    net_index: HashMap<String, NetId>,
+    shapes: Vec<Shape>,
+    transistors: Vec<TransistorGeom>,
+    pins: Vec<Pin>,
+    substrate_net: Option<NetId>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new(name: impl Into<String>) -> Self {
+        Layout {
+            name: name.into(),
+            net_names: Vec::new(),
+            net_index: HashMap::new(),
+            shapes: Vec::new(),
+            transistors: Vec::new(),
+            pins: Vec::new(),
+            substrate_net: None,
+        }
+    }
+
+    /// The layout's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the net with the given name, creating it if necessary.
+    pub fn net(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.net_index.get(name) {
+            return id;
+        }
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(name.to_string());
+        self.net_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_index.get(name).copied()
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this layout.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.index()]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Iterates over all `(NetId, name)` pairs.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &str)> {
+        self.net_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n.as_str()))
+    }
+
+    /// Declares which net is the substrate (bulk of NMOS devices and target
+    /// of junction pinholes outside wells) — typically `"gnd"`.
+    pub fn set_substrate_net(&mut self, net: NetId) {
+        self.substrate_net = Some(net);
+    }
+
+    /// The substrate net, if declared.
+    pub fn substrate_net(&self) -> Option<NetId> {
+        self.substrate_net
+    }
+
+    /// Adds a shape; returns its id.
+    pub fn add_rect(&mut self, net: NetId, layer: Layer, rect: Rect) -> ShapeId {
+        let id = ShapeId(self.shapes.len() as u32);
+        self.shapes.push(Shape { layer, rect, net });
+        id
+    }
+
+    /// Adds a horizontal wire of the given `width` centred on `y`,
+    /// spanning `x0..x1`.
+    pub fn wire_h(&mut self, net: NetId, layer: Layer, x0: i64, x1: i64, y: i64, width: i64) -> ShapeId {
+        self.add_rect(net, layer, Rect::new(x0, y - width / 2, x1, y + width - width / 2))
+    }
+
+    /// Adds a vertical wire of the given `width` centred on `x`,
+    /// spanning `y0..y1`.
+    pub fn wire_v(&mut self, net: NetId, layer: Layer, x: i64, y0: i64, y1: i64, width: i64) -> ShapeId {
+        self.add_rect(net, layer, Rect::new(x - width / 2, y0, x + width - width / 2, y1))
+    }
+
+    /// Adds a square contact cut (metal1 ↔ poly/active) centred at
+    /// `(cx, cy)`.
+    pub fn add_contact(&mut self, net: NetId, cx: i64, cy: i64, size: i64) -> ShapeId {
+        self.add_rect(net, Layer::Contact, Rect::square(cx, cy, size))
+    }
+
+    /// Adds a square via cut (metal1 ↔ metal2) centred at `(cx, cy)`.
+    pub fn add_via(&mut self, net: NetId, cx: i64, cy: i64, size: i64) -> ShapeId {
+        self.add_rect(net, Layer::Via, Rect::square(cx, cy, size))
+    }
+
+    /// Records a transistor's channel geometry.
+    pub fn add_transistor(&mut self, t: TransistorGeom) {
+        self.transistors.push(t);
+    }
+
+    /// Records a terminal pin.
+    pub fn add_pin(&mut self, pin: Pin) {
+        self.pins.push(pin);
+    }
+
+    /// All shapes.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Shape by id.
+    pub fn shape(&self, id: ShapeId) -> &Shape {
+        &self.shapes[id.index()]
+    }
+
+    /// Number of shapes.
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// All transistor records.
+    pub fn transistors(&self) -> &[TransistorGeom] {
+        &self.transistors
+    }
+
+    /// All pins.
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// Pins of a given net.
+    pub fn pins_of_net(&self, net: NetId) -> impl Iterator<Item = &Pin> {
+        self.pins.iter().filter(move |p| p.net == net)
+    }
+
+    /// The bounding box of all shapes, or `None` for an empty layout.
+    pub fn bbox(&self) -> Option<Rect> {
+        let mut it = self.shapes.iter();
+        let first = it.next()?.rect;
+        Some(it.fold(first, |acc, s| acc.union(&s.rect)))
+    }
+
+    /// Total shape area on a layer (nm², counting overlaps twice — adequate
+    /// for the relative-exposure statistics the defect model needs).
+    pub fn layer_area(&self, layer: Layer) -> i64 {
+        self.shapes
+            .iter()
+            .filter(|s| s.layer == layer)
+            .map(|s| s.rect.area())
+            .sum()
+    }
+
+    /// Merges another layout into this one at an offset, remapping its nets
+    /// by name. Used to assemble multi-macro regions (e.g. a comparator
+    /// column with its shared clock/bias trunks).
+    pub fn merge(&mut self, other: &Layout, dx: i64, dy: i64) {
+        let net_map: Vec<NetId> = other
+            .net_names
+            .iter()
+            .map(|name| self.net(name))
+            .collect();
+        for s in &other.shapes {
+            self.add_rect(
+                net_map[s.net.index()],
+                s.layer,
+                Rect::new(s.rect.x0 + dx, s.rect.y0 + dy, s.rect.x1 + dx, s.rect.y1 + dy),
+            );
+        }
+        for t in &other.transistors {
+            self.transistors.push(TransistorGeom {
+                device: t.device.clone(),
+                ty: t.ty,
+                channel: Rect::new(
+                    t.channel.x0 + dx,
+                    t.channel.y0 + dy,
+                    t.channel.x1 + dx,
+                    t.channel.y1 + dy,
+                ),
+                gate_net: net_map[t.gate_net.index()],
+                drain_net: net_map[t.drain_net.index()],
+                source_net: net_map[t.source_net.index()],
+                bulk_net: net_map[t.bulk_net.index()],
+            });
+        }
+        for p in &other.pins {
+            self.pins.push(Pin {
+                device: p.device.clone(),
+                terminal: p.terminal,
+                net: net_map[p.net.index()],
+                layer: p.layer,
+                at: Rect::new(p.at.x0 + dx, p.at.y0 + dy, p.at.x1 + dx, p.at.y1 + dy),
+            });
+        }
+        if self.substrate_net.is_none() {
+            if let Some(sub) = other.substrate_net {
+                self.substrate_net = Some(net_map[sub.index()]);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "layout {}: {} shapes, {} nets, {} transistors",
+            self.name,
+            self.shapes.len(),
+            self.net_names.len(),
+            self.transistors.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nets_are_interned() {
+        let mut lo = Layout::new("t");
+        let a = lo.net("a");
+        assert_eq!(lo.net("a"), a);
+        assert_eq!(lo.net_name(a), "a");
+        assert_eq!(lo.find_net("b"), None);
+    }
+
+    #[test]
+    fn wires_have_requested_extent() {
+        let mut lo = Layout::new("t");
+        let a = lo.net("a");
+        let h = lo.wire_h(a, Layer::Metal1, 0, 1000, 100, 80);
+        let r = lo.shape(h).rect;
+        assert_eq!(r.width(), 1000);
+        assert_eq!(r.height(), 80);
+        let v = lo.wire_v(a, Layer::Metal2, 50, 0, 500, 100);
+        let r = lo.shape(v).rect;
+        assert_eq!(r.height(), 500);
+        assert_eq!(r.width(), 100);
+    }
+
+    #[test]
+    fn bbox_covers_all_shapes() {
+        let mut lo = Layout::new("t");
+        assert_eq!(lo.bbox(), None);
+        let a = lo.net("a");
+        lo.add_rect(a, Layer::Metal1, Rect::new(0, 0, 10, 10));
+        lo.add_rect(a, Layer::Poly, Rect::new(100, 100, 110, 120));
+        assert_eq!(lo.bbox(), Some(Rect::new(0, 0, 110, 120)));
+    }
+
+    #[test]
+    fn layer_area_sums() {
+        let mut lo = Layout::new("t");
+        let a = lo.net("a");
+        lo.add_rect(a, Layer::Metal1, Rect::new(0, 0, 10, 10));
+        lo.add_rect(a, Layer::Metal1, Rect::new(20, 0, 30, 10));
+        lo.add_rect(a, Layer::Poly, Rect::new(0, 0, 5, 5));
+        assert_eq!(lo.layer_area(Layer::Metal1), 200);
+        assert_eq!(lo.layer_area(Layer::Poly), 25);
+    }
+
+    #[test]
+    fn merge_offsets_and_remaps() {
+        let mut cell = Layout::new("cell");
+        let x = cell.net("x");
+        cell.add_rect(x, Layer::Metal1, Rect::new(0, 0, 10, 10));
+        cell.add_pin(Pin {
+            device: "M1".into(),
+            terminal: 0,
+            net: x,
+            layer: Layer::Metal1,
+            at: Rect::new(0, 0, 10, 10),
+        });
+
+        let mut top = Layout::new("top");
+        let _other = top.net("other");
+        top.merge(&cell, 100, 200);
+        assert_eq!(top.shape_count(), 1);
+        let s = top.shape(ShapeId(0));
+        assert_eq!(s.rect, Rect::new(100, 200, 110, 210));
+        assert_eq!(top.net_name(s.net), "x");
+        assert_eq!(top.pins()[0].at, Rect::new(100, 200, 110, 210));
+    }
+}

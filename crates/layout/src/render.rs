@@ -1,0 +1,196 @@
+//! SVG rendering of layouts — the debugging view for the procedural
+//! generators and for defect post-mortems.
+
+use crate::geom::Rect;
+use crate::layer::Layer;
+use crate::layout::Layout;
+use std::fmt::Write;
+
+/// Fill colour and opacity per layer, styled after classic magic/CIF
+/// palettes.
+fn style(layer: Layer) -> (&'static str, f64) {
+    match layer {
+        Layer::Nwell => ("#f2e9c9", 0.5),
+        Layer::Active => ("#2e8b57", 0.75),
+        Layer::Poly => ("#d04040", 0.75),
+        Layer::Contact => ("#111111", 0.95),
+        Layer::Metal1 => ("#3b6fd4", 0.65),
+        Layer::Via => ("#444444", 0.95),
+        Layer::Metal2 => ("#b26fd4", 0.55),
+    }
+}
+
+/// Options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Pixels per micrometre.
+    pub scale: f64,
+    /// Extra defect markers to overlay: `(rect, label)` pairs drawn as
+    /// outlined squares.
+    pub defects: Vec<(Rect, String)>,
+    /// Draw transistor channels as hatched overlays.
+    pub show_channels: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            scale: 0.02,
+            defects: Vec::new(),
+            show_channels: true,
+        }
+    }
+}
+
+/// Renders the layout to an SVG document string.
+///
+/// ```
+/// use dotm_layout::{render_svg, Layer, Layout, RenderOptions};
+/// let mut lo = Layout::new("wire");
+/// let a = lo.net("a");
+/// lo.wire_h(a, Layer::Metal1, 0, 10_000, 0, 700);
+/// let svg = render_svg(&lo, &RenderOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// ```
+pub fn render_svg(layout: &Layout, opts: &RenderOptions) -> String {
+    let bbox = layout
+        .bbox()
+        .unwrap_or(Rect::new(0, 0, 1_000, 1_000))
+        .expanded(2_000);
+    let s = opts.scale / 1_000.0; // nm → px
+    let w = bbox.width() as f64 * s;
+    let h = bbox.height() as f64 * s;
+    let tx = |x: i64| (x - bbox.x0) as f64 * s;
+    // SVG y grows downward; flip so the layout reads like a plot.
+    let ty = |y: i64| (bbox.y1 - y) as f64 * s;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.1}" height="{h:.1}" viewBox="0 0 {w:.1} {h:.1}">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{w:.1}" height="{h:.1}" fill="#fafafa"/>"##
+    );
+    // Draw in stack order so upper layers sit on top.
+    for layer in Layer::ALL {
+        let (fill, opacity) = style(layer);
+        for shape in layout.shapes().iter().filter(|sh| sh.layer == layer) {
+            let r = shape.rect;
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="{opacity}"><title>{} {}</title></rect>"##,
+                tx(r.x0),
+                ty(r.y1),
+                r.width() as f64 * s,
+                r.height() as f64 * s,
+                layer,
+                layout.net_name(shape.net),
+            );
+        }
+    }
+    if opts.show_channels {
+        for t in layout.transistors() {
+            let r = t.channel;
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="none" stroke="#000" stroke-width="0.6" stroke-dasharray="2,1"><title>channel {}</title></rect>"##,
+                tx(r.x0),
+                ty(r.y1),
+                r.width() as f64 * s,
+                r.height() as f64 * s,
+                t.device,
+            );
+        }
+    }
+    for (r, label) in &opts.defects {
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="none" stroke="#e00" stroke-width="1.2"><title>{label}</title></rect>"##,
+            tx(r.x0),
+            ty(r.y1),
+            r.width() as f64 * s,
+            r.height() as f64 * s,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{ChannelType, TransistorGeom};
+
+    fn small_layout() -> Layout {
+        let mut lo = Layout::new("t");
+        let a = lo.net("a");
+        let b = lo.net("b");
+        lo.wire_h(a, Layer::Metal1, 0, 10_000, 0, 700);
+        lo.wire_h(b, Layer::Metal2, 0, 10_000, 1_400, 800);
+        lo.add_contact(a, 500, 0, 600);
+        lo.add_transistor(TransistorGeom {
+            device: "M1".into(),
+            ty: ChannelType::N,
+            channel: Rect::new(4_000, -400, 4_800, 400),
+            gate_net: b,
+            drain_net: a,
+            source_net: a,
+            bulk_net: a,
+        });
+        lo
+    }
+
+    #[test]
+    fn svg_contains_all_shapes_and_channel() {
+        let lo = small_layout();
+        let svg = render_svg(&lo, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // background + 3 shapes + 1 channel overlay
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("metal1 a"));
+        assert!(svg.contains("channel M1"));
+    }
+
+    #[test]
+    fn defect_overlay_is_drawn() {
+        let lo = small_layout();
+        let opts = RenderOptions {
+            defects: vec![(Rect::square(5_000, 700, 1_500), "extra-metal1".into())],
+            ..RenderOptions::default()
+        };
+        let svg = render_svg(&lo, &opts);
+        assert!(svg.contains("extra-metal1"));
+        assert!(svg.contains("stroke=\"#e00\""));
+    }
+
+    #[test]
+    fn empty_layout_renders_background_only() {
+        let lo = Layout::new("empty");
+        let svg = render_svg(&lo, &RenderOptions::default());
+        assert_eq!(svg.matches("<rect").count(), 1);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        // A shape at larger y must appear at smaller SVG y.
+        let mut lo = Layout::new("t");
+        let a = lo.net("a");
+        lo.add_rect(a, Layer::Metal1, Rect::new(0, 0, 1_000, 1_000));
+        lo.add_rect(a, Layer::Metal1, Rect::new(0, 50_000, 1_000, 51_000));
+        let svg = render_svg(&lo, &RenderOptions::default());
+        let ys: Vec<f64> = svg
+            .lines()
+            .filter(|l| l.contains("metal1"))
+            .map(|l| {
+                let i = l.find("y=\"").unwrap() + 3;
+                let j = l[i..].find('"').unwrap();
+                l[i..i + j].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(ys.len(), 2);
+        assert!(ys[1] < ys[0], "higher layout y must render higher (smaller svg y)");
+    }
+}

@@ -1,0 +1,392 @@
+//! Circuit devices.
+
+use crate::node::NodeId;
+use crate::waveform::Waveform;
+use std::fmt;
+
+/// Index of a device within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// Returns the raw index of this device.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `DeviceId` from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index as u32)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// MOSFET channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl fmt::Display for MosType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosType::Nmos => write!(f, "nmos"),
+            MosType::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// Level-1 (Shichman–Hodges) MOSFET parameters.
+///
+/// Defaults model a generic 0.8 µm CMOS process of the paper's era. All
+/// lengths are in metres, transconductance in A/V², capacitance density in
+/// F/m².
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosfetParams {
+    /// Drawn channel width (m).
+    pub w: f64,
+    /// Drawn channel length (m).
+    pub l: f64,
+    /// Zero-bias threshold voltage (V); positive for NMOS, negative for PMOS.
+    pub vt0: f64,
+    /// Process transconductance `µ·Cox` (A/V²).
+    pub kp: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Body-effect coefficient (√V).
+    pub gamma: f64,
+    /// Surface potential `2φF` (V).
+    pub phi: f64,
+    /// Junction saturation (leakage) current of the drain/source diodes (A).
+    pub is_leak: f64,
+    /// Gate-oxide capacitance density (F/m²).
+    pub cox: f64,
+    /// Zero-bias drain/source junction capacitance per device (F).
+    pub cj: f64,
+}
+
+impl MosfetParams {
+    /// Default parameter set for an N-channel device in the reference
+    /// 0.8 µm process.
+    pub fn nmos_default() -> Self {
+        MosfetParams {
+            w: 4e-6,
+            l: 0.8e-6,
+            vt0: 0.75,
+            kp: 100e-6,
+            lambda: 0.05,
+            gamma: 0.50,
+            phi: 0.70,
+            is_leak: 1e-15,
+            cox: 2.3e-3, // 2.3 fF/µm²
+            cj: 2e-15,
+        }
+    }
+
+    /// Default parameter set for a P-channel device in the reference
+    /// 0.8 µm process.
+    pub fn pmos_default() -> Self {
+        MosfetParams {
+            w: 8e-6,
+            l: 0.8e-6,
+            vt0: -0.85,
+            kp: 35e-6,
+            lambda: 0.06,
+            gamma: 0.45,
+            phi: 0.70,
+            is_leak: 1e-15,
+            cox: 2.3e-3,
+            cj: 2e-15,
+        }
+    }
+
+    /// Default parameters for the given polarity.
+    pub fn default_for(ty: MosType) -> Self {
+        match ty {
+            MosType::Nmos => Self::nmos_default(),
+            MosType::Pmos => Self::pmos_default(),
+        }
+    }
+
+    /// Returns the same parameters with a different `w`/`l`.
+    pub fn sized(mut self, w: f64, l: f64) -> Self {
+        self.w = w;
+        self.l = l;
+        self
+    }
+
+    /// Total gate-oxide capacitance `Cox·W·L` (F).
+    pub fn gate_cap(&self) -> f64 {
+        self.cox * self.w * self.l
+    }
+}
+
+/// Junction diode parameters (ideal diode with series conductance handled by
+/// the simulator's limiting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiodeParams {
+    /// Saturation current (A).
+    pub is: f64,
+    /// Emission coefficient.
+    pub n: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams { is: 1e-14, n: 1.0 }
+    }
+}
+
+/// Voltage-controlled switch parameters. The switch conductance interpolates
+/// smoothly (log-linearly) between `r_off` and `r_on` as the control voltage
+/// crosses `[v_off, v_on]`, which keeps Newton–Raphson well behaved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchParams {
+    /// Control voltage at and above which the switch is fully on (V).
+    pub v_on: f64,
+    /// Control voltage at and below which the switch is fully off (V).
+    pub v_off: f64,
+    /// On resistance (Ω).
+    pub r_on: f64,
+    /// Off resistance (Ω).
+    pub r_off: f64,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        SwitchParams {
+            v_on: 2.5,
+            v_off: 2.0,
+            r_on: 100.0,
+            r_off: 1e9,
+        }
+    }
+}
+
+/// The electrical kind of a [`Device`], with its terminal connections.
+///
+/// Terminal fields are public: a netlist is a passive data structure in the
+/// C-struct spirit, and the fault-injection machinery in `dotm-faults`
+/// rewires terminals directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceKind {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be > 0).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be ≥ 0).
+        farads: f64,
+    },
+    /// Independent voltage source; `pos` is the positive terminal.
+    Vsource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Independent current source; a positive value drives current *out of*
+    /// `pos`, through the source, *into* `neg` — i.e. it pulls `pos` down
+    /// and pushes `neg` up, matching SPICE convention.
+    Isource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: Waveform,
+    },
+    /// Junction diode conducting from `anode` to `cathode`.
+    Diode {
+        /// Anode terminal.
+        anode: NodeId,
+        /// Cathode terminal.
+        cathode: NodeId,
+        /// Diode model parameters.
+        params: DiodeParams,
+    },
+    /// Four-terminal MOSFET.
+    Mosfet {
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Bulk (body) terminal.
+        b: NodeId,
+        /// Channel polarity.
+        ty: MosType,
+        /// Model parameters.
+        params: MosfetParams,
+    },
+    /// Voltage-controlled switch between `a` and `b`, controlled by
+    /// `v(cp) − v(cn)`.
+    Switch {
+        /// First switched terminal.
+        a: NodeId,
+        /// Second switched terminal.
+        b: NodeId,
+        /// Positive control terminal.
+        cp: NodeId,
+        /// Negative control terminal.
+        cn: NodeId,
+        /// Switch parameters.
+        params: SwitchParams,
+    },
+}
+
+impl DeviceKind {
+    /// Short lowercase tag for the kind (used in debug output and fault ids).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DeviceKind::Resistor { .. } => "r",
+            DeviceKind::Capacitor { .. } => "c",
+            DeviceKind::Vsource { .. } => "v",
+            DeviceKind::Isource { .. } => "i",
+            DeviceKind::Diode { .. } => "d",
+            DeviceKind::Mosfet { .. } => "m",
+            DeviceKind::Switch { .. } => "s",
+        }
+    }
+
+    /// Names of the terminals, in the order returned by
+    /// [`Device::terminals`].
+    pub fn terminal_names(&self) -> &'static [&'static str] {
+        match self {
+            DeviceKind::Resistor { .. } | DeviceKind::Capacitor { .. } => &["a", "b"],
+            DeviceKind::Vsource { .. } | DeviceKind::Isource { .. } => &["pos", "neg"],
+            DeviceKind::Diode { .. } => &["anode", "cathode"],
+            DeviceKind::Mosfet { .. } => &["d", "g", "s", "b"],
+            DeviceKind::Switch { .. } => &["a", "b", "cp", "cn"],
+        }
+    }
+}
+
+/// A named device instance in a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Instance name, unique within its netlist.
+    pub name: String,
+    /// Electrical kind and connections.
+    pub kind: DeviceKind,
+}
+
+impl Device {
+    /// The nodes this device connects to, in terminal order
+    /// (see [`DeviceKind::terminal_names`]).
+    pub fn terminals(&self) -> Vec<NodeId> {
+        match &self.kind {
+            DeviceKind::Resistor { a, b, .. } | DeviceKind::Capacitor { a, b, .. } => {
+                vec![*a, *b]
+            }
+            DeviceKind::Vsource { pos, neg, .. } | DeviceKind::Isource { pos, neg, .. } => {
+                vec![*pos, *neg]
+            }
+            DeviceKind::Diode { anode, cathode, .. } => vec![*anode, *cathode],
+            DeviceKind::Mosfet { d, g, s, b, .. } => vec![*d, *g, *s, *b],
+            DeviceKind::Switch { a, b, cp, cn, .. } => vec![*a, *b, *cp, *cn],
+        }
+    }
+
+    /// Mutable references to the terminal nodes, in terminal order.
+    pub fn terminals_mut(&mut self) -> Vec<&mut NodeId> {
+        match &mut self.kind {
+            DeviceKind::Resistor { a, b, .. } | DeviceKind::Capacitor { a, b, .. } => {
+                vec![a, b]
+            }
+            DeviceKind::Vsource { pos, neg, .. } | DeviceKind::Isource { pos, neg, .. } => {
+                vec![pos, neg]
+            }
+            DeviceKind::Diode { anode, cathode, .. } => vec![anode, cathode],
+            DeviceKind::Mosfet { d, g, s, b, .. } => vec![d, g, s, b],
+            DeviceKind::Switch { a, b, cp, cn, .. } => vec![a, b, cp, cn],
+        }
+    }
+
+    /// `true` if any terminal connects to `node`.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.terminals().contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_order_matches_names() {
+        let dev = Device {
+            name: "m1".into(),
+            kind: DeviceKind::Mosfet {
+                d: NodeId(1),
+                g: NodeId(2),
+                s: NodeId(3),
+                b: NodeId(0),
+                ty: MosType::Nmos,
+                params: MosfetParams::nmos_default(),
+            },
+        };
+        assert_eq!(dev.kind.terminal_names(), &["d", "g", "s", "b"]);
+        assert_eq!(
+            dev.terminals(),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(0)]
+        );
+        assert!(dev.touches(NodeId(2)));
+        assert!(!dev.touches(NodeId(9)));
+    }
+
+    #[test]
+    fn terminals_mut_rewires() {
+        let mut dev = Device {
+            name: "r1".into(),
+            kind: DeviceKind::Resistor {
+                a: NodeId(1),
+                b: NodeId(2),
+                ohms: 10.0,
+            },
+        };
+        *dev.terminals_mut()[1] = NodeId(5);
+        assert_eq!(dev.terminals(), vec![NodeId(1), NodeId(5)]);
+    }
+
+    #[test]
+    fn default_params_are_plausible() {
+        let n = MosfetParams::nmos_default();
+        assert!(n.vt0 > 0.0 && n.kp > 0.0);
+        let p = MosfetParams::pmos_default();
+        assert!(p.vt0 < 0.0);
+        // gate cap of a 4µm/0.8µm device is a few fF
+        let cg = n.gate_cap();
+        assert!(cg > 1e-15 && cg < 1e-13, "cg = {cg}");
+    }
+
+    #[test]
+    fn sized_overrides_geometry() {
+        let p = MosfetParams::nmos_default().sized(10e-6, 1e-6);
+        assert_eq!(p.w, 10e-6);
+        assert_eq!(p.l, 1e-6);
+    }
+}

@@ -1,0 +1,301 @@
+//! Structural fault-editing operations.
+//!
+//! The defect-oriented methodology turns layout defects into circuit edits:
+//! a bridging defect becomes a resistor between two nets, an open becomes a
+//! node split, a gate-oxide pinhole becomes a resistor from gate to channel,
+//! and so on. This module provides those edits as validated operations on a
+//! [`Netlist`].
+
+use crate::device::{Device, DeviceId, DeviceKind, MosType, MosfetParams};
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use crate::node::NodeId;
+
+/// A reference to one terminal of one device: the unit of rewiring used by
+/// [`Netlist::split_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TerminalRef {
+    /// The device whose terminal is referenced.
+    pub device: DeviceId,
+    /// Index into [`Device::terminals`].
+    pub terminal: usize,
+}
+
+impl Netlist {
+    /// Inserts a bridging resistor (`ohms`) between `a` and `b`, optionally
+    /// with a parallel capacitance — the paper's model for shorts
+    /// (catastrophic: pure resistance; non-catastrophic "near-miss":
+    /// 500 Ω ∥ 1 fF).
+    ///
+    /// Returns the id of the inserted resistor.
+    ///
+    /// # Errors
+    /// Propagates name collisions and parameter validation from
+    /// [`Netlist::add_resistor`] / [`Netlist::add_capacitor`].
+    pub fn insert_bridge(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+        farads: Option<f64>,
+    ) -> Result<DeviceId, NetlistError> {
+        let rid = self.add_resistor(name, a, b, ohms)?;
+        if let Some(c) = farads {
+            if c > 0.0 {
+                self.add_capacitor(&format!("{name}.c"), a, b, c)?;
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Splits `node` in two, moving the listed terminals to a freshly created
+    /// node — the paper's model for an open: "splitting the affected node in
+    /// two parts". Returns the new node.
+    ///
+    /// The caller decides the partition (in the defect simulator it comes
+    /// from the geometric connectivity of the cut net). Terminals not listed
+    /// stay on the original node.
+    ///
+    /// # Errors
+    /// Returns [`NetlistError::InvalidEdit`] if any listed terminal does not
+    /// currently connect to `node`, or if the partition is degenerate (no
+    /// terminals moved, which would be a no-op open).
+    pub fn split_node(
+        &mut self,
+        node: NodeId,
+        move_terminals: &[TerminalRef],
+    ) -> Result<NodeId, NetlistError> {
+        if move_terminals.is_empty() {
+            return Err(NetlistError::InvalidEdit(
+                "open with empty moved-terminal set is a no-op".to_string(),
+            ));
+        }
+        // Validate first so the edit is atomic.
+        for tr in move_terminals {
+            let dev = self
+                .device_by_id(tr.device)
+                .ok_or(NetlistError::InvalidDeviceId(tr.device))?;
+            let terms = dev.terminals();
+            match terms.get(tr.terminal) {
+                Some(&n) if n == node => {}
+                Some(_) => {
+                    return Err(NetlistError::InvalidEdit(format!(
+                        "terminal {} of `{}` is not on the split node",
+                        tr.terminal, dev.name
+                    )))
+                }
+                None => {
+                    return Err(NetlistError::InvalidEdit(format!(
+                        "device `{}` has no terminal {}",
+                        dev.name, tr.terminal
+                    )))
+                }
+            }
+        }
+        let stem = format!("{}~open", self.node_name(node));
+        let fresh = self.fresh_node(&stem);
+        for tr in move_terminals {
+            let dev = self
+                .device_by_id_mut(tr.device)
+                .expect("validated above");
+            *dev.terminals_mut()[tr.terminal] = fresh;
+        }
+        Ok(fresh)
+    }
+
+    /// Shorts the drain and source of the named MOSFET with a resistance —
+    /// the paper's "shorted device" model.
+    ///
+    /// # Errors
+    /// [`NetlistError::UnknownDevice`] if absent,
+    /// [`NetlistError::InvalidEdit`] if the device is not a MOSFET.
+    pub fn short_device_channel(
+        &mut self,
+        device: &str,
+        ohms: f64,
+    ) -> Result<DeviceId, NetlistError> {
+        let (d, s) = match self.device(device) {
+            Some(Device {
+                kind: DeviceKind::Mosfet { d, s, .. },
+                ..
+            }) => (*d, *s),
+            Some(_) => {
+                return Err(NetlistError::InvalidEdit(format!(
+                    "`{device}` is not a MOSFET"
+                )))
+            }
+            None => return Err(NetlistError::UnknownDevice(device.to_string())),
+        };
+        self.add_resistor(&format!("{device}.dshort"), d, s, ohms)
+    }
+
+    /// Attaches a parasitic minimum-size MOSFET — the paper's "new device"
+    /// model for defects that create an unintended transistor.
+    ///
+    /// # Errors
+    /// Propagates duplicate-name errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach_parasitic_mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        ty: MosType,
+    ) -> Result<DeviceId, NetlistError> {
+        let params = MosfetParams::default_for(ty).sized(1.0e-6, 0.8e-6);
+        self.add_mosfet(name, d, g, s, b, ty, params)
+    }
+
+    /// Multiplies the value of the named resistor by `factor` — used for
+    /// parametric (size-change) faults and process Monte-Carlo.
+    ///
+    /// # Errors
+    /// [`NetlistError::UnknownDevice`] if absent,
+    /// [`NetlistError::InvalidEdit`] if not a resistor, or
+    /// [`NetlistError::InvalidParameter`] if the scaled value is invalid.
+    pub fn scale_resistor(&mut self, device: &str, factor: f64) -> Result<(), NetlistError> {
+        let dev = self
+            .device_mut(device)
+            .ok_or_else(|| NetlistError::UnknownDevice(device.to_string()))?;
+        match &mut dev.kind {
+            DeviceKind::Resistor { ohms, .. } => {
+                let next = *ohms * factor;
+                if !(next.is_finite() && next > 0.0) {
+                    return Err(NetlistError::InvalidParameter {
+                        device: device.to_string(),
+                        reason: format!("scaled resistance {next} invalid"),
+                    });
+                }
+                *ohms = next;
+                Ok(())
+            }
+            _ => Err(NetlistError::InvalidEdit(format!(
+                "`{device}` is not a resistor"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    fn chain() -> Netlist {
+        // V1 -> a -R1-> b -R2-> gnd, plus C1 on b.
+        let mut nl = Netlist::new("chain");
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.add_vsource("V1", a, Netlist::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        nl.add_resistor("R1", a, b, 100.0).unwrap();
+        nl.add_resistor("R2", b, Netlist::GROUND, 100.0).unwrap();
+        nl.add_capacitor("C1", b, Netlist::GROUND, 1e-12).unwrap();
+        nl
+    }
+
+    #[test]
+    fn bridge_inserts_resistor_and_optional_cap() {
+        let mut nl = chain();
+        let a = nl.find_node("a").unwrap();
+        let b = nl.find_node("b").unwrap();
+        nl.insert_bridge("Fshort", a, b, 0.2, None).unwrap();
+        assert!(nl.device("Fshort").is_some());
+        assert!(nl.device("Fshort.c").is_none());
+        nl.insert_bridge("Fnear", a, b, 500.0, Some(1e-15)).unwrap();
+        assert!(nl.device("Fnear.c").is_some());
+    }
+
+    #[test]
+    fn split_node_moves_selected_terminals() {
+        let mut nl = chain();
+        let b = nl.find_node("b").unwrap();
+        // Move R2's terminal off node b; R1 and C1 stay.
+        let r2 = nl.device_id("R2").unwrap();
+        let fresh = nl
+            .split_node(
+                b,
+                &[TerminalRef {
+                    device: r2,
+                    terminal: 0,
+                }],
+            )
+            .unwrap();
+        assert_ne!(fresh, b);
+        let r2dev = nl.device("R2").unwrap();
+        assert_eq!(r2dev.terminals()[0], fresh);
+        let r1dev = nl.device("R1").unwrap();
+        assert_eq!(r1dev.terminals()[1], b);
+    }
+
+    #[test]
+    fn split_node_validates_partition() {
+        let mut nl = chain();
+        let b = nl.find_node("b").unwrap();
+        assert!(nl.split_node(b, &[]).is_err());
+        let v1 = nl.device_id("V1").unwrap();
+        // V1 does not touch node b.
+        let err = nl
+            .split_node(
+                b,
+                &[TerminalRef {
+                    device: v1,
+                    terminal: 0,
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidEdit(_)));
+    }
+
+    #[test]
+    fn short_device_channel_requires_mosfet() {
+        let mut nl = chain();
+        assert!(nl.short_device_channel("R1", 10.0).is_err());
+        let a = nl.find_node("a").unwrap();
+        let b = nl.find_node("b").unwrap();
+        nl.add_mosfet(
+            "M1",
+            a,
+            b,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            MosfetParams::nmos_default(),
+        )
+        .unwrap();
+        nl.short_device_channel("M1", 50.0).unwrap();
+        let sh = nl.device("M1.dshort").unwrap();
+        assert_eq!(sh.terminals(), vec![a, Netlist::GROUND]);
+    }
+
+    #[test]
+    fn parasitic_mosfet_is_min_size() {
+        let mut nl = chain();
+        let a = nl.find_node("a").unwrap();
+        let b = nl.find_node("b").unwrap();
+        nl.attach_parasitic_mosfet("Fnew", a, b, Netlist::GROUND, Netlist::GROUND, MosType::Nmos)
+            .unwrap();
+        match &nl.device("Fnew").unwrap().kind {
+            DeviceKind::Mosfet { params, .. } => {
+                assert!(params.w <= 1.1e-6);
+            }
+            other => panic!("expected mosfet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_resistor_validates() {
+        let mut nl = chain();
+        nl.scale_resistor("R1", 2.0).unwrap();
+        match &nl.device("R1").unwrap().kind {
+            DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 200.0),
+            _ => unreachable!(),
+        }
+        assert!(nl.scale_resistor("C1", 2.0).is_err());
+        assert!(nl.scale_resistor("R1", 0.0).is_err());
+        assert!(nl.scale_resistor("nope", 2.0).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Netlist error type.
+
+use crate::{DeviceId, NodeId};
+use std::fmt;
+
+/// Errors produced by netlist construction and editing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A device with the given name already exists.
+    DuplicateDevice(String),
+    /// No device with the given name exists.
+    UnknownDevice(String),
+    /// A device id is out of range for this netlist.
+    InvalidDeviceId(DeviceId),
+    /// A node id is out of range for this netlist.
+    InvalidNodeId(NodeId),
+    /// A device parameter was invalid (e.g. non-positive resistance).
+    InvalidParameter {
+        /// Device name the parameter belongs to.
+        device: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A subcircuit port was not mapped during instantiation.
+    UnmappedPort(String),
+    /// A structural edit was not applicable (e.g. splitting a node that the
+    /// listed terminals do not connect to).
+    InvalidEdit(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateDevice(name) => {
+                write!(f, "duplicate device name `{name}`")
+            }
+            NetlistError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+            NetlistError::InvalidDeviceId(id) => write!(f, "invalid device id {id}"),
+            NetlistError::InvalidNodeId(id) => write!(f, "invalid node id {id}"),
+            NetlistError::InvalidParameter { device, reason } => {
+                write!(f, "invalid parameter on `{device}`: {reason}")
+            }
+            NetlistError::UnmappedPort(port) => {
+                write!(f, "subcircuit port `{port}` not mapped")
+            }
+            NetlistError::InvalidEdit(reason) => write!(f, "invalid edit: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

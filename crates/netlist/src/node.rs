@@ -1,0 +1,65 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Index of a circuit node within a [`crate::Netlist`].
+///
+/// Node `0` is always the ground/reference node, available as
+/// [`crate::Netlist::GROUND`]. `NodeId`s are only meaningful relative to the
+/// netlist that issued them.
+///
+/// ```
+/// use dotm_netlist::Netlist;
+/// let mut nl = Netlist::new("x");
+/// let a = nl.node("a");
+/// assert_ne!(a, Netlist::GROUND);
+/// assert_eq!(nl.node("a"), a); // idempotent lookup
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node (0 is ground).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a raw index.
+    ///
+    /// Prefer obtaining ids from [`crate::Netlist::node`]; this constructor
+    /// exists for data-driven tooling (e.g. reading back saved fault lists).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// `true` if this is the ground/reference node.
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_index_zero() {
+        assert!(NodeId(0).is_ground());
+        assert!(!NodeId(1).is_ground());
+        assert_eq!(NodeId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

@@ -1,0 +1,297 @@
+//! Time-domain source waveforms.
+
+/// The time-domain value of an independent voltage or current source.
+///
+/// Waveforms are evaluated with [`Waveform::value_at`]; a DC operating-point
+/// analysis uses [`Waveform::dc_value`], which is the value at `t = 0` for
+/// every variant except [`Waveform::Sin`], whose DC value is its offset.
+///
+/// ```
+/// use dotm_netlist::Waveform;
+/// let clk = Waveform::pulse(0.0, 5.0, 10e-9, 1e-9, 1e-9, 40e-9, 100e-9);
+/// assert_eq!(clk.value_at(0.0), 0.0);
+/// assert_eq!(clk.value_at(20e-9), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse (SPICE `PULSE`).
+    Pulse {
+        /// Initial (low) value.
+        v0: f64,
+        /// Pulsed (high) value.
+        v1: f64,
+        /// Delay before the first rising edge, in seconds.
+        delay: f64,
+        /// Rise time, in seconds.
+        rise: f64,
+        /// Fall time, in seconds.
+        fall: f64,
+        /// Pulse width (time spent at `v1` between ramps), in seconds.
+        width: f64,
+        /// Repetition period, in seconds (`0.0` means non-repeating).
+        period: f64,
+    },
+    /// Piece-wise linear waveform: `(time, value)` pairs sorted by time.
+    /// Before the first point the first value holds; after the last point
+    /// the last value holds.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid `offset + amplitude * sin(2π f (t − delay))` for `t ≥ delay`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+}
+
+impl Waveform {
+    /// Convenience constructor for a DC source.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// Convenience constructor for a [`Waveform::Pulse`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn pulse(
+        v0: f64,
+        v1: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
+    }
+
+    /// Convenience constructor for a triangular ramp from `lo` to `hi` and
+    /// back, repeating with the given `period` — the stimulus of the paper's
+    /// missing-code test.
+    pub fn triangle(lo: f64, hi: f64, period: f64) -> Self {
+        let half = period / 2.0;
+        // Rise and fall each take half a period; zero flat time.
+        Waveform::Pulse {
+            v0: lo,
+            v1: hi,
+            delay: 0.0,
+            rise: half,
+            fall: half,
+            width: 0.0,
+            period,
+        }
+    }
+
+    /// Value of the waveform at time `t` (seconds, `t ≥ 0`).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                let mut tl = t - delay;
+                if tl < 0.0 {
+                    return *v0;
+                }
+                if *period > 0.0 {
+                    tl %= period;
+                }
+                if tl < *rise {
+                    if *rise <= 0.0 {
+                        return *v1;
+                    }
+                    v0 + (v1 - v0) * (tl / rise)
+                } else if tl < rise + width {
+                    *v1
+                } else if tl < rise + width + fall {
+                    if *fall <= 0.0 {
+                        return *v0;
+                    }
+                    v1 + (v0 - v1) * ((tl - rise - width) / fall)
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                let last = points[points.len() - 1];
+                if t >= last.0 {
+                    return last.1;
+                }
+                // Linear search is fine: PWL tables in this workspace are short.
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                last.1
+            }
+            Waveform::Sin {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + amplitude * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Value used during DC operating-point analysis.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Sin { offset, .. } => *offset,
+            other => other.value_at(0.0),
+        }
+    }
+
+    /// Returns a copy of this waveform scaled by `k` (both levels of a pulse,
+    /// every PWL value, offset and amplitude of a sinusoid).
+    pub fn scaled(&self, k: f64) -> Self {
+        match self {
+            Waveform::Dc(v) => Waveform::Dc(v * k),
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => Waveform::Pulse {
+                v0: v0 * k,
+                v1: v1 * k,
+                delay: *delay,
+                rise: *rise,
+                fall: *fall,
+                width: *width,
+                period: *period,
+            },
+            Waveform::Pwl(points) => {
+                Waveform::Pwl(points.iter().map(|&(t, v)| (t, v * k)).collect())
+            }
+            Waveform::Sin {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => Waveform::Sin {
+                offset: offset * k,
+                amplitude: amplitude * k,
+                freq: *freq,
+                delay: *delay,
+            },
+        }
+    }
+}
+
+impl Default for Waveform {
+    fn default() -> Self {
+        Waveform::Dc(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(3.3);
+        assert_eq!(w.value_at(0.0), 3.3);
+        assert_eq!(w.value_at(1.0), 3.3);
+        assert_eq!(w.dc_value(), 3.3);
+    }
+
+    #[test]
+    fn pulse_edges() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 10.0);
+        assert_eq!(w.value_at(0.5), 0.0); // before delay
+        assert!((w.value_at(1.5) - 0.5).abs() < 1e-12); // mid rise
+        assert_eq!(w.value_at(2.5), 1.0); // flat top
+        assert!((w.value_at(4.5) - 0.5).abs() < 1e-12); // mid fall
+        assert_eq!(w.value_at(6.0), 0.0); // flat bottom
+        assert_eq!(w.value_at(11.5), 1.0 / 2.0); // periodic repeat of mid rise
+    }
+
+    #[test]
+    fn pulse_zero_rise_is_step() {
+        let w = Waveform::pulse(0.0, 5.0, 0.0, 0.0, 0.0, 1.0, 2.0);
+        assert_eq!(w.value_at(0.0), 5.0);
+        assert_eq!(w.value_at(1.5), 0.0);
+    }
+
+    #[test]
+    fn triangle_sweeps_full_range() {
+        let w = Waveform::triangle(1.0, 3.0, 4.0);
+        assert_eq!(w.value_at(0.0), 1.0);
+        assert!((w.value_at(1.0) - 2.0).abs() < 1e-12);
+        assert!((w.value_at(2.0) - 3.0).abs() < 1e-9);
+        assert!((w.value_at(3.0) - 2.0).abs() < 1e-12);
+        assert!((w.value_at(4.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0)]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5) - 5.0).abs() < 1e-12);
+        assert_eq!(w.value_at(3.0), 10.0);
+    }
+
+    #[test]
+    fn sin_dc_value_is_offset() {
+        let w = Waveform::Sin {
+            offset: 2.5,
+            amplitude: 1.0,
+            freq: 1e6,
+            delay: 0.0,
+        };
+        assert_eq!(w.dc_value(), 2.5);
+        assert!((w.value_at(0.25e-6) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_scales_values_not_times() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 10.0).scaled(2.0);
+        assert_eq!(w.value_at(2.5), 2.0);
+        assert_eq!(w.value_at(0.5), 0.0);
+        let p = Waveform::Pwl(vec![(0.0, 1.0), (1.0, -1.0)]).scaled(3.0);
+        assert_eq!(p.value_at(0.0), 3.0);
+        assert_eq!(p.value_at(1.0), -3.0);
+    }
+}

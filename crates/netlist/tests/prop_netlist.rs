@@ -1,0 +1,206 @@
+//! Property-based tests on the netlist container: naming invariants,
+//! instantiation, waveform evaluation and the fault-edit operations.
+
+use dotm_netlist::{Netlist, TerminalRef, Waveform};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("not ground alias", |s| s != "gnd")
+}
+
+proptest! {
+    #[test]
+    fn node_lookup_is_idempotent(names in prop::collection::vec(name_strategy(), 1..20)) {
+        let mut nl = Netlist::new("t");
+        let ids: Vec<_> = names.iter().map(|n| nl.node(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(nl.node(name), *id);
+            prop_assert_eq!(nl.find_node(name), Some(*id));
+            prop_assert_eq!(nl.node_name(*id), name.as_str());
+        }
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(nl.node_count(), unique.len() + 1); // + ground
+    }
+
+    #[test]
+    fn resistor_chain_builds_and_connects(n in 1usize..40, ohms in 1.0f64..1e6) {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.node("n0");
+        for k in 1..=n {
+            let next = nl.node(&format!("n{k}"));
+            nl.add_resistor(&format!("R{k}"), prev, next, ohms).unwrap();
+            prev = next;
+        }
+        prop_assert_eq!(nl.device_count(), n);
+        // Every internal node touches exactly two resistors.
+        for k in 1..n {
+            let node = nl.find_node(&format!("n{k}")).unwrap();
+            prop_assert_eq!(nl.connections(node).len(), 2);
+        }
+    }
+
+    #[test]
+    fn instantiate_preserves_device_count(copies in 1usize..10) {
+        let mut sub = Netlist::new("cell");
+        let a = sub.node("in");
+        let b = sub.node("out");
+        let m = sub.node("mid");
+        sub.add_resistor("Ra", a, m, 10.0).unwrap();
+        sub.add_resistor("Rb", m, b, 10.0).unwrap();
+
+        let mut top = Netlist::new("top");
+        let shared = top.node("bus");
+        for k in 0..copies {
+            top.instantiate(&sub, &format!("u{k}"), &[("in", shared)]).unwrap();
+        }
+        prop_assert_eq!(top.device_count(), 2 * copies);
+        // The shared port node fans out to one terminal per copy.
+        prop_assert_eq!(top.connections(shared).len(), copies);
+    }
+
+    #[test]
+    fn split_node_moves_exactly_the_requested_terminals(move_first in proptest::bool::ANY) {
+        let mut nl = Netlist::new("t");
+        let x = nl.node("x");
+        nl.add_resistor("R1", x, Netlist::GROUND, 10.0).unwrap();
+        nl.add_resistor("R2", x, Netlist::GROUND, 20.0).unwrap();
+        let target = if move_first { "R1" } else { "R2" };
+        let keep = if move_first { "R2" } else { "R1" };
+        let id = nl.device_id(target).unwrap();
+        let fresh = nl.split_node(x, &[TerminalRef { device: id, terminal: 0 }]).unwrap();
+        prop_assert_eq!(nl.device(target).unwrap().terminals()[0], fresh);
+        prop_assert_eq!(nl.device(keep).unwrap().terminals()[0], x);
+    }
+
+    #[test]
+    fn pulse_waveform_is_bounded(
+        v0 in -10.0f64..10.0,
+        v1 in -10.0f64..10.0,
+        t in 0.0f64..1e-3,
+    ) {
+        let w = Waveform::pulse(v0, v1, 10e-6, 5e-6, 5e-6, 20e-6, 100e-6);
+        let v = w.value_at(t);
+        let (lo, hi) = (v0.min(v1), v0.max(v1));
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "v = {v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn triangle_stays_in_range_and_hits_extremes(lo in 0.0f64..2.0, span in 0.1f64..3.0) {
+        let hi = lo + span;
+        let w = Waveform::triangle(lo, hi, 1e-3);
+        for k in 0..=100 {
+            let v = w.value_at(k as f64 * 1e-5);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        prop_assert!((w.value_at(0.0) - lo).abs() < 1e-9);
+        prop_assert!((w.value_at(0.5e-3) - hi).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_waveform_scales_every_sample(k in -3.0f64..3.0, t in 0.0f64..1e-3) {
+        let w = Waveform::pulse(0.0, 5.0, 10e-6, 5e-6, 5e-6, 20e-6, 100e-6);
+        let ws = w.scaled(k);
+        prop_assert!((ws.value_at(t) - k * w.value_at(t)).abs() < 1e-9);
+    }
+}
+
+mod spice_roundtrip {
+    use dotm_netlist::{
+        parse_spice, write_spice, DiodeParams, MosType, MosfetParams, Netlist, Waveform,
+    };
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn write_then_parse_preserves_structure(
+            r in 1.0f64..1e6,
+            c in 1e-15f64..1e-6,
+            v in -10.0f64..10.0,
+            w in 1e-6f64..50e-6,
+        ) {
+            let mut nl = Netlist::new("roundtrip");
+            let a = nl.node("a");
+            let b = nl.node("b");
+            let d = nl.node("d");
+            nl.add_vsource("V1", a, Netlist::GROUND, Waveform::dc(v)).unwrap();
+            nl.add_resistor("R1", a, b, r).unwrap();
+            nl.add_capacitor("C1", b, Netlist::GROUND, c).unwrap();
+            nl.add_diode("D1", b, Netlist::GROUND, DiodeParams::default()).unwrap();
+            nl.add_mosfet(
+                "M1",
+                d,
+                b,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                MosType::Nmos,
+                MosfetParams::nmos_default().sized(w, 2e-6),
+            )
+            .unwrap();
+            nl.add_isource("I1", d, Netlist::GROUND, Waveform::dc(1e-3)).unwrap();
+
+            let deck = write_spice(&nl).unwrap();
+            let back = parse_spice(&deck).unwrap();
+            prop_assert_eq!(back.device_count(), nl.device_count());
+            prop_assert_eq!(back.node_count(), nl.node_count());
+            for (_, dev) in nl.devices() {
+                let other = back.device(&dev.name);
+                prop_assert!(other.is_some(), "missing {}", dev.name);
+                // Same terminals by name.
+                let t1: Vec<&str> = dev.terminals().iter().map(|n| nl.node_name(*n)).collect();
+                let t2: Vec<&str> = other
+                    .unwrap()
+                    .terminals()
+                    .iter()
+                    .map(|n| back.node_name(*n))
+                    .collect();
+                prop_assert_eq!(t1, t2, "terminals of {}", dev.name);
+            }
+            // Numeric fidelity for the resistor and the MOSFET width.
+            match &back.device("R1").unwrap().kind {
+                dotm_netlist::DeviceKind::Resistor { ohms, .. } => {
+                    prop_assert!((ohms - r).abs() / r < 1e-12);
+                }
+                _ => prop_assert!(false),
+            }
+            match &back.device("M1").unwrap().kind {
+                dotm_netlist::DeviceKind::Mosfet { params, .. } => {
+                    prop_assert!((params.w - w).abs() / w < 1e-12);
+                }
+                _ => prop_assert!(false),
+            }
+        }
+
+        #[test]
+        fn pulse_waveform_roundtrips_samples(
+            v1 in 0.1f64..5.0,
+            delay in 0.0f64..1e-6,
+        ) {
+            let mut nl = Netlist::new("pulse");
+            let a = nl.node("a");
+            nl.add_vsource(
+                "V1",
+                a,
+                Netlist::GROUND,
+                Waveform::pulse(0.0, v1, delay, 1e-9, 1e-9, 40e-9, 100e-9),
+            )
+            .unwrap();
+            let back = parse_spice(&write_spice(&nl).unwrap()).unwrap();
+            let w1 = match &nl.device("V1").unwrap().kind {
+                dotm_netlist::DeviceKind::Vsource { waveform, .. } => waveform.clone(),
+                _ => unreachable!(),
+            };
+            let w2 = match &back.device("V1").unwrap().kind {
+                dotm_netlist::DeviceKind::Vsource { waveform, .. } => waveform.clone(),
+                _ => unreachable!(),
+            };
+            for k in 0..50 {
+                let t = k as f64 * 5e-9;
+                prop_assert!((w1.value_at(t) - w2.value_at(t)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,918 @@
+//! The simulation engine: MNA assembly and the Newton–Raphson solver with
+//! gmin- and source-stepping homotopies.
+
+use crate::error::SimError;
+use crate::matrix::DenseMatrix;
+use crate::models::{diode_eval, mosfet_eval, switch_eval};
+use dotm_netlist::{Device, DeviceId, DeviceKind, DiodeParams, Netlist, NodeId};
+use std::collections::HashMap;
+
+/// Numerical integration method for transient analysis.
+///
+/// Backward Euler is the default: the methodology reads *quiescent branch
+/// currents* out of stiff switched circuits, and the trapezoidal rule's
+/// undamped ringing pollutes exactly those currents. Trapezoidal remains
+/// available where waveform accuracy matters more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integration {
+    /// First-order implicit Euler: very robust, numerically dissipative.
+    BackwardEuler,
+    /// Second-order trapezoidal rule; BE is still used for the first step.
+    Trapezoidal,
+}
+
+/// Simulator tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Absolute voltage convergence tolerance (V).
+    pub abstol_v: f64,
+    /// Absolute current convergence tolerance (A) for source branches.
+    pub abstol_i: f64,
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Maximum Newton–Raphson iterations per solve.
+    pub max_iter: usize,
+    /// Minimum conductance from every node to ground (S).
+    pub gmin: f64,
+    /// Per-iteration clamp on node-voltage updates (V).
+    pub v_step_limit: f64,
+    /// Transient integration method.
+    pub integration: Integration,
+    /// Maximum number of timestep halvings when a transient step fails.
+    pub max_step_halvings: u32,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            abstol_v: 1e-6,
+            abstol_i: 1e-9,
+            reltol: 1e-4,
+            max_iter: 150,
+            gmin: 1e-12,
+            v_step_limit: 1.0,
+            integration: Integration::BackwardEuler,
+            max_step_halvings: 10,
+        }
+    }
+}
+
+/// A solved operating point.
+///
+/// Obtained from [`Simulator::dc_op`] (or a transient snapshot); query it
+/// with [`OpPoint::voltage`] and [`OpPoint::branch_current`].
+#[derive(Debug, Clone)]
+pub struct OpPoint {
+    pub(crate) x: Vec<f64>,
+    pub(crate) n_nodes: usize,
+    pub(crate) vsrc: Vec<DeviceId>,
+}
+
+impl OpPoint {
+    /// Voltage of `node` relative to ground.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Current through an independent voltage source, flowing from its
+    /// positive terminal through the source to its negative terminal
+    /// (SPICE convention: a supply sourcing current reads negative).
+    ///
+    /// Returns `None` if `id` is not a voltage source.
+    pub fn branch_current(&self, id: DeviceId) -> Option<f64> {
+        let k = self.vsrc.iter().position(|&d| d == id)?;
+        Some(self.x[self.n_nodes - 1 + k])
+    }
+}
+
+/// A companion-model capacitor instance used during transient analysis.
+#[derive(Debug, Clone, Copy)]
+struct CapInst {
+    a: NodeId,
+    b: NodeId,
+    c: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CapState {
+    v: f64,
+    i: f64,
+}
+
+struct TranCtx<'c> {
+    caps: &'c [CapInst],
+    states: &'c [CapState],
+    h: f64,
+    /// true on steps integrated with trapezoidal rule
+    trap: bool,
+}
+
+/// Result of a transient analysis: node voltages and source branch currents
+/// on a uniform output time grid.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    n_nodes: usize,
+    vsrc: Vec<DeviceId>,
+}
+
+impl TranResult {
+    /// The output time grid.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of stored time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the result holds no time points.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage of `node` at time index `step`.
+    pub fn voltage(&self, step: usize, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.states[step][node.index() - 1]
+        }
+    }
+
+    /// The full voltage waveform of `node`.
+    pub fn series(&self, node: NodeId) -> Vec<f64> {
+        (0..self.len()).map(|k| self.voltage(k, node)).collect()
+    }
+
+    /// Branch current of voltage source `id` at time index `step`
+    /// (see [`OpPoint::branch_current`] for sign convention).
+    pub fn branch_current(&self, step: usize, id: DeviceId) -> Option<f64> {
+        let k = self.vsrc.iter().position(|&d| d == id)?;
+        Some(self.states[step][self.n_nodes - 1 + k])
+    }
+
+    /// The full branch-current waveform of voltage source `id`.
+    pub fn branch_series(&self, id: DeviceId) -> Option<Vec<f64>> {
+        let k = self.vsrc.iter().position(|&d| d == id)?;
+        Some(
+            (0..self.len())
+                .map(|s| self.states[s][self.n_nodes - 1 + k])
+                .collect(),
+        )
+    }
+
+    /// Index of the stored point closest to time `t`.
+    pub fn index_at(&self, t: f64) -> usize {
+        match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("times are finite"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) if i >= self.times.len() => self.times.len() - 1,
+            Err(i) => {
+                if (self.times[i] - t).abs() < (t - self.times[i - 1]).abs() {
+                    i
+                } else {
+                    i - 1
+                }
+            }
+        }
+    }
+
+    /// Snapshot of time index `step` as an [`OpPoint`].
+    pub fn op_at(&self, step: usize) -> OpPoint {
+        OpPoint {
+            x: self.states[step].clone(),
+            n_nodes: self.n_nodes,
+            vsrc: self.vsrc.clone(),
+        }
+    }
+}
+
+enum NrOutcome {
+    /// Converged after the given number of iterations.
+    Converged(#[allow(dead_code)] usize),
+    MaxIter,
+    Singular,
+}
+
+/// A circuit simulator bound to a netlist.
+///
+/// Compiles the netlist's node/source structure once; every analysis
+/// (operating point, DC sweep, transient) reuses the compiled structure and
+/// the scratch matrix.
+///
+/// ```
+/// use dotm_netlist::{Netlist, Waveform};
+/// use dotm_sim::Simulator;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("divider");
+/// let vin = nl.node("in");
+/// let mid = nl.node("mid");
+/// nl.add_vsource("V1", vin, Netlist::GROUND, Waveform::dc(2.0))?;
+/// nl.add_resistor("R1", vin, mid, 1e3)?;
+/// nl.add_resistor("R2", mid, Netlist::GROUND, 1e3)?;
+/// let mut sim = Simulator::new(&nl);
+/// let op = sim.dc_op()?;
+/// assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    opts: SimOptions,
+    n_nodes: usize,
+    vsrc: Vec<DeviceId>,
+    vsrc_row: HashMap<u32, usize>,
+    n_unknowns: usize,
+    source_override: HashMap<u32, f64>,
+    a: DenseMatrix,
+    z: Vec<f64>,
+}
+
+impl<'a> std::fmt::Debug for Simulator<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("netlist", &self.nl.name())
+            .field("n_nodes", &self.n_nodes)
+            .field("n_vsrc", &self.vsrc.len())
+            .finish()
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with default [`SimOptions`].
+    pub fn new(nl: &'a Netlist) -> Self {
+        Self::with_options(nl, SimOptions::default())
+    }
+
+    /// Creates a simulator with explicit options.
+    pub fn with_options(nl: &'a Netlist, opts: SimOptions) -> Self {
+        let n_nodes = nl.node_count();
+        let mut vsrc = Vec::new();
+        let mut vsrc_row = HashMap::new();
+        for (id, dev) in nl.devices() {
+            if matches!(dev.kind, DeviceKind::Vsource { .. }) {
+                vsrc_row.insert(id.index() as u32, vsrc.len());
+                vsrc.push(id);
+            }
+        }
+        let n_unknowns = (n_nodes - 1) + vsrc.len();
+        Simulator {
+            nl,
+            opts,
+            n_nodes,
+            vsrc,
+            vsrc_row,
+            n_unknowns,
+            source_override: HashMap::new(),
+            a: DenseMatrix::zeros(n_unknowns),
+            z: vec![0.0; n_unknowns],
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Mutable access to the options.
+    pub fn options_mut(&mut self) -> &mut SimOptions {
+        &mut self.opts
+    }
+
+    /// Overrides the DC value of the named source for subsequent analyses
+    /// (used by [`Simulator::dc_sweep`] and test harnesses).
+    ///
+    /// # Errors
+    /// [`SimError::BadSource`] if the device is not a V or I source.
+    pub fn override_source(&mut self, name: &str, value: f64) -> Result<(), SimError> {
+        let id = self
+            .nl
+            .device_id(name)
+            .ok_or_else(|| SimError::BadSource(name.to_string()))?;
+        match self.nl.device_by_id(id).map(|d| &d.kind) {
+            Some(DeviceKind::Vsource { .. }) | Some(DeviceKind::Isource { .. }) => {
+                self.source_override.insert(id.index() as u32, value);
+                Ok(())
+            }
+            _ => Err(SimError::BadSource(name.to_string())),
+        }
+    }
+
+    /// Removes a source override installed by [`Simulator::override_source`].
+    pub fn clear_override(&mut self, name: &str) {
+        if let Some(id) = self.nl.device_id(name) {
+            self.source_override.remove(&(id.index() as u32));
+        }
+    }
+
+    fn source_value(&self, id: DeviceId, wf: &dotm_netlist::Waveform, t: Option<f64>) -> f64 {
+        if let Some(v) = self.source_override.get(&(id.index() as u32)) {
+            return *v;
+        }
+        match t {
+            Some(t) => wf.value_at(t),
+            None => wf.dc_value(),
+        }
+    }
+
+    /// Assembles the linearised MNA system `A·x_next = z` around guess `x`.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &mut self,
+        x: &[f64],
+        t: Option<f64>,
+        tran: Option<&TranCtx<'_>>,
+        gmin: f64,
+        src_scale: f64,
+    ) {
+        self.a.clear();
+        self.z.fill(0.0);
+        let volt = |n: NodeId| -> f64 {
+            if n.is_ground() {
+                0.0
+            } else {
+                x[n.index() - 1]
+            }
+        };
+
+        // gmin from every node to ground.
+        for r in 0..(self.n_nodes - 1) {
+            self.a.add(r, r, gmin);
+        }
+
+        // Borrow-friendly local stamp helpers.
+        let n_nodes = self.n_nodes;
+        let nl = self.nl;
+        let vsrc_row = &self.vsrc_row;
+        let overrides = &self.source_override;
+        let src_val = |id: DeviceId, wf: &dotm_netlist::Waveform, t: Option<f64>| -> f64 {
+            if let Some(v) = overrides.get(&(id.index() as u32)) {
+                return *v;
+            }
+            match t {
+                Some(t) => wf.value_at(t),
+                None => wf.dc_value(),
+            }
+        };
+        let a = &mut self.a;
+        let z = &mut self.z;
+        let row = |n: NodeId| -> Option<usize> {
+            if n.is_ground() {
+                None
+            } else {
+                Some(n.index() - 1)
+            }
+        };
+        let stamp_g = |a: &mut DenseMatrix, p: NodeId, q: NodeId, g: f64| {
+            if let Some(rp) = row(p) {
+                a.add(rp, rp, g);
+                if let Some(rq) = row(q) {
+                    a.add(rp, rq, -g);
+                    a.add(rq, rp, -g);
+                    a.add(rq, rq, g);
+                }
+            } else if let Some(rq) = row(q) {
+                a.add(rq, rq, g);
+            }
+        };
+        // Transconductance: current into node `out_p`, out of `out_q`,
+        // controlled by v(ctl_p) − v(ctl_q).
+        let stamp_vccs = |a: &mut DenseMatrix,
+                          out_p: NodeId,
+                          out_q: NodeId,
+                          ctl_p: NodeId,
+                          ctl_q: NodeId,
+                          g: f64| {
+            for (out, sign) in [(out_p, 1.0), (out_q, -1.0)] {
+                if let Some(ro) = row(out) {
+                    if let Some(rc) = row(ctl_p) {
+                        a.add(ro, rc, sign * g);
+                    }
+                    if let Some(rc) = row(ctl_q) {
+                        a.add(ro, rc, -sign * g);
+                    }
+                }
+            }
+        };
+        // Independent current `i` flowing out of node p, into node q.
+        let stamp_i = |z: &mut [f64], p: NodeId, q: NodeId, i: f64| {
+            if let Some(rp) = row(p) {
+                z[rp] -= i;
+            }
+            if let Some(rq) = row(q) {
+                z[rq] += i;
+            }
+        };
+
+        for (id, dev) in nl.devices() {
+            match &dev.kind {
+                DeviceKind::Resistor { a: p, b: q, ohms } => {
+                    stamp_g(a, *p, *q, 1.0 / ohms);
+                }
+                DeviceKind::Capacitor { .. } => {
+                    // Handled by companion instances in transient; open in DC.
+                }
+                DeviceKind::Vsource { pos, neg, waveform } => {
+                    let k = vsrc_row[&(id.index() as u32)];
+                    let br = (n_nodes - 1) + k;
+                    if let Some(rp) = row(*pos) {
+                        a.add(rp, br, 1.0);
+                        a.add(br, rp, 1.0);
+                    }
+                    if let Some(rq) = row(*neg) {
+                        a.add(rq, br, -1.0);
+                        a.add(br, rq, -1.0);
+                    }
+                    let v = src_val(id, waveform, t) * src_scale;
+                    z[br] = v;
+                }
+                DeviceKind::Isource { pos, neg, waveform } => {
+                    let i = src_val(id, waveform, t) * src_scale;
+                    stamp_i(z, *pos, *neg, i);
+                }
+                DeviceKind::Diode {
+                    anode,
+                    cathode,
+                    params,
+                } => {
+                    let vd = volt(*anode) - volt(*cathode);
+                    let (idv, gd) = diode_eval(vd, params);
+                    stamp_g(a, *anode, *cathode, gd);
+                    let ieq = idv - gd * vd;
+                    stamp_i(z, *anode, *cathode, ieq);
+                }
+                DeviceKind::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    ty,
+                    params,
+                } => {
+                    let vgs = volt(*g) - volt(*s);
+                    let vds = volt(*d) - volt(*s);
+                    let vbs = volt(*b) - volt(*s);
+                    let ch = mosfet_eval(vgs, vds, vbs, *ty, params);
+                    // Conductive stamps from the partial derivatives.
+                    stamp_vccs(a, *d, *s, *g, *s, ch.gm);
+                    stamp_vccs(a, *d, *s, *d, *s, ch.gds);
+                    stamp_vccs(a, *d, *s, *b, *s, ch.gmbs);
+                    let ieq = ch.ids - ch.gm * vgs - ch.gds * vds - ch.gmbs * vbs;
+                    stamp_i(z, *d, *s, ieq);
+                    // Bulk junction diodes (leakage paths). For NMOS the
+                    // bulk is the anode; for PMOS the drain/source are.
+                    let jp = DiodeParams {
+                        is: params.is_leak,
+                        n: 1.0,
+                    };
+                    let junctions: [(NodeId, NodeId); 2] = match ty {
+                        dotm_netlist::MosType::Nmos => [(*b, *d), (*b, *s)],
+                        dotm_netlist::MosType::Pmos => [(*d, *b), (*s, *b)],
+                    };
+                    for (an, ca) in junctions {
+                        let vd = volt(an) - volt(ca);
+                        let (idv, gd) = diode_eval(vd, &jp);
+                        stamp_g(a, an, ca, gd);
+                        stamp_i(z, an, ca, idv - gd * vd);
+                    }
+                }
+                DeviceKind::Switch {
+                    a: p,
+                    b: q,
+                    cp,
+                    cn,
+                    params,
+                } => {
+                    let vc = volt(*cp) - volt(*cn);
+                    let vab = volt(*p) - volt(*q);
+                    let (g, dg) = switch_eval(vc, params);
+                    stamp_g(a, *p, *q, g);
+                    // Control coupling: ∂i/∂vc = dg·vab.
+                    stamp_vccs(a, *p, *q, *cp, *cn, dg * vab);
+                    // i = g·vab exactly, so the companion current is the
+                    // part not captured by the linear stamps.
+                    let ieq = -dg * vab * vc;
+                    stamp_i(z, *p, *q, ieq);
+                }
+            }
+        }
+
+        // Transient companion models for capacitors.
+        if let Some(ctx) = tran {
+            for (ci, cap) in ctx.caps.iter().enumerate() {
+                if cap.c <= 0.0 {
+                    continue;
+                }
+                let st = ctx.states[ci];
+                let (geq, ieq) = if ctx.trap {
+                    let geq = 2.0 * cap.c / ctx.h;
+                    (geq, geq * st.v + st.i)
+                } else {
+                    let geq = cap.c / ctx.h;
+                    (geq, geq * st.v)
+                };
+                stamp_g(a, cap.a, cap.b, geq);
+                // ieq acts as a current source from b into a.
+                stamp_i(z, cap.b, cap.a, ieq);
+            }
+        }
+    }
+
+    /// Runs Newton–Raphson from guess `x`, leaving the solution in `x`.
+    fn newton(
+        &mut self,
+        x: &mut [f64],
+        t: Option<f64>,
+        tran: Option<&TranCtx<'_>>,
+        gmin: f64,
+        src_scale: f64,
+    ) -> NrOutcome {
+        let n_v = self.n_nodes - 1;
+        let mut xnext = vec![0.0; self.n_unknowns];
+        for iter in 0..self.opts.max_iter {
+            self.assemble(x, t, tran, gmin, src_scale);
+            xnext.copy_from_slice(&self.z);
+            let mut mat = std::mem::replace(&mut self.a, DenseMatrix::zeros(0));
+            let ok = mat.solve_in_place(&mut xnext);
+            self.a = mat;
+            if !ok {
+                return NrOutcome::Singular;
+            }
+            let mut converged = true;
+            let mut limited = false;
+            for (i, xn) in xnext.iter_mut().enumerate() {
+                if !xn.is_finite() {
+                    return NrOutcome::Singular;
+                }
+                let dx = *xn - x[i];
+                let (abstol, limit) = if i < n_v {
+                    (self.opts.abstol_v, self.opts.v_step_limit)
+                } else {
+                    (self.opts.abstol_i, f64::INFINITY)
+                };
+                let tol = abstol + self.opts.reltol * xn.abs().max(x[i].abs());
+                if dx.abs() > tol {
+                    converged = false;
+                }
+                if dx.abs() > limit {
+                    *xn = x[i] + limit.copysign(dx);
+                    limited = true;
+                }
+            }
+            x.copy_from_slice(&xnext);
+            if converged && !limited && iter > 0 {
+                return NrOutcome::Converged(iter + 1);
+            }
+        }
+        NrOutcome::MaxIter
+    }
+
+    fn op_point(&self, x: Vec<f64>) -> OpPoint {
+        OpPoint {
+            x,
+            n_nodes: self.n_nodes,
+            vsrc: self.vsrc.clone(),
+        }
+    }
+
+    /// Solves the DC operating point.
+    ///
+    /// Tries plain Newton–Raphson first, then gmin stepping, then source
+    /// stepping.
+    ///
+    /// # Errors
+    /// [`SimError::NoConvergence`] if all homotopies fail;
+    /// [`SimError::Singular`] if the matrix is structurally singular.
+    pub fn dc_op(&mut self) -> Result<OpPoint, SimError> {
+        self.dc_op_from(&vec![0.0; self.n_unknowns])
+    }
+
+    /// Solves the DC operating point starting from a previous solution
+    /// (continuation) — used by sweeps and the transient initial point.
+    ///
+    /// # Errors
+    /// See [`Simulator::dc_op`].
+    pub fn dc_op_from(&mut self, guess: &[f64]) -> Result<OpPoint, SimError> {
+        self.robust_dc(guess, None, "dc")
+    }
+
+    /// The full homotopy chain (plain Newton → gmin stepping → source
+    /// stepping) at an optional source-evaluation time.
+    fn robust_dc(
+        &mut self,
+        guess: &[f64],
+        t: Option<f64>,
+        analysis: &'static str,
+    ) -> Result<OpPoint, SimError> {
+        let mut x = guess.to_vec();
+        x.resize(self.n_unknowns, 0.0);
+        match self.newton(&mut x, t, None, self.opts.gmin, 1.0) {
+            NrOutcome::Converged(_) => return Ok(self.op_point(x)),
+            NrOutcome::Singular | NrOutcome::MaxIter => {}
+        }
+
+        // gmin stepping.
+        let mut x = vec![0.0; self.n_unknowns];
+        let mut gmin = 1e-2;
+        let mut ok = true;
+        while gmin > self.opts.gmin * 0.9 {
+            match self.newton(&mut x, t, None, gmin.max(self.opts.gmin), 1.0) {
+                NrOutcome::Converged(_) => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+            gmin /= 10.0;
+        }
+        if ok {
+            return Ok(self.op_point(x));
+        }
+
+        // Source stepping.
+        let mut x = vec![0.0; self.n_unknowns];
+        let steps = 40;
+        for k in 1..=steps {
+            let scale = k as f64 / steps as f64;
+            match self.newton(&mut x, t, None, self.opts.gmin.max(1e-9), scale) {
+                NrOutcome::Converged(_) => {}
+                NrOutcome::Singular => return Err(SimError::Singular { analysis }),
+                NrOutcome::MaxIter => {
+                    return Err(SimError::NoConvergence {
+                        analysis,
+                        time: t,
+                        iterations: self.opts.max_iter,
+                    })
+                }
+            }
+        }
+        // Final polish at full scale with target gmin.
+        match self.newton(&mut x, t, None, self.opts.gmin, 1.0) {
+            NrOutcome::Converged(_) => Ok(self.op_point(x)),
+            NrOutcome::Singular => Err(SimError::Singular { analysis }),
+            NrOutcome::MaxIter => Err(SimError::NoConvergence {
+                analysis,
+                time: t,
+                iterations: self.opts.max_iter,
+            }),
+        }
+    }
+
+    /// Sweeps the named V or I source over `values`, solving a DC operating
+    /// point at each (with continuation between points).
+    ///
+    /// # Errors
+    /// [`SimError::BadSource`] for a non-source device; otherwise the first
+    /// failing operating point's error.
+    pub fn dc_sweep(&mut self, source: &str, values: &[f64]) -> Result<Vec<OpPoint>, SimError> {
+        let mut out = Vec::with_capacity(values.len());
+        let mut guess = vec![0.0; self.n_unknowns];
+        for &v in values {
+            self.override_source(source, v)?;
+            let op = self.dc_op_from(&guess)?;
+            guess.copy_from_slice(&op.x);
+            out.push(op);
+        }
+        self.clear_override(source);
+        Ok(out)
+    }
+
+    /// Collects the companion capacitor instances (explicit capacitors plus
+    /// MOSFET parasitics).
+    fn collect_caps(&self) -> Vec<CapInst> {
+        let mut caps = Vec::new();
+        for (_, dev) in self.nl.devices() {
+            match &dev.kind {
+                DeviceKind::Capacitor { a, b, farads } => caps.push(CapInst {
+                    a: *a,
+                    b: *b,
+                    c: *farads,
+                }),
+                DeviceKind::Mosfet {
+                    d, g, s, b, params, ..
+                } => {
+                    let cg = 0.5 * params.gate_cap();
+                    caps.push(CapInst { a: *g, b: *s, c: cg });
+                    caps.push(CapInst { a: *g, b: *d, c: cg });
+                    caps.push(CapInst {
+                        a: *d,
+                        b: *b,
+                        c: params.cj,
+                    });
+                    caps.push(CapInst {
+                        a: *s,
+                        b: *b,
+                        c: params.cj,
+                    });
+                }
+                _ => {}
+            }
+        }
+        caps
+    }
+
+    /// Runs a transient analysis from `t = 0` to `tstop` with output grid
+    /// spacing `dt`. The initial condition is the DC operating point with
+    /// sources evaluated at `t = 0`.
+    ///
+    /// Internally the step is halved (up to
+    /// [`SimOptions::max_step_halvings`] times) when Newton fails, so sharp
+    /// source edges do not abort the analysis.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidRequest`] for a non-positive `dt` or `tstop`;
+    /// [`SimError::NoConvergence`] / [`SimError::Singular`] from the solver.
+    pub fn transient(&mut self, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
+        if !(dt > 0.0 && tstop > 0.0 && tstop.is_finite()) {
+            return Err(SimError::InvalidRequest(format!(
+                "transient requires dt > 0 and tstop > 0 (dt = {dt}, tstop = {tstop})"
+            )));
+        }
+        let caps = self.collect_caps();
+        // Initial condition: DC at t = 0.
+        let op0 = self.transient_initial()?;
+        let mut x = op0.x.clone();
+        let volt_of = |x: &[f64], n: NodeId| -> f64 {
+            if n.is_ground() {
+                0.0
+            } else {
+                x[n.index() - 1]
+            }
+        };
+        let mut states: Vec<CapState> = caps
+            .iter()
+            .map(|c| CapState {
+                v: volt_of(&x, c.a) - volt_of(&x, c.b),
+                i: 0.0,
+            })
+            .collect();
+
+        let n_out = (tstop / dt).round() as usize;
+        let mut result = TranResult {
+            times: Vec::with_capacity(n_out + 1),
+            states: Vec::with_capacity(n_out + 1),
+            n_nodes: self.n_nodes,
+            vsrc: self.vsrc.clone(),
+        };
+        result.times.push(0.0);
+        result.states.push(x.clone());
+
+        let trap_ok = self.opts.integration == Integration::Trapezoidal;
+        let mut first_step = true;
+        let mut t = 0.0;
+        for k in 1..=n_out {
+            let t_target = k as f64 * dt;
+            while t < t_target - 1e-18 * t_target.max(1.0) {
+                let mut h = t_target - t;
+                let mut halvings = 0;
+                loop {
+                    // BE on the very first step (no stored cap current yet).
+                    let trap = trap_ok && !first_step;
+                    let ctx = TranCtx {
+                        caps: &caps,
+                        states: &states,
+                        h,
+                        trap,
+                    };
+                    let mut xt = x.clone();
+                    match self.newton(&mut xt, Some(t + h), Some(&ctx), self.opts.gmin, 1.0) {
+                        NrOutcome::Converged(_) => {
+                            // Accept: update capacitor states.
+                            for (ci, cap) in caps.iter().enumerate() {
+                                let vnew = volt_of(&xt, cap.a) - volt_of(&xt, cap.b);
+                                let st = &mut states[ci];
+                                let inew = if trap {
+                                    2.0 * cap.c / h * (vnew - st.v) - st.i
+                                } else {
+                                    cap.c / h * (vnew - st.v)
+                                };
+                                st.v = vnew;
+                                st.i = inew;
+                            }
+                            x = xt;
+                            t += h;
+                            first_step = false;
+                            break;
+                        }
+                        NrOutcome::Singular => {
+                            return Err(SimError::Singular {
+                                analysis: "transient",
+                            })
+                        }
+                        NrOutcome::MaxIter => {
+                            halvings += 1;
+                            if halvings > self.opts.max_step_halvings {
+                                return Err(SimError::NoConvergence {
+                                    analysis: "transient",
+                                    time: Some(t + h),
+                                    iterations: self.opts.max_iter,
+                                });
+                            }
+                            h /= 2.0;
+                        }
+                    }
+                }
+            }
+            result.times.push(t_target);
+            result.states.push(x.clone());
+        }
+        Ok(result)
+    }
+
+    /// DC solve with time-zero source values (for the transient initial
+    /// condition) — the full homotopy chain applies here too, because
+    /// fault-injected circuits at corner process samples routinely need
+    /// source stepping.
+    fn transient_initial(&mut self) -> Result<OpPoint, SimError> {
+        let zeros = vec![0.0; self.n_unknowns];
+        self.robust_dc(&zeros, Some(0.0), "transient")
+    }
+
+    /// Terminal DC currents of the named device at an operating point, in
+    /// terminal order. Capacitors report zero (DC). Voltage sources report
+    /// their branch current on both terminals (positive out of `pos`).
+    ///
+    /// Returns `None` for an unknown device.
+    pub fn device_currents(&self, op: &OpPoint, name: &str) -> Option<Vec<f64>> {
+        let id = self.nl.device_id(name)?;
+        let dev: &Device = self.nl.device_by_id(id)?;
+        let v = |n: NodeId| op.voltage(n);
+        Some(match &dev.kind {
+            DeviceKind::Resistor { a, b, ohms } => {
+                let i = (v(*a) - v(*b)) / ohms;
+                vec![i, -i]
+            }
+            DeviceKind::Capacitor { .. } => vec![0.0, 0.0],
+            DeviceKind::Vsource { .. } => {
+                let i = op.branch_current(id).unwrap_or(0.0);
+                vec![i, -i]
+            }
+            DeviceKind::Isource { pos: _, neg: _, waveform } => {
+                let i = self.source_value(id, waveform, None);
+                vec![i, -i]
+            }
+            DeviceKind::Diode {
+                anode,
+                cathode,
+                params,
+            } => {
+                let (i, _) = diode_eval(v(*anode) - v(*cathode), params);
+                vec![i, -i]
+            }
+            DeviceKind::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                ty,
+                params,
+            } => {
+                let ch = mosfet_eval(v(*g) - v(*s), v(*d) - v(*s), v(*b) - v(*s), *ty, params);
+                let jp = DiodeParams {
+                    is: params.is_leak,
+                    n: 1.0,
+                };
+                let (jd, js, sign) = match ty {
+                    dotm_netlist::MosType::Nmos => {
+                        let (ibd, _) = diode_eval(v(*b) - v(*d), &jp);
+                        let (ibs, _) = diode_eval(v(*b) - v(*s), &jp);
+                        (ibd, ibs, 1.0)
+                    }
+                    dotm_netlist::MosType::Pmos => {
+                        let (idb, _) = diode_eval(v(*d) - v(*b), &jp);
+                        let (isb, _) = diode_eval(v(*s) - v(*b), &jp);
+                        (idb, isb, -1.0)
+                    }
+                };
+                // Terminal currents into the device: drain, gate, source, bulk.
+                let i_d = ch.ids - sign * jd;
+                let i_g = 0.0;
+                let i_s = -ch.ids - sign * js;
+                let i_b = sign * (jd + js);
+                vec![i_d, i_g, i_s, i_b]
+            }
+            DeviceKind::Switch {
+                a, b, cp, cn, params,
+            } => {
+                let (g, _) = switch_eval(v(*cp) - v(*cn), params);
+                let i = g * (v(*a) - v(*b));
+                vec![i, -i, 0.0, 0.0]
+            }
+        })
+    }
+}

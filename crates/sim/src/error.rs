@@ -1,0 +1,57 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors produced by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA matrix was numerically singular even with `gmin` applied.
+    Singular {
+        /// Analysis during which the singularity appeared.
+        analysis: &'static str,
+    },
+    /// Newton–Raphson failed to converge after all homotopy fallbacks.
+    NoConvergence {
+        /// Analysis that failed (`"dc"` or `"transient"`).
+        analysis: &'static str,
+        /// Simulation time at the failing step, when applicable.
+        time: Option<f64>,
+        /// Iterations spent in the final attempt.
+        iterations: usize,
+    },
+    /// An analysis parameter was invalid (e.g. non-positive timestep).
+    InvalidRequest(String),
+    /// The netlist references something the simulator cannot resolve
+    /// (e.g. sweeping a device that is not a source).
+    BadSource(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Singular { analysis } => {
+                write!(f, "singular MNA matrix during {analysis} analysis")
+            }
+            SimError::NoConvergence {
+                analysis,
+                time,
+                iterations,
+            } => match time {
+                Some(t) => write!(
+                    f,
+                    "no convergence in {analysis} analysis at t = {t:.3e} s after {iterations} iterations"
+                ),
+                None => write!(
+                    f,
+                    "no convergence in {analysis} analysis after {iterations} iterations"
+                ),
+            },
+            SimError::InvalidRequest(reason) => write!(f, "invalid analysis request: {reason}"),
+            SimError::BadSource(name) => {
+                write!(f, "device `{name}` is not a sweepable source")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

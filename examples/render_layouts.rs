@@ -1,0 +1,83 @@
+//! Renders every macro layout of the case-study ADC to SVG (written to
+//! `target/layouts/`), with a sprinkle of fault-causing defects overlaid
+//! on the comparator — the visual end of the defect-oriented flow.
+//!
+//! Run with: `cargo run --example render_layouts`
+
+use dotm::adc::comparator::ComparatorConfig;
+use dotm::adc::layouts::{
+    bias_layout, clockgen_layout, comparator_layout, decoder_slice_layout, ladder_layout,
+    LayoutConfig,
+};
+use dotm::defects::{DefectStatistics, Sprinkler};
+use dotm::layout::{render_svg, Layout, Rect, RenderOptions};
+use std::fs;
+use std::path::Path;
+
+fn write(dir: &Path, name: &str, lo: &Layout, opts: &RenderOptions) {
+    let svg = render_svg(lo, opts);
+    let path = dir.join(format!("{name}.svg"));
+    fs::write(&path, &svg).expect("write svg");
+    let bbox = lo.bbox().unwrap();
+    println!(
+        "{:<22} {:>5} shapes  {:>6.0} x {:>5.0} µm  -> {}",
+        name,
+        lo.shape_count(),
+        bbox.width() as f64 / 1e3,
+        bbox.height() as f64 / 1e3,
+        path.display()
+    );
+}
+
+fn main() {
+    let dir = Path::new("target/layouts");
+    fs::create_dir_all(dir).expect("create output dir");
+
+    let comparator = comparator_layout(ComparatorConfig::default(), LayoutConfig::default());
+    // Overlay the first few fault-causing defects of a sprinkle.
+    let sprinkler = Sprinkler::new(&comparator, DefectStatistics::default());
+    let report = sprinkler.sprinkle(30_000, 7);
+    let defects: Vec<(Rect, String)> = report
+        .faults
+        .iter()
+        .take(12)
+        .map(|f| {
+            (
+                Rect::square(f.defect.x, f.defect.y, f.defect.size),
+                format!("{}: {}", f.defect.kind, f.canonical_key()),
+            )
+        })
+        .collect();
+    println!("overlaying {} fault-causing defects on the comparator:", defects.len());
+    for (_, label) in &defects {
+        println!("  {label}");
+    }
+    println!();
+    let opts = RenderOptions {
+        defects,
+        ..RenderOptions::default()
+    };
+    write(dir, "comparator", &comparator, &opts);
+
+    let plain = RenderOptions::default();
+    write(
+        dir,
+        "comparator_dft",
+        &comparator_layout(
+            ComparatorConfig { dft_flipflop: true },
+            LayoutConfig {
+                dft_bias_order: true,
+            },
+        ),
+        &plain,
+    );
+    write(dir, "bias_gen", &bias_layout(), &plain);
+    write(dir, "clock_gen", &clockgen_layout(), &plain);
+    write(
+        dir,
+        "decoder_slice",
+        &decoder_slice_layout(dotm::adc::decoder::SLICE_CODES),
+        &plain,
+    );
+    write(dir, "ladder", &ladder_layout(), &plain);
+}

@@ -1,0 +1,20 @@
+//! # DOTM — Defect-Oriented Test Methodology for mixed-signal circuits
+//!
+//! Umbrella crate re-exporting the full workspace. See the individual
+//! crates for details:
+//!
+//! * [`netlist`] — circuit netlists and fault-editing operations
+//! * [`sim`] — analog (SPICE-class) circuit simulator
+//! * [`layout`] — mask-level layout geometry and extraction
+//! * [`defects`] — VLASIC-style Monte-Carlo defect simulator
+//! * [`faults`] — circuit-level fault models and injection
+//! * [`adc`] — the Flash ADC case-study macros
+//! * [`core`] — the defect-oriented test path, signatures and global results
+
+pub use dotm_adc as adc;
+pub use dotm_core as core;
+pub use dotm_defects as defects;
+pub use dotm_faults as faults;
+pub use dotm_layout as layout;
+pub use dotm_netlist as netlist;
+pub use dotm_sim as sim;
