@@ -49,8 +49,16 @@ pub fn bias_macro() -> Netlist {
     // diode-connected MB3, sized for the slightly higher vbnc.
     nl.add_mosfet("MB5", vbnc, vbp, vdd, vdd, MosType::Pmos, pmos(8e-6, 2e-6))
         .unwrap();
-    nl.add_mosfet("MB3", vbnc, vbnc, gnd, gnd, MosType::Nmos, nmos(7.6e-6, 2e-6))
-        .unwrap();
+    nl.add_mosfet(
+        "MB3",
+        vbnc,
+        vbnc,
+        gnd,
+        gnd,
+        MosType::Nmos,
+        nmos(7.6e-6, 2e-6),
+    )
+    .unwrap();
 
     // Auto-zero level: resistive divider (~2.2 V), stiff enough that the
     // line serves 256 comparators (Thevenin ≈ 8 kΩ).
@@ -128,7 +136,9 @@ mod tests {
             edit(&mut nl);
             let mut sim = Simulator::new(&nl);
             let op = sim.dc_op().unwrap();
-            op.branch_current(nl.device_id("VDD").unwrap()).unwrap().abs()
+            op.branch_current(nl.device_id("VDD").unwrap())
+                .unwrap()
+                .abs()
         };
         let nominal = measure(&|_| {});
         let similar = measure(&|nl: &mut Netlist| {

@@ -41,17 +41,57 @@ pub fn clockgen_macro() -> Netlist {
         let y_prev = outs[(n + 1) % 3]; // ring: 1←3, 2←1, 3←2
         let mid = nl.node(&format!("nmid{n}"));
         // Input inverter: a = !x.
-        nl.add_mosfet(&format!("MG{n}IN"), a, x, gnd, gnd, MosType::Nmos, nmos(2e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MG{n}IP"), a, x, vdd, vdd, MosType::Pmos, pmos(4e-6, 0.8e-6))
-            .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}IN"),
+            a,
+            x,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(2e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}IP"),
+            a,
+            x,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(4e-6, 0.8e-6),
+        )
+        .unwrap();
         // Interlock NOR: b = !(a | y_prev) = x & !y_prev.
-        nl.add_mosfet(&format!("MG{n}NA"), b, a, gnd, gnd, MosType::Nmos, nmos(3e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MG{n}NB"), b, y_prev, gnd, gnd, MosType::Nmos, nmos(3e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MG{n}PA"), mid, a, vdd, vdd, MosType::Pmos, pmos(8e-6, 0.8e-6))
-            .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}NA"),
+            b,
+            a,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(3e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}NB"),
+            b,
+            y_prev,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(3e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}PA"),
+            mid,
+            a,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(8e-6, 0.8e-6),
+        )
+        .unwrap();
         nl.add_mosfet(
             &format!("MG{n}PB"),
             b,
@@ -63,14 +103,46 @@ pub fn clockgen_macro() -> Netlist {
         )
         .unwrap();
         // Two-stage buffer: c = !b, y = !c (large driver).
-        nl.add_mosfet(&format!("MG{n}CN"), c, b, gnd, gnd, MosType::Nmos, nmos(4e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MG{n}CP"), c, b, vdd, vdd, MosType::Pmos, pmos(8e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MG{n}DN"), y, c, gnd, gnd, MosType::Nmos, nmos(14e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MG{n}DP"), y, c, vdd, vdd, MosType::Pmos, pmos(28e-6, 0.8e-6))
-            .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}CN"),
+            c,
+            b,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(4e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}CP"),
+            c,
+            b,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(8e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}DN"),
+            y,
+            c,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(14e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MG{n}DP"),
+            y,
+            c,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(28e-6, 0.8e-6),
+        )
+        .unwrap();
         // The load of the 256-comparator distribution line.
         nl.add_capacitor(&format!("CL{n}"), y, gnd, 2e-12).unwrap();
     }
@@ -86,8 +158,13 @@ pub fn clockgen_testbench() -> Netlist {
         .unwrap();
     for (i, phase) in Phase::ALL.iter().enumerate() {
         let x = nl.node(&format!("x{}", i + 1));
-        nl.add_vsource(&format!("VX{}", i + 1), x, Netlist::GROUND, phase.waveform())
-            .unwrap();
+        nl.add_vsource(
+            &format!("VX{}", i + 1),
+            x,
+            Netlist::GROUND,
+            phase.waveform(),
+        )
+        .unwrap();
     }
     nl
 }

@@ -39,7 +39,8 @@ impl FlashColumn {
         nl.add_vsource("VDD", vdd, gnd, Waveform::dc(VDD)).unwrap();
         nl.add_vsource("VDDDIG", vdd_dig, gnd, Waveform::dc(VDD))
             .unwrap();
-        nl.add_vsource("VIN", vin_n, gnd, Waveform::dc(vin)).unwrap();
+        nl.add_vsource("VIN", vin_n, gnd, Waveform::dc(vin))
+            .unwrap();
 
         // Ladder section: n+1 equal segments.
         let vrl = nl.node("vrl");
@@ -54,7 +55,8 @@ impl FlashColumn {
             } else {
                 nl.node(&format!("tap{k}"))
             };
-            nl.add_resistor(&format!("RL{k}"), prev, next, 50.0).unwrap();
+            nl.add_resistor(&format!("RL{k}"), prev, next, 50.0)
+                .unwrap();
             if k <= n_stages {
                 taps.push(next);
             }
@@ -72,7 +74,8 @@ impl FlashColumn {
             let line = nl.node(&name.to_lowercase());
             let src = nl.node(&format!("{}_src", name.to_lowercase()));
             nl.add_vsource(name, src, gnd, Waveform::dc(value)).unwrap();
-            nl.add_resistor(&format!("R{name}"), src, line, rout).unwrap();
+            nl.add_resistor(&format!("R{name}"), src, line, rout)
+                .unwrap();
         }
 
         // One set of clock drivers serves the whole column.
@@ -85,10 +88,46 @@ impl FlashColumn {
             let ck = nl.node(&format!("ck{n}"));
             nl.add_vsource(&format!("VCK{n}"), ck_in, gnd, phase.waveform())
                 .unwrap();
-            nl.add_mosfet(&format!("MCB{n}AN"), ck_mid, ck_in, gnd, gnd, MosType::Nmos, nmos(2e-6, 0.8e-6)).unwrap();
-            nl.add_mosfet(&format!("MCB{n}AP"), ck_mid, ck_in, vdd_dig, vdd_dig, MosType::Pmos, pmos(4e-6, 0.8e-6)).unwrap();
-            nl.add_mosfet(&format!("MCB{n}BN"), ck, ck_mid, gnd, gnd, MosType::Nmos, nmos(24e-6, 0.8e-6)).unwrap();
-            nl.add_mosfet(&format!("MCB{n}BP"), ck, ck_mid, vdd_dig, vdd_dig, MosType::Pmos, pmos(48e-6, 0.8e-6)).unwrap();
+            nl.add_mosfet(
+                &format!("MCB{n}AN"),
+                ck_mid,
+                ck_in,
+                gnd,
+                gnd,
+                MosType::Nmos,
+                nmos(2e-6, 0.8e-6),
+            )
+            .unwrap();
+            nl.add_mosfet(
+                &format!("MCB{n}AP"),
+                ck_mid,
+                ck_in,
+                vdd_dig,
+                vdd_dig,
+                MosType::Pmos,
+                pmos(4e-6, 0.8e-6),
+            )
+            .unwrap();
+            nl.add_mosfet(
+                &format!("MCB{n}BN"),
+                ck,
+                ck_mid,
+                gnd,
+                gnd,
+                MosType::Nmos,
+                nmos(24e-6, 0.8e-6),
+            )
+            .unwrap();
+            nl.add_mosfet(
+                &format!("MCB{n}BP"),
+                ck,
+                ck_mid,
+                vdd_dig,
+                vdd_dig,
+                MosType::Pmos,
+                pmos(48e-6, 0.8e-6),
+            )
+            .unwrap();
         }
 
         let template = comparator_macro(cfg);

@@ -82,14 +82,30 @@ pub fn comparator_macro(cfg: ComparatorConfig) -> Netlist {
     // φ1 puts (vref, vin) on (na, nb); φ2 swaps to (vin, vref), so the
     // left amplifier input moves by +(vin − vref) and the right by the
     // negative — a fully balanced 2× differential drive.
-    nl.add_mosfet("MS1A", vref, ck1, na, gnd, MosType::Nmos, nmos(6e-6, 0.8e-6))
-        .unwrap();
+    nl.add_mosfet(
+        "MS1A",
+        vref,
+        ck1,
+        na,
+        gnd,
+        MosType::Nmos,
+        nmos(6e-6, 0.8e-6),
+    )
+    .unwrap();
     nl.add_mosfet("MS1B", vin, ck1, nb, gnd, MosType::Nmos, nmos(6e-6, 0.8e-6))
         .unwrap();
     nl.add_mosfet("MS2A", vin, ck2, na, gnd, MosType::Nmos, nmos(6e-6, 0.8e-6))
         .unwrap();
-    nl.add_mosfet("MS2B", vref, ck2, nb, gnd, MosType::Nmos, nmos(6e-6, 0.8e-6))
-        .unwrap();
+    nl.add_mosfet(
+        "MS2B",
+        vref,
+        ck2,
+        nb,
+        gnd,
+        MosType::Nmos,
+        nmos(6e-6, 0.8e-6),
+    )
+    .unwrap();
     nl.add_capacitor("CA", na, ga, 200e-15).unwrap();
     nl.add_capacitor("CB", nb, gb, 200e-15).unwrap();
     nl.add_mosfet("MS3A", ga, ck1, vaz, gnd, MosType::Nmos, nmos(3e-6, 0.8e-6))
@@ -153,14 +169,46 @@ pub fn comparator_macro(cfg: ComparatorConfig) -> Netlist {
     // decision race perfectly symmetric (no hysteresis from the held
     // previous state).
     let ck2b = nl.node("ck2b");
-    nl.add_mosfet("MI2N", ck2b, ck2, gnd, gnd, MosType::Nmos, nmos(2e-6, 0.8e-6))
-        .unwrap();
-    nl.add_mosfet("MI2P", ck2b, ck2, vdd, vdd, MosType::Pmos, pmos(4e-6, 0.8e-6))
-        .unwrap();
-    nl.add_mosfet("MLE1", la, ck2b, vdd, vdd, MosType::Pmos, pmos(6e-6, 0.8e-6))
-        .unwrap();
-    nl.add_mosfet("MLE2", lb, ck2b, vdd, vdd, MosType::Pmos, pmos(6e-6, 0.8e-6))
-        .unwrap();
+    nl.add_mosfet(
+        "MI2N",
+        ck2b,
+        ck2,
+        gnd,
+        gnd,
+        MosType::Nmos,
+        nmos(2e-6, 0.8e-6),
+    )
+    .unwrap();
+    nl.add_mosfet(
+        "MI2P",
+        ck2b,
+        ck2,
+        vdd,
+        vdd,
+        MosType::Pmos,
+        pmos(4e-6, 0.8e-6),
+    )
+    .unwrap();
+    nl.add_mosfet(
+        "MLE1",
+        la,
+        ck2b,
+        vdd,
+        vdd,
+        MosType::Pmos,
+        pmos(6e-6, 0.8e-6),
+    )
+    .unwrap();
+    nl.add_mosfet(
+        "MLE2",
+        lb,
+        ck2b,
+        vdd,
+        vdd,
+        MosType::Pmos,
+        pmos(6e-6, 0.8e-6),
+    )
+    .unwrap();
     nl.add_mosfet("MLE3", la, ck2b, lb, vdd, MosType::Pmos, pmos(3e-6, 0.8e-6))
         .unwrap();
 
@@ -239,7 +287,8 @@ pub fn comparator_testbench(cfg: ComparatorConfig, stim: &ComparatorStimulus) ->
         let line = nl.node(&name.to_lowercase());
         let src = nl.node(&format!("{}_src", name.to_lowercase()));
         nl.add_vsource(name, src, gnd, Waveform::dc(value)).unwrap();
-        nl.add_resistor(&format!("R{name}"), src, line, rout).unwrap();
+        nl.add_resistor(&format!("R{name}"), src, line, rout)
+            .unwrap();
     }
     // The reference tap reaches the comparator through the fine ladder's
     // local impedance.
@@ -431,10 +480,7 @@ mod tests {
             let nl = comparator_testbench(ComparatorConfig::default(), &stim);
             let mut sim = Simulator::new(&nl);
             let tr = sim.transient(decision_sim_time(), DT).unwrap();
-            assert!(
-                read_decision(&nl, &tr) > 2.0,
-                "failed at vref = {vref}"
-            );
+            assert!(read_decision(&nl, &tr) > 2.0, "failed at vref = {vref}");
         }
     }
 

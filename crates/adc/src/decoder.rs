@@ -92,22 +92,86 @@ pub fn decoder_slice_macro(codes: [u8; 3]) -> Netlist {
         let e_b = nl.node(&format!("e_b{r}"));
         let e = nl.node(&format!("e{r}"));
         let mid = nl.node(&format!("nmid{r}"));
-        nl.add_mosfet(&format!("MD1N{r}"), tn_b, t_next, gnd, gnd, MosType::Nmos, nmos(2e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD1P{r}"), tn_b, t_next, vdd, vdd, MosType::Pmos, pmos(4e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD2A{r}"), mid, t_cur, gnd, gnd, MosType::Nmos, nmos(3e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD2B{r}"), e_b, tn_b, mid, gnd, MosType::Nmos, nmos(3e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD2PA{r}"), e_b, t_cur, vdd, vdd, MosType::Pmos, pmos(4e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD2PB{r}"), e_b, tn_b, vdd, vdd, MosType::Pmos, pmos(4e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD3N{r}"), e, e_b, gnd, gnd, MosType::Nmos, nmos(3e-6, 0.8e-6))
-            .unwrap();
-        nl.add_mosfet(&format!("MD3P{r}"), e, e_b, vdd, vdd, MosType::Pmos, pmos(6e-6, 0.8e-6))
-            .unwrap();
+        nl.add_mosfet(
+            &format!("MD1N{r}"),
+            tn_b,
+            t_next,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(2e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD1P{r}"),
+            tn_b,
+            t_next,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(4e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD2A{r}"),
+            mid,
+            t_cur,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(3e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD2B{r}"),
+            e_b,
+            tn_b,
+            mid,
+            gnd,
+            MosType::Nmos,
+            nmos(3e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD2PA{r}"),
+            e_b,
+            t_cur,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(4e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD2PB{r}"),
+            e_b,
+            tn_b,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(4e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD3N{r}"),
+            e,
+            e_b,
+            gnd,
+            gnd,
+            MosType::Nmos,
+            nmos(3e-6, 0.8e-6),
+        )
+        .unwrap();
+        nl.add_mosfet(
+            &format!("MD3P{r}"),
+            e,
+            e_b,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            pmos(6e-6, 0.8e-6),
+        )
+        .unwrap();
         for bit in 0..8u8 {
             if code & (1 << bit) != 0 {
                 let bl = nl.node(&format!("bl{bit}"));

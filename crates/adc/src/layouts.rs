@@ -104,10 +104,16 @@ impl CellSynth {
         let gate_x0 = x0 + 3_100;
         let gate_x1 = gate_x0 + GATE_L;
         // Drain and source diffusions abut the channel.
-        self.lo
-            .add_rect(dn, Layer::Active, Rect::new(x0 + 500, y0, gate_x0, y0 + DEV_H));
-        self.lo
-            .add_rect(sn, Layer::Active, Rect::new(gate_x1, y0, x0 + 6_500, y0 + DEV_H));
+        self.lo.add_rect(
+            dn,
+            Layer::Active,
+            Rect::new(x0 + 500, y0, gate_x0, y0 + DEV_H),
+        );
+        self.lo.add_rect(
+            sn,
+            Layer::Active,
+            Rect::new(gate_x1, y0, x0 + 6_500, y0 + DEV_H),
+        );
         // Poly gate strip with a contact pad above the device.
         self.lo.add_rect(
             gn,
@@ -248,8 +254,11 @@ impl CellSynth {
                 Rect::new(x0, y0 - 1_500, x0 + SLOT_W, y0 + DEV_H + 2_000),
             );
         }
-        self.lo
-            .add_rect(rn, Layer::Active, Rect::new(x0 + 2_000, y0, x0 + 5_000, y0 + 1_500));
+        self.lo.add_rect(
+            rn,
+            Layer::Active,
+            Rect::new(x0 + 2_000, y0, x0 + 5_000, y0 + 1_500),
+        );
         self.lo.add_contact(rn, x0 + 3_500, y0 + 750, CUT);
         self.risers.push((rn, x0 + 3_500, y0 + 750));
     }
@@ -329,9 +338,7 @@ impl CellSynth {
         // Feed pins at the left end of their trunk.
         for feed in std::mem::take(&mut self.feeds) {
             let net = self.lo.net(&feed.net);
-            let ty = *track_y
-                .get(&net)
-                .expect("feed nets must be routed trunks");
+            let ty = *track_y.get(&net).expect("feed nets must be routed trunks");
             self.lo.add_pin(Pin {
                 device: feed.device,
                 terminal: feed.terminal,
@@ -460,10 +467,31 @@ pub fn clockgen_layout() -> Layout {
         let y_prev = format!("ck{}", [3, 1, 2][n - 1]);
         let mid = format!("nmid{n}");
         s.place_mosfet(&format!("MG{n}IN"), &a, &x, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MG{n}IP"), &a, &x, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MG{n}IP"),
+            &a,
+            &x,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
         s.place_mosfet(&format!("MG{n}NA"), &b, &a, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MG{n}NB"), &b, &y_prev, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MG{n}PA"), &mid, &a, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MG{n}NB"),
+            &b,
+            &y_prev,
+            "gnd",
+            "gnd",
+            ChannelType::N,
+        );
+        s.place_mosfet(
+            &format!("MG{n}PA"),
+            &mid,
+            &a,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
         s.place_mosfet(
             &format!("MG{n}PB"),
             &b,
@@ -473,9 +501,23 @@ pub fn clockgen_layout() -> Layout {
             ChannelType::P,
         );
         s.place_mosfet(&format!("MG{n}CN"), &c, &b, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MG{n}CP"), &c, &b, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MG{n}CP"),
+            &c,
+            &b,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
         s.place_mosfet(&format!("MG{n}DN"), &y, &c, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MG{n}DP"), &y, &c, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MG{n}DP"),
+            &y,
+            &c,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
     }
     s.place_tap("gnd", false);
     s.place_tap("vdd_dig", true);
@@ -493,7 +535,14 @@ pub fn decoder_slice_layout(codes: [u8; 3]) -> Layout {
     let mut s = CellSynth::new("decoder_slice");
     for bit in 0..8u8 {
         let bl = format!("bl{bit}");
-        s.place_mosfet(&format!("MDP{bit}"), &bl, "pc", "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MDP{bit}"),
+            &bl,
+            "pc",
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
     }
     for (r, &code) in codes.iter().enumerate() {
         let t_cur = format!("t{r}");
@@ -502,18 +551,74 @@ pub fn decoder_slice_layout(codes: [u8; 3]) -> Layout {
         let e_b = format!("e_b{r}");
         let e = format!("e{r}");
         let mid = format!("nmid{r}");
-        s.place_mosfet(&format!("MD1N{r}"), &tn_b, &t_next, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MD1P{r}"), &tn_b, &t_next, "vdd_dig", "vdd_dig", ChannelType::P);
-        s.place_mosfet(&format!("MD2A{r}"), &mid, &t_cur, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MD2B{r}"), &e_b, &tn_b, &mid, "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MD2PA{r}"), &e_b, &t_cur, "vdd_dig", "vdd_dig", ChannelType::P);
-        s.place_mosfet(&format!("MD2PB{r}"), &e_b, &tn_b, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MD1N{r}"),
+            &tn_b,
+            &t_next,
+            "gnd",
+            "gnd",
+            ChannelType::N,
+        );
+        s.place_mosfet(
+            &format!("MD1P{r}"),
+            &tn_b,
+            &t_next,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
+        s.place_mosfet(
+            &format!("MD2A{r}"),
+            &mid,
+            &t_cur,
+            "gnd",
+            "gnd",
+            ChannelType::N,
+        );
+        s.place_mosfet(
+            &format!("MD2B{r}"),
+            &e_b,
+            &tn_b,
+            &mid,
+            "gnd",
+            ChannelType::N,
+        );
+        s.place_mosfet(
+            &format!("MD2PA{r}"),
+            &e_b,
+            &t_cur,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
+        s.place_mosfet(
+            &format!("MD2PB{r}"),
+            &e_b,
+            &tn_b,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
         s.place_mosfet(&format!("MD3N{r}"), &e, &e_b, "gnd", "gnd", ChannelType::N);
-        s.place_mosfet(&format!("MD3P{r}"), &e, &e_b, "vdd_dig", "vdd_dig", ChannelType::P);
+        s.place_mosfet(
+            &format!("MD3P{r}"),
+            &e,
+            &e_b,
+            "vdd_dig",
+            "vdd_dig",
+            ChannelType::P,
+        );
         for bit in 0..8u8 {
             if code & (1 << bit) != 0 {
                 let bl = format!("bl{bit}");
-                s.place_mosfet(&format!("MDR{bit}_{r}"), &bl, &e, "gnd", "gnd", ChannelType::N);
+                s.place_mosfet(
+                    &format!("MDR{bit}_{r}"),
+                    &bl,
+                    &e,
+                    "gnd",
+                    "gnd",
+                    ChannelType::N,
+                );
             }
         }
     }
@@ -526,8 +631,8 @@ pub fn decoder_slice_layout(codes: [u8; 3]) -> Layout {
     s.feed("t3", "VT3", 0);
     s.feed("pc", "RPC", 1);
     s.finish(&[
-        "vdd_dig", "gnd", "pc", "t0", "t1", "t2", "t3", "bl0", "bl1", "bl2", "bl3", "bl4",
-        "bl5", "bl6", "bl7",
+        "vdd_dig", "gnd", "pc", "t0", "t1", "t2", "t3", "bl0", "bl1", "bl2", "bl3", "bl4", "bl5",
+        "bl6", "bl7",
     ])
 }
 
@@ -564,7 +669,11 @@ pub fn ladder_layout() -> Layout {
         // Coarse diffusion bar: two halves per the resistor convention.
         let mid = width / 2;
         lo.add_rect(na, Layer::Active, Rect::new(1_000, y0, mid - 100, y0 + 900));
-        lo.add_rect(nb, Layer::Active, Rect::new(mid + 100, y0, width - 1_000, y0 + 900));
+        lo.add_rect(
+            nb,
+            Layer::Active,
+            Rect::new(mid + 100, y0, width - 1_000, y0 + 900),
+        );
         for (term, net, cx) in [(0usize, na, left_x), (1, nb, right_x)] {
             lo.add_contact(net, cx, y0 + 450, CUT);
             lo.add_pin(Pin {
@@ -595,7 +704,11 @@ pub fn ladder_layout() -> Layout {
             let x0 = 1_000 + j as i64 * seg_w;
             let xm = x0 + seg_w / 2;
             lo.add_rect(ln, Layer::Poly, Rect::new(x0, fy, xm - 100, fy + 700));
-            lo.add_rect(rn, Layer::Poly, Rect::new(xm + 100, fy, x0 + seg_w, fy + 700));
+            lo.add_rect(
+                rn,
+                Layer::Poly,
+                Rect::new(xm + 100, fy, x0 + seg_w, fy + 700),
+            );
             let dev = format!("RF{}_{}", k, j);
             let left_cx = if j == 0 { left_x } else { x0 + 300 };
             let right_cx = if j == FINE_PER_COARSE - 1 {
@@ -631,7 +744,12 @@ pub fn ladder_layout() -> Layout {
         lo.add_rect(
             na,
             Layer::Metal1,
-            Rect::new(left_x - M1_W / 2, left_riser_y0, left_x + M1_W / 2, fy + 700),
+            Rect::new(
+                left_x - M1_W / 2,
+                left_riser_y0,
+                left_x + M1_W / 2,
+                fy + 700,
+            ),
         );
         let right_riser_y1 = if k == COARSE_SEGMENTS - 1 {
             fy + 700
@@ -641,14 +759,24 @@ pub fn ladder_layout() -> Layout {
         lo.add_rect(
             nb,
             Layer::Metal1,
-            Rect::new(right_x - M1_W / 2, y0 + 150, right_x + M1_W / 2, right_riser_y1),
+            Rect::new(
+                right_x - M1_W / 2,
+                y0 + 150,
+                right_x + M1_W / 2,
+                right_riser_y1,
+            ),
         );
         // Inter-row M2 link for coarse node k+1 (except after last row).
         if k + 1 < COARSE_SEGMENTS {
             lo.add_rect(
                 nb,
                 Layer::Metal2,
-                Rect::new(left_x - 700, gap_above - M2_W / 2, right_x + 700, gap_above + M2_W / 2),
+                Rect::new(
+                    left_x - 700,
+                    gap_above - M2_W / 2,
+                    right_x + 700,
+                    gap_above + M2_W / 2,
+                ),
             );
             lo.add_via(nb, right_x, gap_above, CUT);
             lo.add_via(nb, left_x, gap_above, CUT);
@@ -687,11 +815,9 @@ mod tests {
             .violations
             .iter()
             .map(|v| match v {
-                dotm_layout::ExtractViolation::Bridged { nets } => format!(
-                    "bridged {} / {}",
-                    lo.net_name(nets.0),
-                    lo.net_name(nets.1)
-                ),
+                dotm_layout::ExtractViolation::Bridged { nets } => {
+                    format!("bridged {} / {}", lo.net_name(nets.0), lo.net_name(nets.1))
+                }
                 dotm_layout::ExtractViolation::SplitNet { net, components } => {
                     format!("split {} into {components}", lo.net_name(*net))
                 }

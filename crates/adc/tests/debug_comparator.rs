@@ -12,8 +12,8 @@ fn dump_waveforms() {
     let mut sim = Simulator::new(&nl);
     let tr = sim.transient(decision_sim_time(), 0.25e-9).unwrap();
     let nodes = [
-        "ck1", "ck2", "ck3", "na", "nb", "ga", "gb", "oa", "ob", "ntail", "nls", "la", "lb",
-        "fa", "fb", "xa", "xb", "ck2b",
+        "ck1", "ck2", "ck3", "na", "nb", "ga", "gb", "oa", "ob", "ntail", "nls", "la", "lb", "fa",
+        "fb", "xa", "xb", "ck2b",
     ];
     let probe_times: Vec<(f64, &str)> = vec![
         (Phase::Sample.settle_time(), "end sample c0"),
@@ -48,19 +48,28 @@ fn dump_waveforms() {
 fn dump_clockgen_nodes() {
     use dotm_adc::clockgen::*;
     let nl = clockgen_testbench();
-    let mut opts = dotm_sim::SimOptions::default();
-    opts.integration = dotm_sim::Integration::BackwardEuler;
+    let opts = dotm_sim::SimOptions {
+        integration: dotm_sim::Integration::BackwardEuler,
+        ..dotm_sim::SimOptions::default()
+    };
     let mut sim = Simulator::with_options(&nl, opts);
     let tr = sim.transient(CLOCK_PERIOD, 0.5e-9).unwrap();
     let t = Phase::Sample.settle_time();
     let k = tr.index_at(t);
-    for n in ["x1","x2","x3","a1","a2","a3","b1","b2","b3","c1","c2","c3","nmid1","nmid2","nmid3","ck1","ck2","ck3"] {
+    for n in [
+        "x1", "x2", "x3", "a1", "a2", "a3", "b1", "b2", "b3", "c1", "c2", "c3", "nmid1", "nmid2",
+        "nmid3", "ck1", "ck2", "ck3",
+    ] {
         let id = nl.find_node(n).unwrap();
         print!(" {n}={:5.2}", tr.voltage(k, id));
     }
     println!();
     let id = nl.device_id("VDDDIG").unwrap();
     for tt in [20e-9, 30e-9, 36e-9, 50e-9, 60e-9] {
-        println!("i({:.0}ns) = {:.3e}", tt*1e9, tr.branch_current(tr.index_at(tt), id).unwrap());
+        println!(
+            "i({:.0}ns) = {:.3e}",
+            tt * 1e9,
+            tr.branch_current(tr.index_at(tt), id).unwrap()
+        );
     }
 }

@@ -1,82 +1,110 @@
-//! Property-based tests on the behavioural converter and decoder.
+//! Randomised tests on the behavioural converter and decoder.
+//!
+//! Formerly proptest; now exhaustive or seeded loops over the in-tree
+//! PRNG so the workspace builds hermetically. Most ranges here are
+//! small enough to sweep exhaustively, which is strictly stronger than
+//! the sampled originals.
 
 use dotm_adc::behavior::{ComparatorBehavior, FlashAdc};
 use dotm_adc::decoder::{decode_thermometer, thermometer_height};
 use dotm_adc::ladder::{ideal_tap_voltage, TAPS};
 use dotm_adc::process::{VREF_HI, VREF_LO};
-use proptest::prelude::*;
+use dotm_rng::rngs::StdRng;
+use dotm_rng::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn clean_thermometer_always_decodes_its_height(h in 0usize..=255) {
+#[test]
+fn clean_thermometer_always_decodes_its_height() {
+    for h in 0usize..=255 {
         let mut t = vec![false; 256];
         t[..h].iter_mut().for_each(|b| *b = true);
-        prop_assert_eq!(decode_thermometer(&t) as usize, h);
-        prop_assert_eq!(thermometer_height(&t), h);
+        assert_eq!(decode_thermometer(&t) as usize, h);
+        assert_eq!(thermometer_height(&t), h);
     }
+}
 
-    #[test]
-    fn bubble_codes_are_or_of_firing_rows(h in 1usize..250, bubble in 1usize..250) {
-        prop_assume!(bubble > h + 1);
-        let mut t = vec![false; 256];
-        t[..h].iter_mut().for_each(|b| *b = true);
-        t[bubble - 1] = true; // stuck-at-1 above the level
-        let code = decode_thermometer(&t);
-        prop_assert_eq!(code, (h as u8) | (bubble as u8));
+#[test]
+fn bubble_codes_are_or_of_firing_rows() {
+    for h in 1usize..250 {
+        for bubble in (h + 2)..250 {
+            let mut t = vec![false; 256];
+            t[..h].iter_mut().for_each(|b| *b = true);
+            t[bubble - 1] = true; // stuck-at-1 above the level
+            let code = decode_thermometer(&t);
+            assert_eq!(code, (h as u8) | (bubble as u8), "h {h} bubble {bubble}");
+        }
     }
+}
 
-    #[test]
-    fn ideal_conversion_is_monotone(steps in 2usize..100) {
+#[test]
+fn ideal_conversion_is_monotone() {
+    for steps in 2usize..100 {
         let adc = FlashAdc::ideal();
         let mut last = 0u8;
         for k in 0..steps {
-            let vin = (VREF_LO - 0.05)
-                + (VREF_HI - VREF_LO + 0.1) * k as f64 / (steps - 1) as f64;
+            let vin = (VREF_LO - 0.05) + (VREF_HI - VREF_LO + 0.1) * k as f64 / (steps - 1) as f64;
             let code = adc.convert(vin, 0);
-            prop_assert!(code >= last);
+            assert!(code >= last, "steps {steps} k {k}: {code} < {last}");
             last = code;
         }
     }
+}
 
-    #[test]
-    fn conversion_brackets_the_ideal_tap(k in 1usize..=255) {
-        let adc = FlashAdc::ideal();
+#[test]
+fn conversion_brackets_the_ideal_tap() {
+    let adc = FlashAdc::ideal();
+    for k in 1usize..=255 {
         // Just above tap k the code is exactly k.
         let vin = ideal_tap_voltage(k) + 1e-6;
-        prop_assert_eq!(adc.convert(vin, 0) as usize, k);
+        assert_eq!(adc.convert(vin, 0) as usize, k);
     }
+}
 
-    #[test]
-    fn any_single_stuck_comparator_fails_the_ramp_test(
-        k in 1usize..254,
-        high in proptest::bool::ANY,
-    ) {
-        // k = 254 stuck-low is genuinely masked by the wired-OR decoder:
-        // the firing rows 254 and 255 OR to 255, so no code disappears —
-        // a real (boundary) test escape of the missing-code test.
+#[test]
+fn any_single_stuck_comparator_fails_the_ramp_test() {
+    // k = 254 stuck-low is genuinely masked by the wired-OR decoder:
+    // the firing rows 254 and 255 OR to 255, so no code disappears —
+    // a real (boundary) test escape of the missing-code test.
+    for k in 1usize..254 {
+        for high in [false, true] {
+            let mut adc = FlashAdc::ideal();
+            adc.set_comparator(
+                k,
+                if high {
+                    ComparatorBehavior::StuckHigh
+                } else {
+                    ComparatorBehavior::StuckLow
+                },
+            );
+            assert!(adc.fails_missing_code_test(), "k {k} high {high}");
+        }
+    }
+}
+
+#[test]
+fn sub_lsb_offsets_pass_the_ramp_test() {
+    let mut rng = StdRng::seed_from_u64(0xadc1);
+    for _ in 0..64 {
+        let k = rng.gen_range(1usize..255);
+        let offset_mv = rng.gen_range(-3.0f64..3.0);
         let mut adc = FlashAdc::ideal();
         adc.set_comparator(
             k,
-            if high {
-                ComparatorBehavior::StuckHigh
-            } else {
-                ComparatorBehavior::StuckLow
+            ComparatorBehavior::Normal {
+                offset: offset_mv * 1e-3,
             },
         );
-        prop_assert!(adc.fails_missing_code_test());
+        assert!(
+            !adc.fails_missing_code_test(),
+            "k {k} offset {offset_mv} mV"
+        );
     }
+}
 
-    #[test]
-    fn sub_lsb_offsets_pass_the_ramp_test(k in 1usize..255, offset_mv in -3.0f64..3.0) {
-        let mut adc = FlashAdc::ideal();
-        adc.set_comparator(k, ComparatorBehavior::Normal { offset: offset_mv * 1e-3 });
-        prop_assert!(!adc.fails_missing_code_test());
-    }
-
-    #[test]
-    fn ladder_taps_are_strictly_increasing(k in 1usize..TAPS) {
-        prop_assert!(ideal_tap_voltage(k + 1) > ideal_tap_voltage(k));
-        prop_assert!(ideal_tap_voltage(k) > VREF_LO);
-        prop_assert!(ideal_tap_voltage(k) < VREF_HI + 1e-12);
+#[test]
+fn ladder_taps_are_strictly_increasing() {
+    for k in 1usize..TAPS {
+        assert!(ideal_tap_voltage(k + 1) > ideal_tap_voltage(k));
+        assert!(ideal_tap_voltage(k) > VREF_LO);
+        assert!(ideal_tap_voltage(k) < VREF_HI + 1e-12);
     }
 }

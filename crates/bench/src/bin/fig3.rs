@@ -53,9 +53,18 @@ fn main() {
 
     let d = detectability(&report, severity);
     println!();
-    println!("missing-code detectable: {:>5.1}%   (paper: 66.2%)", d.missing_code_pct);
-    println!("current-only detectable: {:>5.1}%   (paper: 26.6%)", d.current_only_pct);
-    println!("IDDQ-only detectable:    {:>5.1}%   (paper: 10.0%)", d.iddq_only_pct);
+    println!(
+        "missing-code detectable: {:>5.1}%   (paper: 66.2%)",
+        d.missing_code_pct
+    );
+    println!(
+        "current-only detectable: {:>5.1}%   (paper: 26.6%)",
+        d.current_only_pct
+    );
+    println!(
+        "IDDQ-only detectable:    {:>5.1}%   (paper: 10.0%)",
+        d.iddq_only_pct
+    );
     println!(
         "missing-code AND IVdd:   {:>5.1}%   (paper: 14.5%)",
         d.missing_code_and_ivdd_pct

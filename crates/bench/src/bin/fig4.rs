@@ -34,9 +34,7 @@ fn main() {
     print_panel("b — non-catastrophic", &ncat);
     println!();
     rule(72);
-    println!(
-        "paper: coverage 93.3% / 93.1%; current 71.8%; current-only 32.5%;"
-    );
+    println!("paper: coverage 93.3% / 93.1%; current 71.8%; current-only 32.5%;");
     println!("       IDDQ-only ~11%; combination of both tests required for the maximum");
     rule(72);
     println!();

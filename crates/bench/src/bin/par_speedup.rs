@@ -1,0 +1,103 @@
+//! Parallel-executor validation: runs the comparator macro path at
+//! `threads = 1` and `threads = N` on the same seed, asserts the two
+//! reports are **bit-for-bit identical** (FNV fingerprint over every
+//! field), and prints the wall-clock speedup.
+//!
+//! Knobs: `DOTM_THREADS` (parallel thread count, default 8),
+//! `DOTM_DEFECTS` (sprinkle size, default 8000), `DOTM_MAX_CLASSES`
+//! (class truncation, default 48 — enough work to amortise thread
+//! startup while staying CI-sized; unset `DOTM_MAX_CLASSES=0` for the
+//! full population).
+//!
+//! Exits non-zero if the fingerprints diverge, so CI can gate on the
+//! determinism contract.
+
+use dotm_bench::{env_u64, env_usize};
+use dotm_core::harnesses::ComparatorHarness;
+use dotm_core::{
+    run_macro_path_with_faults, ExecConfig, GoodSpaceConfig, MacroHarness, MacroReport,
+    PipelineConfig,
+};
+use dotm_defects::{sprinkle_collapsed, Sprinkler};
+use std::time::Instant;
+
+fn config(threads: usize) -> PipelineConfig {
+    let max_classes = match env_usize("DOTM_MAX_CLASSES", 48) {
+        0 => None,
+        n => Some(n),
+    };
+    PipelineConfig {
+        defects: env_usize("DOTM_DEFECTS", 8_000),
+        seed: env_u64("DOTM_SEED", 1995),
+        goodspace: GoodSpaceConfig {
+            common_samples: env_usize("DOTM_GS_COMMON", 3),
+            mismatch_samples: env_usize("DOTM_GS_MM", 2),
+            seed: env_u64("DOTM_SEED", 1995) ^ 0xD07,
+            exec: ExecConfig::with_threads(threads),
+        },
+        max_classes,
+        non_catastrophic: true,
+        exec: ExecConfig::with_threads(threads),
+        ..PipelineConfig::default()
+    }
+}
+
+fn run(threads: usize) -> (MacroReport, f64) {
+    let harness = ComparatorHarness::production();
+    let cfg = config(threads);
+    let layout = harness.layout();
+    let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
+    let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
+    let area = layout
+        .bbox()
+        .map(|b| b.expanded(cfg.stats.size.xmax / 2))
+        .map(|b| b.area() as f64)
+        .unwrap_or(0.0);
+    let t0 = Instant::now();
+    let report =
+        run_macro_path_with_faults(&harness, &cfg, &collapsed, area).expect("path must run");
+    (report, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let par_threads = env_usize("DOTM_THREADS", 8).max(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("comparator macro path, serial vs {par_threads} threads ({cores} cores available)");
+
+    let (serial_report, serial_s) = run(1);
+    println!(
+        "  threads=1:  {:.2}s  ({} outcomes, fingerprint {:#018x})",
+        serial_s,
+        serial_report.outcomes.len(),
+        serial_report.fingerprint()
+    );
+    let (par_report, par_s) = run(par_threads);
+    println!(
+        "  threads={par_threads}:  {:.2}s  ({} outcomes, fingerprint {:#018x})",
+        par_s,
+        par_report.outcomes.len(),
+        par_report.fingerprint()
+    );
+
+    let identical = serial_report.fingerprint() == par_report.fingerprint();
+    println!(
+        "  identical reports: {}   speedup: {:.2}x",
+        if identical {
+            "yes"
+        } else {
+            "NO — DETERMINISM BUG"
+        },
+        serial_s / par_s.max(1e-9)
+    );
+    if cores < par_threads {
+        println!(
+            "  (note: only {cores} hardware threads available — speedup is \
+             bounded by the machine, the determinism check is not)"
+        );
+    }
+    if !identical {
+        std::process::exit(1);
+    }
+}

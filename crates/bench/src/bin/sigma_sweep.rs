@@ -48,7 +48,10 @@ fn main() {
             Err(e) => {
                 // At extreme corners the fault-free circuit itself can
                 // leave the simulator's convergence envelope.
-                println!("{scale:>12.1} {:>12} {:>12} {:>12}  ({e})", "n/a", "n/a", "n/a");
+                println!(
+                    "{scale:>12.1} {:>12} {:>12} {:>12}  ({e})",
+                    "n/a", "n/a", "n/a"
+                );
             }
         }
     }

@@ -44,9 +44,7 @@ fn main() {
 
     println!();
     println!("Table 1: Catastrophic faults and fault classes for comparator");
-    println!(
-        "  (pilot: {pilot} defects -> {pilot_faults} faults, {pilot_classes} classes;"
-    );
+    println!("  (pilot: {pilot} defects -> {pilot_faults} faults, {pilot_classes} classes;");
     println!(
         "   full:  {full} defects -> {} faults in those classes)",
         report.total_faults
@@ -76,8 +74,8 @@ fn main() {
         report.class_count()
     );
     println!();
-    let shorts = report.fault_pct(FaultMechanism::Short)
-        + report.fault_pct(FaultMechanism::ExtraContact);
+    let shorts =
+        report.fault_pct(FaultMechanism::Short) + report.fault_pct(FaultMechanism::ExtraContact);
     println!("shorts (incl. extra contacts): {shorts:.1}% of faults (paper: > 95%)");
     println!(
         "opens: {:.3}% of faults, {:.1}% of classes (paper: 0.03% / 5.1%)",
@@ -86,8 +84,7 @@ fn main() {
     );
 
     // The macro-internal share (paper: 27.8 % influence only this macro).
-    let shared: std::collections::HashSet<&str> =
-        harness.shared_nets().into_iter().collect();
+    let shared: std::collections::HashSet<&str> = harness.shared_nets().into_iter().collect();
     let nl = harness.testbench();
     let mut internal = 0usize;
     for class in &report.classes {

@@ -24,10 +24,7 @@ fn main() {
         m.current_window * 1e6
     );
     rule(64);
-    println!(
-        "defect-oriented total:        {:>8.3} ms",
-        m.total() * 1e3
-    );
+    println!("defect-oriented total:        {:>8.3} ms", m.total() * 1e3);
     println!(
         "specification-oriented suite: {:>8.1} ms  (code density + FFTs + trims)",
         m.specification_test_time() * 1e3

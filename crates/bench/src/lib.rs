@@ -19,13 +19,15 @@
 //! `DOTM_TABLE1_FULL` (Table 1 recount size, default 10000000),
 //! `DOTM_GS_COMMON` / `DOTM_GS_MM` (good-space Monte-Carlo sizes),
 //! `DOTM_MAX_CLASSES` (truncate to the most frequent classes — smoke runs
-//! only), `DOTM_SEED`.
+//! only), `DOTM_SEED`, `DOTM_THREADS` (worker threads for the parallel
+//! executor; changes wall-clock time only, never a number).
 
 use dotm_core::harnesses::{
     BiasHarness, ClockgenHarness, ComparatorHarness, DecoderHarness, LadderHarness,
 };
 use dotm_core::{
-    run_macro_path, GlobalReport, GoodSpaceConfig, MacroHarness, MacroReport, PipelineConfig,
+    par_map, run_macro_path, ExecConfig, GlobalReport, GoodSpaceConfig, MacroHarness, MacroReport,
+    PipelineConfig,
 };
 
 /// Reads a `usize` environment knob.
@@ -56,6 +58,7 @@ pub fn standard_config() -> PipelineConfig {
             common_samples: env_usize("DOTM_GS_COMMON", 5),
             mismatch_samples: env_usize("DOTM_GS_MM", 4),
             seed: env_u64("DOTM_SEED", 1995) ^ 0xD07,
+            ..GoodSpaceConfig::default()
         },
         max_classes,
         ..PipelineConfig::default()
@@ -95,13 +98,27 @@ pub fn run_with_progress(harness: &dyn MacroHarness) -> MacroReport {
 }
 
 /// Runs all five macro paths for the global figures.
+///
+/// The five macros fan out across worker threads (they are fully
+/// independent runs); the report order — and every number in it — is
+/// identical to the serial path regardless of `DOTM_THREADS`.
 pub fn global_report(dft: bool) -> GlobalReport {
-    let comparator = comparator_report(dft);
-    let ladder = run_with_progress(&LadderHarness);
-    let bias = run_with_progress(&BiasHarness::default());
-    let clockgen = run_with_progress(&ClockgenHarness::default());
-    let decoder = run_with_progress(&DecoderHarness::default());
-    GlobalReport::new(vec![comparator, ladder, bias, clockgen, decoder])
+    let comparator: Box<dyn MacroHarness> = Box::new(if dft {
+        ComparatorHarness::dft()
+    } else {
+        ComparatorHarness::production()
+    });
+    let harnesses: Vec<Box<dyn MacroHarness>> = vec![
+        comparator,
+        Box::new(LadderHarness),
+        Box::new(BiasHarness::default()),
+        Box::new(ClockgenHarness::default()),
+        Box::new(DecoderHarness::default()),
+    ];
+    let reports = par_map(&ExecConfig::default(), &harnesses, |_, harness| {
+        run_with_progress(harness.as_ref())
+    });
+    GlobalReport::new(reports)
 }
 
 /// Prints a ruled table row.

@@ -206,7 +206,8 @@ mod tests {
         assert!(check_iddq_budget(&nl, "VDDDIG").unwrap().is_empty());
         // A resistive static path blows the budget.
         let leaky_node = nl.node("x");
-        nl.add_resistor("RLEAK", vdd_dig, leaky_node, 100e3).unwrap();
+        nl.add_resistor("RLEAK", vdd_dig, leaky_node, 100e3)
+            .unwrap();
         nl.add_resistor("RLEAK2", leaky_node, Netlist::GROUND, 100e3)
             .unwrap();
         let advisories = check_iddq_budget(&nl, "VDDDIG").unwrap();

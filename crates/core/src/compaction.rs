@@ -146,7 +146,7 @@ mod tests {
     use dotm_defects::FaultMechanism;
     use dotm_layout::Layout;
     use dotm_netlist::Netlist;
-    use rand::rngs::StdRng;
+    use dotm_rng::rngs::StdRng;
 
     /// A harness stub: only `plan` matters for compaction.
     #[derive(Debug)]
@@ -169,10 +169,7 @@ mod tests {
             MeasurementPlan {
                 labels: (0..5)
                     .map(|i| {
-                        MeasureLabel::new(
-                            MeasureKind::Current(CurrentKind::IVdd),
-                            format!("i{i}"),
-                        )
+                        MeasureLabel::new(MeasureKind::Current(CurrentKind::IVdd), format!("i{i}"))
                     })
                     .collect(),
             }

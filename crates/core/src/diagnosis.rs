@@ -98,11 +98,7 @@ impl FaultDictionary {
             .iter()
             .map(|e| {
                 let pred = pattern(e.predicted);
-                let mismatches = obs
-                    .iter()
-                    .zip(&pred)
-                    .filter(|(a, b)| a != b)
-                    .count();
+                let mismatches = obs.iter().zip(&pred).filter(|(a, b)| a != b).count();
                 let likelihood = (1.0 - FLIP_PROB).powi((4 - mismatches) as i32)
                     * FLIP_PROB.powi(mismatches as i32);
                 Candidate {

@@ -121,7 +121,13 @@ mod tests {
         let m = YieldModel::default();
         let before = m.escapes_ppm(0.933);
         let after = m.escapes_ppm(0.991);
-        assert!(before / after > 6.0, "before {before:.0} ppm, after {after:.0} ppm");
-        assert!(before > 5_000.0 && before < 15_000.0, "before {before:.0} ppm");
+        assert!(
+            before / after > 6.0,
+            "before {before:.0} ppm, after {after:.0} ppm"
+        );
+        assert!(
+            before > 5_000.0 && before < 15_000.0,
+            "before {before:.0} ppm"
+        );
     }
 }

@@ -1,0 +1,184 @@
+//! Deterministic parallel execution of embarrassingly parallel loops.
+//!
+//! The methodology's hot paths — per-class fault evaluation, good-space
+//! Monte Carlo, per-macro global runs — are all "map a pure function over
+//! an index range" problems. This module runs such maps across OS threads
+//! (`std::thread::scope` plus one shared atomic work index, no external
+//! dependencies) while keeping the output **bit-for-bit identical to the
+//! serial path**: every item's result is collected under its original
+//! index, so thread count and scheduling order never leak into reports.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. an explicit [`ExecConfig { threads }`](ExecConfig) with `threads > 0`,
+//! 2. the `DOTM_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `threads = 1` takes a plain serial loop on the calling thread — exactly
+//! the pre-parallel code path, with no scope, channel or allocation
+//! overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-count configuration for the parallel executor.
+///
+/// `threads == 0` means "auto": resolve from `DOTM_THREADS`, falling back
+/// to the machine's available parallelism. Results never depend on the
+/// value — only wall-clock time does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    /// Worker threads to use (0 = auto).
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Forces the serial code path.
+    pub fn serial() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// An explicit thread count (0 = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig { threads }
+    }
+
+    /// The number of worker threads this configuration resolves to for a
+    /// loop of `items` elements.
+    pub fn effective_threads(&self, items: usize) -> usize {
+        let configured = if self.threads > 0 {
+            self.threads
+        } else {
+            std::env::var("DOTM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+        };
+        configured.min(items).max(1)
+    }
+}
+
+/// Maps `f` over `items`, in parallel when the configuration allows,
+/// returning results in item order.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them (it
+/// may read shared state, never write). Determinism contract: the output
+/// vector equals `items.iter().enumerate().map(|(i, t)| f(i, t))` exactly,
+/// for every thread count.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(cfg: &ExecConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = cfg.effective_threads(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Per-worker batching of results keeps lock traffic low
+                // without changing the index-ordered output.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                if !local.is_empty() {
+                    collected.lock().expect("no poisoned workers").extend(local);
+                }
+            });
+        }
+    });
+
+    let mut indexed = collected.into_inner().expect("all workers joined");
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map`] over a bare index range — for loops that have no natural
+/// input slice.
+pub fn par_map_indices<R, F>(cfg: &ExecConfig, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(cfg, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..1000).collect();
+        let f = |i: usize, t: &u64| t.wrapping_mul(0x9e3779b9).wrapping_add(i as u64);
+        let serial = par_map(&ExecConfig::serial(), &items, f);
+        for threads in [2, 3, 8, 64] {
+            let parallel = par_map(&ExecConfig::with_threads(threads), &items, f);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&ExecConfig::default(), &empty, |_, &x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(
+            par_map(&ExecConfig::with_threads(8), &one, |i, &x| (i, x)),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn index_range_variant_matches_direct_map() {
+        let out = par_map_indices(&ExecConfig::with_threads(4), 100, |i| i * i);
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_items() {
+        let cfg = ExecConfig::with_threads(16);
+        assert_eq!(cfg.effective_threads(3), 3);
+        assert_eq!(cfg.effective_threads(0), 1);
+        assert_eq!(ExecConfig::serial().effective_threads(100), 1);
+    }
+
+    #[test]
+    fn results_arrive_in_item_order_under_contention() {
+        // Items deliberately finish out of order (reverse-proportional
+        // busy work); the output must still be index-ordered.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&ExecConfig::with_threads(8), &items, |_, &i| {
+            let spin = (64 - i) * 500;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc.wrapping_mul(0)) // acc folded in to defeat optimisation
+        });
+        for (k, (i, _)) in out.iter().enumerate() {
+            assert_eq!(k, *i);
+        }
+    }
+}

@@ -9,13 +9,13 @@
 //! thresholds can be scaled to the full chip (256 comparators share one
 //! supply pin).
 
+use crate::exec::{self, ExecConfig};
 use crate::harness::MacroHarness;
 use crate::measure::MeasureKind;
 use crate::processvar::ProcessModel;
 use crate::signature::{CurrentFlags, CurrentKind};
+use dotm_rng::rngs::StdRng;
 use dotm_sim::SimError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Monte-Carlo sizes for good-space compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,10 @@ pub struct GoodSpaceConfig {
     pub mismatch_samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Parallel execution of the common samples. The result is
+    /// thread-count-invariant: each common sample draws from its own
+    /// `(seed, index)` substream.
+    pub exec: ExecConfig,
 }
 
 impl Default for GoodSpaceConfig {
@@ -34,6 +38,48 @@ impl Default for GoodSpaceConfig {
             common_samples: 5,
             mismatch_samples: 4,
             seed: 1995,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// Draws common sample `si` — and its `m` mismatch measurements — from
+/// the sample's own `(seed, si)` substream. Retries with fresh draws from
+/// the same stream when a process corner fails to converge, so the result
+/// depends only on `(cfg.seed, si)`, never on sibling samples or thread
+/// scheduling.
+fn compile_common_sample(
+    harness: &dyn MacroHarness,
+    model: &ProcessModel,
+    cfg: &GoodSpaceConfig,
+    m: usize,
+    si: u64,
+) -> Result<Vec<Vec<f64>>, SimError> {
+    let mut rng = StdRng::seed_from_stream(cfg.seed, si);
+    let mut retries_left = 2 * m + 2;
+    loop {
+        let common = model.sample_common(&mut rng);
+        let mut per_mm = Vec::with_capacity(m);
+        let mut corner_error = None;
+        for _ in 0..m {
+            let mut nl = harness.testbench();
+            harness.perturb(&mut nl, model, &common, &mut rng);
+            match harness.measure(&nl) {
+                Ok(v) => per_mm.push(v),
+                Err(e) => {
+                    corner_error = Some(e);
+                    break;
+                }
+            }
+        }
+        match corner_error {
+            None => return Ok(per_mm),
+            Some(e) => {
+                if retries_left == 0 {
+                    return Err(e);
+                }
+                retries_left -= 1;
+            }
         }
     }
 }
@@ -67,36 +113,18 @@ impl GoodSpace {
         let n = nominal.len();
         let s = cfg.common_samples.max(1);
         let m = cfg.mismatch_samples.max(1);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        // samples[s][m][i]. A perturbed sample at an extreme corner can
-        // leave the simulator's convergence envelope; the good space is a
-        // statistical estimate, so such a sample is redrawn (bounded
+        // samples[s][m][i]. Each common sample draws from its own
+        // `(seed, index)` substream, so the compilation parallelises over
+        // the common axis with thread-count-invariant results. A perturbed
+        // sample at an extreme corner can leave the simulator's
+        // convergence envelope; the good space is a statistical estimate,
+        // so such a sample is redrawn from its own stream (bounded
         // retries) rather than failing the whole compilation.
-        let mut retries_left = 2 * s * m;
-        let mut samples: Vec<Vec<Vec<f64>>> = Vec::with_capacity(s);
-        while samples.len() < s {
-            let common = model.sample_common(&mut rng);
-            let mut per_mm = Vec::with_capacity(m);
-            let mut corner_failed = false;
-            for _ in 0..m {
-                let mut nl = harness.testbench();
-                harness.perturb(&mut nl, model, &common, &mut rng);
-                match harness.measure(&nl) {
-                    Ok(v) => per_mm.push(v),
-                    Err(e) => {
-                        if retries_left == 0 {
-                            return Err(e);
-                        }
-                        retries_left -= 1;
-                        corner_failed = true;
-                        break;
-                    }
-                }
-            }
-            if !corner_failed {
-                samples.push(per_mm);
-            }
-        }
+        let samples: Vec<Vec<Vec<f64>>> = exec::par_map_indices(&cfg.exec, s, |si| {
+            compile_common_sample(harness, model, &cfg, m, si as u64)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let mut mean = vec![0.0; n];
         let mut sigma_common = vec![0.0; n];
         let mut sigma_mismatch = vec![0.0; n];
@@ -137,9 +165,8 @@ impl GoodSpace {
     /// part adds linearly, mismatch in quadrature.
     pub fn threshold(&self, i: usize, n_instances: usize) -> f64 {
         let n = n_instances as f64;
-        let sigma_chip = ((n * self.sigma_common[i]).powi(2)
-            + n * self.sigma_mismatch[i].powi(2))
-        .sqrt();
+        let sigma_chip =
+            ((n * self.sigma_common[i]).powi(2) + n * self.sigma_mismatch[i].powi(2)).sqrt();
         3.0 * sigma_chip
     }
 
@@ -168,9 +195,7 @@ impl GoodSpace {
                     1.0
                 };
                 let deviation = (faulty[i] - self.nominal[i]).abs() * mult;
-                let threshold = self
-                    .threshold(i, n_inst)
-                    .max(harness.current_floor(kind));
+                let threshold = self.threshold(i, n_inst).max(harness.current_floor(kind));
                 if deviation > threshold {
                     flags.set(kind, true);
                 }
@@ -198,9 +223,7 @@ impl GoodSpace {
                     1.0
                 };
                 let deviation = (faulty[i] - self.nominal[i]).abs() * mult;
-                let threshold = self
-                    .threshold(i, n_inst)
-                    .max(harness.current_floor(kind));
+                let threshold = self.threshold(i, n_inst).max(harness.current_floor(kind));
                 if deviation > threshold {
                     out.push(i);
                 }

@@ -13,11 +13,15 @@ use crate::processvar::{CommonSample, ProcessModel};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
+use dotm_rng::rngs::StdRng;
 use dotm_sim::SimError;
-use rand::rngs::StdRng;
 
 /// Drives circuit-level analysis of one macro cell type.
-pub trait MacroHarness {
+///
+/// `Sync` is a supertrait: the parallel executor shares one harness
+/// across worker threads, so implementations must hold only immutable
+/// (or thread-safe) state — all five case-study harnesses are plain data.
+pub trait MacroHarness: Sync {
     /// Macro name (matches the layout name).
     fn name(&self) -> &str;
 

@@ -12,8 +12,8 @@ use dotm_adc::layouts::{comparator_layout, LayoutConfig};
 use dotm_adc::process::{Phase, CLOCK_PERIOD, VREF_HI, VREF_LO};
 use dotm_layout::Layout;
 use dotm_netlist::{DeviceKind, Netlist, Waveform};
+use dotm_rng::rngs::StdRng;
 use dotm_sim::{SimError, Simulator};
-use rand::rngs::StdRng;
 
 /// The differential drive points probed by the voltage test, in volts
 /// around the reference. ±8 mV is the paper's one-LSB offset bound.

@@ -37,10 +37,7 @@ impl MacroHarness for LadderHarness {
     fn plan(&self) -> MeasurementPlan {
         let mut labels = Vec::new();
         for k in 1..=TAPS {
-            labels.push(MeasureLabel::new(
-                MeasureKind::Decision,
-                format!("tap{k}"),
-            ));
+            labels.push(MeasureLabel::new(MeasureKind::Decision, format!("tap{k}")));
         }
         labels.push(MeasureLabel::new(
             MeasureKind::Current(CurrentKind::Iinput),
@@ -87,9 +84,9 @@ impl MacroHarness for LadderHarness {
         // sensitisation path of the paper.
         let mut adc = FlashAdc::ideal();
         let mut worst = 0.0f64;
-        for k in 0..TAPS {
-            adc.set_reference(k, faulty[k]);
-            worst = worst.max((faulty[k] - ideal_tap_voltage(k + 1)).abs());
+        for (k, &v) in faulty.iter().enumerate().take(TAPS) {
+            adc.set_reference(k, v);
+            worst = worst.max((v - ideal_tap_voltage(k + 1)).abs());
         }
         if worst > RAIL_DEV {
             return VoltageSignature::OutputStuckAt;

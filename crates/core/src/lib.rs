@@ -30,6 +30,7 @@ mod advisor;
 mod compaction;
 mod diagnosis;
 mod escapes;
+pub mod exec;
 mod global;
 mod goodspace;
 mod harness;
@@ -41,10 +42,13 @@ mod report;
 mod signature;
 mod testtime;
 
-pub use advisor::{check_iddq_budget, check_trunk_order, Advisory, IDDQ_BUDGET, SIMILARITY_THRESHOLD};
+pub use advisor::{
+    check_iddq_budget, check_trunk_order, Advisory, IDDQ_BUDGET, SIMILARITY_THRESHOLD,
+};
 pub use compaction::{compact_current_tests, CompactionResult, CompactionStep};
 pub use diagnosis::{Candidate, DictionaryEntry, FaultDictionary};
 pub use escapes::YieldModel;
+pub use exec::{par_map, par_map_indices, ExecConfig};
 pub use global::{GlobalDetectability, GlobalReport};
 pub use goodspace::{GoodSpace, GoodSpaceConfig};
 pub use harness::MacroHarness;

@@ -3,6 +3,7 @@
 //! circuit-level fault simulation → signature classification → detection
 //! evaluation against the compiled good space.
 
+use crate::exec::{self, ExecConfig};
 use crate::goodspace::{GoodSpace, GoodSpaceConfig};
 use crate::harness::MacroHarness;
 use crate::signature::{CurrentFlags, DetectionSet, VoltageSignature};
@@ -35,6 +36,10 @@ pub struct PipelineConfig {
     /// Also evaluate the non-catastrophic (near-miss) variants of shorts
     /// and extra contacts.
     pub non_catastrophic: bool,
+    /// Parallel execution of the per-class fault evaluations. Reports are
+    /// bit-for-bit identical for every thread count; `threads = 1` is the
+    /// plain serial loop.
+    pub exec: ExecConfig,
 }
 
 impl Default for PipelineConfig {
@@ -47,6 +52,7 @@ impl Default for PipelineConfig {
             goodspace: GoodSpaceConfig::default(),
             max_classes: None,
             non_catastrophic: true,
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -135,11 +141,7 @@ impl MacroReport {
     }
 
     /// Weighted fraction of faults satisfying a predicate, in percent.
-    pub fn pct_where(
-        &self,
-        severity: Severity,
-        pred: impl Fn(&ClassOutcome) -> bool,
-    ) -> f64 {
+    pub fn pct_where(&self, severity: Severity, pred: impl Fn(&ClassOutcome) -> bool) -> f64 {
         let total = self.weight_of(severity);
         if total == 0.0 {
             return 0.0;
@@ -155,6 +157,48 @@ impl MacroReport {
     /// Overall fault coverage (any detection mechanism), in percent.
     pub fn coverage(&self, severity: Severity) -> f64 {
         self.pct_where(severity, |o| o.detection.detected())
+    }
+
+    /// A 64-bit FNV-1a digest over every field of the report, including
+    /// the exact bit patterns of the floating-point members. Two reports
+    /// fingerprint equal iff they are bit-for-bit identical — the
+    /// executor's determinism contract is asserted on this value.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.instances as u64).to_le_bytes());
+        eat(&self.sprinkle_area_nm2.to_bits().to_le_bytes());
+        eat(&(self.defects as u64).to_le_bytes());
+        eat(&(self.total_faults as u64).to_le_bytes());
+        eat(&(self.class_count as u64).to_le_bytes());
+        for o in &self.outcomes {
+            eat(o.key.as_bytes());
+            eat(format!("{:?}", o.mechanism).as_bytes());
+            eat(&(o.count as u64).to_le_bytes());
+            eat(format!("{:?}", o.severity).as_bytes());
+            eat(format!("{:?}", o.voltage).as_bytes());
+            eat(&[
+                o.shared as u8,
+                o.currents.ivdd as u8,
+                o.currents.iddq as u8,
+                o.currents.iinput as u8,
+                o.detection.missing_code as u8,
+                o.sim_failed as u8,
+                o.inject_failed as u8,
+            ]);
+            for &i in &o.flagged {
+                eat(&(i as u64).to_le_bytes());
+            }
+        }
+        h
     }
 
     /// Expected number of faults this macro type contributes per sprinkled
@@ -236,8 +280,8 @@ pub fn run_macro_path_with_faults(
     collapsed: &CollapseReport,
     sprinkle_area_nm2: f64,
 ) -> Result<MacroReport, PathError> {
-    let good = GoodSpace::compile(harness, &cfg.process, cfg.goodspace)
-        .map_err(PathError::GoodCircuit)?;
+    let good =
+        GoodSpace::compile(harness, &cfg.process, cfg.goodspace).map_err(PathError::GoodCircuit)?;
     let injector = Injector::default();
     let shared: HashSet<&str> = harness.shared_nets().into_iter().collect();
     let base = harness.testbench();
@@ -247,8 +291,12 @@ pub fn run_macro_path_with_faults(
         None => collapsed.classes.iter().collect(),
     };
 
-    let mut outcomes = Vec::new();
-    for class in &classes {
+    // Each class is a pure function of the compiled good space and the
+    // base netlist, so the evaluation fans out across threads; collecting
+    // per-class result vectors by index and flattening keeps the outcome
+    // order — and therefore the whole report — identical to the serial
+    // loop for every thread count.
+    let outcomes: Vec<ClassOutcome> = exec::par_map(&cfg.exec, &classes, |_, class| {
         let effect = &class.representative.effect;
         let is_shared = effect_nets(effect, &base)
             .iter()
@@ -257,25 +305,31 @@ pub fn run_macro_path_with_faults(
         if cfg.non_catastrophic && injector.supports_non_catastrophic(effect) {
             severities.push(Severity::NonCatastrophic);
         }
-        for severity in severities {
-            let outcome = evaluate_class(
-                harness, &injector, &good, &base, effect, severity, is_shared,
-            );
-            outcomes.push(ClassOutcome {
-                key: class.key.clone(),
-                mechanism: class.mechanism(),
-                count: class.count,
-                severity,
-                shared: is_shared,
-                voltage: outcome.voltage,
-                currents: outcome.currents,
-                detection: outcome.detection,
-                flagged: outcome.flagged,
-                sim_failed: outcome.sim_failed,
-                inject_failed: outcome.inject_failed,
-            });
-        }
-    }
+        severities
+            .into_iter()
+            .map(|severity| {
+                let outcome = evaluate_class(
+                    harness, &injector, &good, &base, effect, severity, is_shared,
+                );
+                ClassOutcome {
+                    key: class.key.clone(),
+                    mechanism: class.mechanism(),
+                    count: class.count,
+                    severity,
+                    shared: is_shared,
+                    voltage: outcome.voltage,
+                    currents: outcome.currents,
+                    detection: outcome.detection,
+                    flagged: outcome.flagged,
+                    sim_failed: outcome.sim_failed,
+                    inject_failed: outcome.inject_failed,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     Ok(MacroReport {
         name: harness.name().to_string(),
@@ -491,6 +545,7 @@ mod tests {
                 common_samples: 2,
                 mismatch_samples: 2,
                 seed: 1,
+                ..GoodSpaceConfig::default()
             },
             ..PipelineConfig::default()
         };
@@ -605,7 +660,10 @@ mod tests {
             },
             &nl,
         );
-        assert_eq!(nets, vec!["0".to_string(), "a".to_string(), "b".to_string()]);
+        assert_eq!(
+            nets,
+            vec!["0".to_string(), "a".to_string(), "b".to_string()]
+        );
         let nets = effect_nets(
             &FaultEffect::DeviceShort {
                 device: "M1".into(),
@@ -645,6 +703,7 @@ mod tests {
                 common_samples: 2,
                 mismatch_samples: 2,
                 seed: 1,
+                ..GoodSpaceConfig::default()
             },
             ..PipelineConfig::default()
         };

@@ -2,8 +2,8 @@
 //! the good signature "a multi-dimensional space" rather than a point.
 
 use dotm_netlist::{DeviceKind, MosType, Netlist};
-use rand::rngs::StdRng;
-use rand::Rng;
+use dotm_rng::rngs::StdRng;
+use dotm_rng::Rng;
 
 /// Standard deviations of the variation model.
 ///
@@ -144,7 +144,7 @@ impl ProcessModel {
 mod tests {
     use super::*;
     use dotm_netlist::{MosfetParams, Waveform};
-    use rand::SeedableRng;
+    use dotm_rng::SeedableRng;
 
     fn sample_rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)

@@ -53,8 +53,7 @@ pub fn voltage_table(report: &MacroReport) -> Vec<VoltageRow> {
         .map(|&sig| VoltageRow {
             signature: sig,
             catastrophic_pct: report.pct_where(Severity::Catastrophic, |o| o.voltage == sig),
-            non_catastrophic_pct: report
-                .pct_where(Severity::NonCatastrophic, |o| o.voltage == sig),
+            non_catastrophic_pct: report.pct_where(Severity::NonCatastrophic, |o| o.voltage == sig),
         })
         .collect()
 }
@@ -66,8 +65,7 @@ pub fn current_table(report: &MacroReport) -> Vec<CurrentRow> {
         .iter()
         .map(|&kind| CurrentRow {
             kind: Some(kind),
-            catastrophic_pct: report
-                .pct_where(Severity::Catastrophic, |o| o.currents.get(kind)),
+            catastrophic_pct: report.pct_where(Severity::Catastrophic, |o| o.currents.get(kind)),
             non_catastrophic_pct: report
                 .pct_where(Severity::NonCatastrophic, |o| o.currents.get(kind)),
         })
@@ -75,8 +73,7 @@ pub fn current_table(report: &MacroReport) -> Vec<CurrentRow> {
     rows.push(CurrentRow {
         kind: None,
         catastrophic_pct: report.pct_where(Severity::Catastrophic, |o| !o.currents.any()),
-        non_catastrophic_pct: report
-            .pct_where(Severity::NonCatastrophic, |o| !o.currents.any()),
+        non_catastrophic_pct: report.pct_where(Severity::NonCatastrophic, |o| !o.currents.any()),
     });
     rows
 }
@@ -147,10 +144,34 @@ mod tests {
             total_faults: 10,
             class_count: 4,
             outcomes: vec![
-                outcome(60, Severity::Catastrophic, VoltageSignature::OutputStuckAt, true, false),
-                outcome(20, Severity::Catastrophic, VoltageSignature::NoDeviation, false, true),
-                outcome(20, Severity::Catastrophic, VoltageSignature::NoDeviation, false, false),
-                outcome(10, Severity::NonCatastrophic, VoltageSignature::Offset, false, false),
+                outcome(
+                    60,
+                    Severity::Catastrophic,
+                    VoltageSignature::OutputStuckAt,
+                    true,
+                    false,
+                ),
+                outcome(
+                    20,
+                    Severity::Catastrophic,
+                    VoltageSignature::NoDeviation,
+                    false,
+                    true,
+                ),
+                outcome(
+                    20,
+                    Severity::Catastrophic,
+                    VoltageSignature::NoDeviation,
+                    false,
+                    false,
+                ),
+                outcome(
+                    10,
+                    Severity::NonCatastrophic,
+                    VoltageSignature::Offset,
+                    false,
+                    false,
+                ),
             ],
         }
     }

@@ -128,6 +128,7 @@ fn fast_goodspace_compiles_for_dc_harnesses() {
         common_samples: 2,
         mismatch_samples: 2,
         seed: 3,
+        ..GoodSpaceConfig::default()
     };
     let model = ProcessModel::default();
     for h in [

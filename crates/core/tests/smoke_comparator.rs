@@ -3,8 +3,7 @@
 
 use dotm_core::harnesses::ComparatorHarness;
 use dotm_core::{
-    detectability, run_macro_path, voltage_table, GoodSpaceConfig, PipelineConfig,
-    VoltageSignature,
+    detectability, run_macro_path, voltage_table, GoodSpaceConfig, PipelineConfig, VoltageSignature,
 };
 use dotm_faults::Severity;
 
@@ -18,14 +17,23 @@ fn comparator_path_produces_plausible_statistics() {
             common_samples: 3,
             mismatch_samples: 2,
             seed: 7,
+            ..GoodSpaceConfig::default()
         },
         max_classes: Some(40),
         non_catastrophic: true,
         ..PipelineConfig::default()
     };
     let report = run_macro_path(&harness, &cfg).expect("path must run");
-    assert!(report.total_faults > 20, "too few faults: {}", report.total_faults);
-    assert!(report.class_count > 10, "too few classes: {}", report.class_count);
+    assert!(
+        report.total_faults > 20,
+        "too few faults: {}",
+        report.total_faults
+    );
+    assert!(
+        report.class_count > 10,
+        "too few classes: {}",
+        report.class_count
+    );
 
     let rows = voltage_table(&report);
     println!(
@@ -83,11 +91,7 @@ fn comparator_path_produces_plausible_statistics() {
             .map(|r| (r.signature.to_string(), r.catastrophic_pct))
             .collect::<Vec<_>>()
     );
-    let sim_failures = report
-        .outcomes
-        .iter()
-        .filter(|o| o.sim_failed)
-        .count();
+    let sim_failures = report.outcomes.iter().filter(|o| o.sim_failed).count();
     println!(
         "classes evaluated: {}, sim failures: {sim_failures}",
         report.outcomes.len()

@@ -7,8 +7,8 @@
 
 use crate::fault::{Fault, FaultMechanism};
 use crate::sprinkle::Sprinkler;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dotm_rng::rngs::StdRng;
+use dotm_rng::SeedableRng;
 use std::collections::HashMap;
 
 /// A class of circuit-level-equivalent faults.
@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn identical_shorts_collapse() {
-        let faults = vec![bridge("a", "b", 0), bridge("a", "b", 500), bridge("a", "c", 0)];
+        let faults = vec![
+            bridge("a", "b", 0),
+            bridge("a", "b", 500),
+            bridge("a", "c", 0),
+        ];
         let rep = collapse(100, faults);
         assert_eq!(rep.total_faults, 3);
         assert_eq!(rep.class_count(), 2);

@@ -58,10 +58,7 @@ pub fn expected_parallel_wire_bridges(
 /// the sum over adjacent pairs of `E[max(x − s, 0)]`. Reordering the
 /// trunks changes which *nets* are adjacent but not this total; combined
 /// with per-pair detectability weights it quantifies a DfT reorder.
-pub fn adjacent_pair_exposure(
-    separations_nm: &[f64],
-    size: &SizeDistribution,
-) -> Vec<f64> {
+pub fn adjacent_pair_exposure(separations_nm: &[f64], size: &SizeDistribution) -> Vec<f64> {
     separations_nm
         .iter()
         .map(|&s| expected_excess_over(s, size))
@@ -131,7 +128,14 @@ mod tests {
         let a = lo.net("a");
         let b = lo.net("b");
         lo.wire_h(a, Layer::Metal1, 0, length, 0, width);
-        lo.wire_h(b, Layer::Metal1, 0, length, width / 2 + sep + width / 2, width);
+        lo.wire_h(
+            b,
+            Layer::Metal1,
+            0,
+            length,
+            width / 2 + sep + width / 2,
+            width,
+        );
 
         // Extra-metal1 only, so every fault is the bridge of interest.
         let stats = DefectStatistics::from_weights(

@@ -133,8 +133,7 @@ impl FaultEffect {
             let mut gs: Vec<String> = groups
                 .iter()
                 .map(|g| {
-                    let mut ts: Vec<String> =
-                        g.iter().map(|(d, t)| format!("{d}.{t}")).collect();
+                    let mut ts: Vec<String> = g.iter().map(|(d, t)| format!("{d}.{t}")).collect();
                     ts.sort();
                     ts.join(",")
                 })

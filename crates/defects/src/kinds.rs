@@ -1,6 +1,6 @@
 //! Spot-defect taxonomy and process statistics.
 
-use rand::Rng;
+use dotm_rng::Rng;
 use std::fmt;
 
 /// The physical spot-defect types of the reference fabrication process.
@@ -214,8 +214,8 @@ pub struct Defect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dotm_rng::rngs::StdRng;
+    use dotm_rng::SeedableRng;
 
     #[test]
     fn size_distribution_respects_bounds() {
@@ -232,10 +232,7 @@ mod tests {
         let d = SizeDistribution::default();
         let mut rng = StdRng::seed_from_u64(2);
         let n = 100_000;
-        let small = (0..n)
-            .filter(|_| d.sample(&mut rng) < 2 * d.x0)
-            .count() as f64
-            / n as f64;
+        let small = (0..n).filter(|_| d.sample(&mut rng) < 2 * d.x0).count() as f64 / n as f64;
         // P(x < 2·x0) = (1 − 1/4)/(1 − x0²/xmax²) ≈ 0.754.
         assert!(
             (small - 0.754).abs() < 0.01,
@@ -272,7 +269,8 @@ mod tests {
     #[test]
     fn default_weights_are_metal_dominated() {
         let stats = DefectStatistics::default();
-        let extra_metal = stats.weight(DefectKind::ExtraMetal1) + stats.weight(DefectKind::ExtraMetal2);
+        let extra_metal =
+            stats.weight(DefectKind::ExtraMetal1) + stats.weight(DefectKind::ExtraMetal2);
         let missing: f64 = [
             DefectKind::MissingMetal1,
             DefectKind::MissingMetal2,

@@ -9,8 +9,8 @@
 use crate::fault::{BridgeMedium, Fault, FaultEffect, FaultMechanism, TerminalName};
 use crate::kinds::{Defect, DefectKind, DefectStatistics};
 use dotm_layout::{connect, Layer, Layout, NetId, Rect, SpatialIndex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dotm_rng::rngs::StdRng;
+use dotm_rng::{Rng, SeedableRng};
 
 /// Outcome of a sprinkle run.
 #[derive(Debug, Clone)]
@@ -322,10 +322,12 @@ impl<'a> Sprinkler<'a> {
     fn new_device(&self, defect: &Defect, spot: &Rect) -> Option<Fault> {
         // Extra poly spanning a diffusion blocks the S/D implant: the net
         // splits and a parasitic FET bridges the pieces.
-        let actives = self.index.query_overlapping(self.layout, Layer::Active, spot);
+        let actives = self
+            .index
+            .query_overlapping(self.layout, Layer::Active, spot);
         for sid in actives {
             let shape = self.layout.shape(sid);
-            if shape.rect.sever(spot).map_or(false, |p| p.len() >= 2) {
+            if shape.rect.sever(spot).is_some_and(|p| p.len() >= 2) {
                 if let Some(partition) =
                     connect::open_partition(self.layout, shape.net, Layer::Active, spot)
                 {
@@ -366,7 +368,8 @@ impl<'a> Sprinkler<'a> {
 
     /// Bulk net at a point: the well net inside a well, else the substrate.
     fn bulk_net_at(&self, x: i64, y: i64) -> Option<NetId> {
-        self.well_net_at(x, y).or_else(|| self.layout.substrate_net())
+        self.well_net_at(x, y)
+            .or_else(|| self.layout.substrate_net())
     }
 }
 

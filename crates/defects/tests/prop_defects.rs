@@ -1,9 +1,14 @@
-//! Property-based tests on the defect simulator: statistical invariants
-//! of the sprinkler and structural invariants of fault collapsing.
+//! Randomised tests on the defect simulator: statistical invariants of
+//! the sprinkler and structural invariants of fault collapsing.
+//!
+//! Formerly proptest; now seeded loops over the in-tree PRNG so the
+//! workspace builds hermetically — each case iterates over a block of
+//! seeds, which is exactly what the proptest strategies drew.
 
 use dotm_defects::{collapse, sprinkle_collapsed, DefectStatistics, Sprinkler};
 use dotm_layout::{Layer, Layout};
-use proptest::prelude::*;
+use dotm_rng::rngs::StdRng;
+use dotm_rng::{Rng, SeedableRng};
 
 fn two_wire_layout(gap: i64) -> Layout {
     let mut lo = Layout::new("pair");
@@ -16,40 +21,45 @@ fn two_wire_layout(gap: i64) -> Layout {
     lo
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn class_counts_sum_to_total_faults(seed in 0u64..500, n in 1000usize..8000) {
+#[test]
+fn class_counts_sum_to_total_faults() {
+    let mut rng = StdRng::seed_from_u64(0xdef1);
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u64..500);
+        let n = rng.gen_range(1000usize..8000);
         let lo = two_wire_layout(900);
         let sp = Sprinkler::new(&lo, DefectStatistics::default());
         let report = sprinkle_collapsed(&sp, n, seed);
         let sum: usize = report.classes.iter().map(|c| c.count).sum();
-        prop_assert_eq!(sum, report.total_faults);
+        assert_eq!(sum, report.total_faults, "seed {seed} n {n}");
         // Percentages over mechanisms sum to 100 (when any faults exist).
         if report.total_faults > 0 {
             let total: f64 = dotm_defects::FaultMechanism::ALL
                 .iter()
                 .map(|&m| report.fault_pct(m))
                 .sum();
-            prop_assert!((total - 100.0).abs() < 1e-9);
+            assert!((total - 100.0).abs() < 1e-9, "seed {seed}: pct sum {total}");
         }
     }
+}
 
-    #[test]
-    fn sprinkle_is_seed_deterministic(seed in 0u64..500) {
+#[test]
+fn sprinkle_is_seed_deterministic() {
+    for seed in 0u64..16 {
         let lo = two_wire_layout(900);
         let sp = Sprinkler::new(&lo, DefectStatistics::default());
         let a = sp.sprinkle(2000, seed);
         let b = sp.sprinkle(2000, seed);
-        prop_assert_eq!(a.faults.len(), b.faults.len());
+        assert_eq!(a.faults.len(), b.faults.len(), "seed {seed}");
         for (x, y) in a.faults.iter().zip(&b.faults) {
-            prop_assert_eq!(x.canonical_key(), y.canonical_key());
+            assert_eq!(x.canonical_key(), y.canonical_key(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn wider_gap_means_fewer_bridges(seed in 0u64..200) {
+#[test]
+fn wider_gap_means_fewer_bridges() {
+    for seed in [0u64, 17, 59, 123, 199] {
         let near = two_wire_layout(700);
         let far = two_wire_layout(4_000);
         let sp_near = Sprinkler::new(&near, DefectStatistics::default());
@@ -59,14 +69,16 @@ proptest! {
         let f_far = sp_far.sprinkle(n, seed).faults.len();
         // Bridging dominates this layout; the critical area shrinks fast
         // with the gap under the x⁻³ size law.
-        prop_assert!(
+        assert!(
             f_far * 2 < f_near + 40,
-            "near {f_near} vs far {f_far}"
+            "seed {seed}: near {f_near} vs far {f_far}"
         );
     }
+}
 
-    #[test]
-    fn collapse_is_permutation_invariant(seed in 0u64..200) {
+#[test]
+fn collapse_is_permutation_invariant() {
+    for seed in [3u64, 41, 88, 150, 197] {
         let lo = two_wire_layout(900);
         let sp = Sprinkler::new(&lo, DefectStatistics::default());
         let report = sp.sprinkle(5_000, seed);
@@ -74,9 +86,9 @@ proptest! {
         let c1 = collapse(5_000, faults.clone());
         faults.reverse();
         let c2 = collapse(5_000, faults);
-        prop_assert_eq!(c1.class_count(), c2.class_count());
+        assert_eq!(c1.class_count(), c2.class_count(), "seed {seed}");
         let k1: Vec<&str> = c1.classes.iter().map(|c| c.key.as_str()).collect();
         let k2: Vec<&str> = c2.classes.iter().map(|c| c.key.as_str()).collect();
-        prop_assert_eq!(k1, k2);
+        assert_eq!(k1, k2, "seed {seed}");
     }
 }

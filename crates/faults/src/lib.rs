@@ -239,9 +239,7 @@ impl Injector {
                 self.inject_bridge(nl, nets, *medium, severity, label)
             }
             FaultEffect::NodeSplit { net, groups } => self.inject_open(nl, net, groups, label),
-            FaultEffect::GateOxide { device } => {
-                self.inject_gate_oxide(nl, device, variant, label)
-            }
+            FaultEffect::GateOxide { device } => self.inject_gate_oxide(nl, device, variant, label),
             FaultEffect::DeviceShort { device } => {
                 nl.short_device_channel(device, self.params.shorted_device_ohms)
                     .map_err(|e| match e {
@@ -253,7 +251,13 @@ impl Injector {
             FaultEffect::BulkLeak { net, bulk } => {
                 let a = self.node(nl, net)?;
                 let b = self.node(nl, bulk)?;
-                nl.insert_bridge(&format!("{label}.leak"), a, b, self.params.pinhole_ohms, None)?;
+                nl.insert_bridge(
+                    &format!("{label}.leak"),
+                    a,
+                    b,
+                    self.params.pinhole_ohms,
+                    None,
+                )?;
                 Ok(())
             }
             FaultEffect::NewDevice {

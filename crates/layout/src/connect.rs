@@ -11,9 +11,9 @@
 //! * poly crossing active forms a transistor channel, **not** a connection.
 
 use crate::geom::Rect;
+use crate::index::SpatialIndex;
 use crate::layer::Layer;
 use crate::layout::{Layout, NetId, Pin, ShapeId};
-use crate::index::SpatialIndex;
 use std::collections::HashMap;
 
 /// Disjoint-set forest over `n` elements.
@@ -377,11 +377,7 @@ mod tests {
         let defect = Rect::new(1_900, -400, 2_300, 400);
         let part = open_partition(&lo, a, Layer::Metal1, &defect).unwrap();
         assert_eq!(part.groups.len(), 2);
-        let names: Vec<&str> = part
-            .groups
-            .iter()
-            .map(|g| g[0].device.as_str())
-            .collect();
+        let names: Vec<&str> = part.groups.iter().map(|g| g[0].device.as_str()).collect();
         assert!(names.contains(&"D0") && names.contains(&"D1"));
     }
 

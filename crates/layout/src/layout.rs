@@ -186,14 +186,38 @@ impl Layout {
 
     /// Adds a horizontal wire of the given `width` centred on `y`,
     /// spanning `x0..x1`.
-    pub fn wire_h(&mut self, net: NetId, layer: Layer, x0: i64, x1: i64, y: i64, width: i64) -> ShapeId {
-        self.add_rect(net, layer, Rect::new(x0, y - width / 2, x1, y + width - width / 2))
+    pub fn wire_h(
+        &mut self,
+        net: NetId,
+        layer: Layer,
+        x0: i64,
+        x1: i64,
+        y: i64,
+        width: i64,
+    ) -> ShapeId {
+        self.add_rect(
+            net,
+            layer,
+            Rect::new(x0, y - width / 2, x1, y + width - width / 2),
+        )
     }
 
     /// Adds a vertical wire of the given `width` centred on `x`,
     /// spanning `y0..y1`.
-    pub fn wire_v(&mut self, net: NetId, layer: Layer, x: i64, y0: i64, y1: i64, width: i64) -> ShapeId {
-        self.add_rect(net, layer, Rect::new(x - width / 2, y0, x + width - width / 2, y1))
+    pub fn wire_v(
+        &mut self,
+        net: NetId,
+        layer: Layer,
+        x: i64,
+        y0: i64,
+        y1: i64,
+        width: i64,
+    ) -> ShapeId {
+        self.add_rect(
+            net,
+            layer,
+            Rect::new(x - width / 2, y0, x + width - width / 2, y1),
+        )
     }
 
     /// Adds a square contact cut (metal1 ↔ poly/active) centred at
@@ -268,16 +292,17 @@ impl Layout {
     /// by name. Used to assemble multi-macro regions (e.g. a comparator
     /// column with its shared clock/bias trunks).
     pub fn merge(&mut self, other: &Layout, dx: i64, dy: i64) {
-        let net_map: Vec<NetId> = other
-            .net_names
-            .iter()
-            .map(|name| self.net(name))
-            .collect();
+        let net_map: Vec<NetId> = other.net_names.iter().map(|name| self.net(name)).collect();
         for s in &other.shapes {
             self.add_rect(
                 net_map[s.net.index()],
                 s.layer,
-                Rect::new(s.rect.x0 + dx, s.rect.y0 + dy, s.rect.x1 + dx, s.rect.y1 + dy),
+                Rect::new(
+                    s.rect.x0 + dx,
+                    s.rect.y0 + dy,
+                    s.rect.x1 + dx,
+                    s.rect.y1 + dy,
+                ),
             );
         }
         for t in &other.transistors {

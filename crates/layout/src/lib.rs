@@ -42,9 +42,9 @@ mod layer;
 mod layout;
 mod render;
 
-pub use connect::{Extracted, ExtractViolation, OpenPartition, UnionFind};
+pub use connect::{ExtractViolation, Extracted, OpenPartition, UnionFind};
 pub use geom::Rect;
 pub use index::SpatialIndex;
 pub use layer::Layer;
-pub use render::{render_svg, RenderOptions};
 pub use layout::{ChannelType, Layout, NetId, Pin, Shape, ShapeId, TransistorGeom};
+pub use render::{render_svg, RenderOptions};

@@ -191,6 +191,9 @@ mod tests {
             })
             .collect();
         assert_eq!(ys.len(), 2);
-        assert!(ys[1] < ys[0], "higher layout y must render higher (smaller svg y)");
+        assert!(
+            ys[1] < ys[0],
+            "higher layout y must render higher (smaller svg y)"
+        );
     }
 }

@@ -1,93 +1,138 @@
-//! Property-based tests on the geometry kernel: the severing rules and
+//! Randomised tests on the geometry kernel: the severing rules and
 //! rectangle algebra must hold for arbitrary inputs — the defect
 //! simulator leans on them for millions of random rectangles.
+//!
+//! Formerly proptest; now driven by the in-tree seeded PRNG so the
+//! workspace builds hermetically. Cases are deterministic per seed and
+//! the failing input is printed by the assertion message.
 
 use dotm_layout::Rect;
-use proptest::prelude::*;
+use dotm_rng::rngs::StdRng;
+use dotm_rng::{Rng, SeedableRng};
 
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (-5000i64..5000, -5000i64..5000, 1i64..4000, 1i64..4000)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+const CASES: usize = 2_000;
+
+fn random_rect(rng: &mut StdRng) -> Rect {
+    let x = rng.gen_range(-5000i64..5000);
+    let y = rng.gen_range(-5000i64..5000);
+    let w = rng.gen_range(1i64..4000);
+    let h = rng.gen_range(1i64..4000);
+    Rect::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    #[test]
-    fn intersection_is_contained_in_both(a in rect_strategy(), b in rect_strategy()) {
+#[test]
+fn intersection_is_contained_in_both() {
+    let mut rng = StdRng::seed_from_u64(0x9e01);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains(&i));
-            prop_assert!(b.contains(&i));
-            prop_assert!(i.area() <= a.area());
-            prop_assert!(i.area() <= b.area());
+            assert!(a.contains(&i), "{i} outside {a}");
+            assert!(b.contains(&i), "{i} outside {b}");
+            assert!(i.area() <= a.area());
+            assert!(i.area() <= b.area());
         } else {
-            prop_assert!(!a.touches(&b));
+            assert!(!a.touches(&b), "{a} touches {b} but no intersection");
         }
     }
+}
 
-    #[test]
-    fn union_contains_both(a in rect_strategy(), b in rect_strategy()) {
+#[test]
+fn union_contains_both() {
+    let mut rng = StdRng::seed_from_u64(0x9e02);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         let u = a.union(&b);
-        prop_assert!(u.contains(&a));
-        prop_assert!(u.contains(&b));
+        assert!(u.contains(&a), "{u} misses {a}");
+        assert!(u.contains(&b), "{u} misses {b}");
     }
+}
 
-    #[test]
-    fn overlap_implies_touch(a in rect_strategy(), b in rect_strategy()) {
+#[test]
+fn overlap_implies_touch() {
+    let mut rng = StdRng::seed_from_u64(0x9e03);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         if a.overlaps(&b) {
-            prop_assert!(a.touches(&b));
+            assert!(a.touches(&b), "{a} overlaps but does not touch {b}");
         }
     }
+}
 
-    #[test]
-    fn sever_pieces_stay_inside_and_avoid_the_cut(
-        shape in rect_strategy(),
-        cut in rect_strategy(),
-    ) {
+#[test]
+fn sever_pieces_stay_inside_and_avoid_the_cut() {
+    let mut rng = StdRng::seed_from_u64(0x9e04);
+    for _ in 0..CASES {
+        let shape = random_rect(&mut rng);
+        let cut = random_rect(&mut rng);
         if let Some(pieces) = shape.sever(&cut) {
-            prop_assert!(pieces.len() <= 2);
+            assert!(pieces.len() <= 2);
             for p in &pieces {
                 // Pieces are non-degenerate parts of the original...
-                prop_assert!(!p.is_degenerate());
-                prop_assert!(shape.contains(p), "piece {p} outside {shape}");
+                assert!(!p.is_degenerate());
+                assert!(shape.contains(p), "piece {p} outside {shape}");
                 // ...and do not strictly overlap the removed material.
-                prop_assert!(!p.overlaps(&cut), "piece {p} overlaps cut {cut}");
+                assert!(!p.overlaps(&cut), "piece {p} overlaps cut {cut}");
             }
             // Two pieces never overlap each other.
             if pieces.len() == 2 {
-                prop_assert!(!pieces[0].overlaps(&pieces[1]));
+                assert!(!pieces[0].overlaps(&pieces[1]));
             }
         } else {
             // No severing: either the cut misses, or it only nibbles an
             // edge (does not span a full cross-section of the shape).
             let spans_x = cut.x0 <= shape.x0 && cut.x1 >= shape.x1;
             let spans_y = cut.y0 <= shape.y0 && cut.y1 >= shape.y1;
-            prop_assert!(
+            assert!(
                 !shape.overlaps(&cut) || (!spans_x && !spans_y),
                 "cut {cut} spans {shape} but sever returned None"
             );
         }
     }
+}
 
-    #[test]
-    fn sever_conserves_area(shape in rect_strategy(), cut in rect_strategy()) {
+#[test]
+fn sever_conserves_area() {
+    let mut rng = StdRng::seed_from_u64(0x9e05);
+    for _ in 0..CASES {
+        let shape = random_rect(&mut rng);
+        let cut = random_rect(&mut rng);
         if let Some(pieces) = shape.sever(&cut) {
             let removed = shape.intersection(&cut).map(|i| i.area()).unwrap_or(0);
             let piece_area: i64 = pieces.iter().map(Rect::area).sum();
             // For band cuts the removed strip accounts exactly for the
             // missing area.
-            prop_assert_eq!(piece_area + removed, shape.area());
+            assert_eq!(
+                piece_area + removed,
+                shape.area(),
+                "shape {shape} cut {cut}"
+            );
         }
     }
+}
 
-    #[test]
-    fn expanded_contains_original(a in rect_strategy(), m in 0i64..1000) {
-        prop_assert!(a.expanded(m).contains(&a));
+#[test]
+fn expanded_contains_original() {
+    let mut rng = StdRng::seed_from_u64(0x9e06);
+    for _ in 0..CASES {
+        let a = random_rect(&mut rng);
+        let m = rng.gen_range(0i64..1000);
+        assert!(a.expanded(m).contains(&a), "{a} expanded by {m}");
     }
+}
 
-    #[test]
-    fn square_has_requested_size(cx in -10000i64..10000, cy in -10000i64..10000, s in 1i64..5000) {
+#[test]
+fn square_has_requested_size() {
+    let mut rng = StdRng::seed_from_u64(0x9e07);
+    for _ in 0..CASES {
+        let cx = rng.gen_range(-10_000i64..10_000);
+        let cy = rng.gen_range(-10_000i64..10_000);
+        let s = rng.gen_range(1i64..5000);
         let q = Rect::square(cx, cy, s);
-        prop_assert_eq!(q.width(), s);
-        prop_assert_eq!(q.height(), s);
-        prop_assert!(q.contains_point(cx, cy));
+        assert_eq!(q.width(), s);
+        assert_eq!(q.height(), s);
+        assert!(q.contains_point(cx, cy));
     }
 }

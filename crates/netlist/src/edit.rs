@@ -96,9 +96,7 @@ impl Netlist {
         let stem = format!("{}~open", self.node_name(node));
         let fresh = self.fresh_node(&stem);
         for tr in move_terminals {
-            let dev = self
-                .device_by_id_mut(tr.device)
-                .expect("validated above");
+            let dev = self.device_by_id_mut(tr.device).expect("validated above");
             *dev.terminals_mut()[tr.terminal] = fresh;
         }
         Ok(fresh)
@@ -276,8 +274,15 @@ mod tests {
         let mut nl = chain();
         let a = nl.find_node("a").unwrap();
         let b = nl.find_node("b").unwrap();
-        nl.attach_parasitic_mosfet("Fnew", a, b, Netlist::GROUND, Netlist::GROUND, MosType::Nmos)
-            .unwrap();
+        nl.attach_parasitic_mosfet(
+            "Fnew",
+            a,
+            b,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+        )
+        .unwrap();
         match &nl.device("Fnew").unwrap().kind {
             DeviceKind::Mosfet { params, .. } => {
                 assert!(params.w <= 1.1e-6);

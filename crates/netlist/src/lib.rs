@@ -40,12 +40,10 @@ mod node;
 mod parse;
 mod waveform;
 
-pub use device::{
-    Device, DeviceId, DeviceKind, DiodeParams, MosType, MosfetParams, SwitchParams,
-};
+pub use device::{Device, DeviceId, DeviceKind, DiodeParams, MosType, MosfetParams, SwitchParams};
 pub use edit::TerminalRef;
 pub use error::NetlistError;
 pub use netlist::{Netlist, PortMap};
-pub use parse::{parse_spice, parse_value, write_spice, ParseError};
 pub use node::NodeId;
+pub use parse::{parse_spice, parse_value, write_spice, ParseError};
 pub use waveform::Waveform;

@@ -1,6 +1,8 @@
 //! The [`Netlist`] container and builder methods.
 
-use crate::device::{Device, DeviceId, DeviceKind, DiodeParams, MosType, MosfetParams, SwitchParams};
+use crate::device::{
+    Device, DeviceId, DeviceKind, DiodeParams, MosType, MosfetParams, SwitchParams,
+};
 use crate::error::NetlistError;
 use crate::node::NodeId;
 use crate::waveform::Waveform;
@@ -126,7 +128,9 @@ impl Netlist {
 
     /// Looks up a device by name.
     pub fn device(&self, name: &str) -> Option<&Device> {
-        self.device_index.get(name).map(|id| &self.devices[id.index()])
+        self.device_index
+            .get(name)
+            .map(|id| &self.devices[id.index()])
     }
 
     /// Looks up a device id by name.
@@ -431,11 +435,7 @@ impl fmt::Display for Netlist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "* netlist {}", self.name)?;
         for (_, dev) in self.devices() {
-            let nodes: Vec<&str> = dev
-                .terminals()
-                .iter()
-                .map(|n| self.node_name(*n))
-                .collect();
+            let nodes: Vec<&str> = dev.terminals().iter().map(|n| self.node_name(*n)).collect();
             match &dev.kind {
                 DeviceKind::Resistor { ohms, .. } => {
                     writeln!(f, "R {} {} {ohms}", dev.name, nodes.join(" "))?
@@ -528,12 +528,8 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.node("a");
         assert!(nl.add_resistor("R1", a, Netlist::GROUND, 0.0).is_err());
-        assert!(nl
-            .add_resistor("R2", a, Netlist::GROUND, f64::NAN)
-            .is_err());
-        assert!(nl
-            .add_resistor("R3", a, Netlist::GROUND, -1.0)
-            .is_err());
+        assert!(nl.add_resistor("R2", a, Netlist::GROUND, f64::NAN).is_err());
+        assert!(nl.add_resistor("R3", a, Netlist::GROUND, -1.0).is_err());
     }
 
     #[test]
@@ -576,7 +572,8 @@ mod tests {
         let mut top = Netlist::new("top");
         let x = top.node("x");
         let y = top.node("y");
-        top.instantiate(&sub, "u1", &[("in", x), ("out", y)]).unwrap();
+        top.instantiate(&sub, "u1", &[("in", x), ("out", y)])
+            .unwrap();
         top.instantiate(&sub, "u2", &[("in", y), ("out", Netlist::GROUND)])
             .unwrap();
 

@@ -149,10 +149,7 @@ fn source_waveform(tokens: &[String], line: usize) -> Result<Waveform, ParseErro
                 offset: v[0],
                 amplitude: v[1],
                 freq: v[2],
-                delay: tokens
-                    .get(4)
-                    .and_then(|t| parse_value(t))
-                    .unwrap_or(0.0),
+                delay: tokens.get(4).and_then(|t| parse_value(t)).unwrap_or(0.0),
             })
         }
         "pwl" => {
@@ -251,12 +248,7 @@ pub fn parse_spice(text: &str) -> Result<Netlist, ParseError> {
 }
 
 /// Parses a single device card into the netlist.
-fn parse_card(
-    nl: &mut Netlist,
-    kind: char,
-    line: &str,
-    lineno: usize,
-) -> Result<(), ParseError> {
+fn parse_card(nl: &mut Netlist, kind: char, line: &str, lineno: usize) -> Result<(), ParseError> {
     {
         let tokens = tokenize(line);
         if tokens.len() < 3 {
@@ -345,6 +337,116 @@ fn parse_card(
         }
     }
     Ok(())
+}
+
+/// Serialises a netlist back to a SPICE deck that [`parse_spice`] accepts
+/// (title line, one card per device, `.end`). Switches have no SPICE-card
+/// equivalent here and are rejected.
+///
+/// ```
+/// use dotm_netlist::{parse_spice, write_spice, Netlist, Waveform};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nl = Netlist::new("cell");
+/// let a = nl.node("a");
+/// nl.add_resistor("R1", a, Netlist::GROUND, 10e3)?;
+/// let deck = write_spice(&nl)?;
+/// let back = parse_spice(&deck)?;
+/// assert_eq!(back.device_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns an error naming the first unsupported device.
+pub fn write_spice(nl: &Netlist) -> Result<String, crate::NetlistError> {
+    use crate::device::DeviceKind;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", nl.name());
+    let wf = |w: &Waveform| -> String {
+        match w {
+            Waveform::Dc(v) => format!("DC {v}"),
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => format!("PULSE({v0} {v1} {delay} {rise} {fall} {width} {period})"),
+            Waveform::Sin {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => format!("SIN({offset} {amplitude} {freq} 0 {delay})"),
+            Waveform::Pwl(pts) => {
+                let body: Vec<String> = pts.iter().map(|(t, v)| format!("{t} {v}")).collect();
+                format!("PWL({})", body.join(" "))
+            }
+        }
+    };
+    for (_, dev) in nl.devices() {
+        let nodes: Vec<&str> = dev.terminals().iter().map(|n| nl.node_name(*n)).collect();
+        match &dev.kind {
+            DeviceKind::Resistor { ohms, .. } => {
+                let _ = writeln!(out, "{} {} {} {}", dev.name, nodes[0], nodes[1], ohms);
+            }
+            DeviceKind::Capacitor { farads, .. } => {
+                let _ = writeln!(out, "{} {} {} {}", dev.name, nodes[0], nodes[1], farads);
+            }
+            DeviceKind::Vsource { waveform, .. } | DeviceKind::Isource { waveform, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {}",
+                    dev.name,
+                    nodes[0],
+                    nodes[1],
+                    wf(waveform)
+                );
+            }
+            DeviceKind::Diode { params, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} IS={} N={}",
+                    dev.name, nodes[0], nodes[1], params.is, params.n
+                );
+            }
+            DeviceKind::Mosfet { ty, params, .. } => {
+                let model = match ty {
+                    crate::MosType::Nmos => "NMOS",
+                    crate::MosType::Pmos => "PMOS",
+                };
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {} {} {model} W={} L={} VT0={} KP={} LAMBDA={} GAMMA={} PHI={} IS={}",
+                    dev.name,
+                    nodes[0],
+                    nodes[1],
+                    nodes[2],
+                    nodes[3],
+                    params.w,
+                    params.l,
+                    params.vt0,
+                    params.kp,
+                    params.lambda,
+                    params.gamma,
+                    params.phi,
+                    params.is_leak
+                );
+            }
+            DeviceKind::Switch { .. } => {
+                return Err(crate::NetlistError::InvalidEdit(format!(
+                    "device `{}`: switches have no SPICE-card form",
+                    dev.name
+                )));
+            }
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -468,119 +570,4 @@ D1 a 0 IS=1e-14";
         assert_eq!(nl.device_count(), 3);
         assert!(nl.find_node("a").is_some());
     }
-}
-
-/// Serialises a netlist back to a SPICE deck that [`parse_spice`] accepts
-/// (title line, one card per device, `.end`). Switches have no SPICE-card
-/// equivalent here and are rejected.
-///
-/// ```
-/// use dotm_netlist::{parse_spice, write_spice, Netlist, Waveform};
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut nl = Netlist::new("cell");
-/// let a = nl.node("a");
-/// nl.add_resistor("R1", a, Netlist::GROUND, 10e3)?;
-/// let deck = write_spice(&nl)?;
-/// let back = parse_spice(&deck)?;
-/// assert_eq!(back.device_count(), 1);
-/// # Ok(())
-/// # }
-/// ```
-///
-/// # Errors
-/// Returns an error naming the first unsupported device.
-pub fn write_spice(nl: &Netlist) -> Result<String, crate::NetlistError> {
-    use crate::device::DeviceKind;
-    use std::fmt::Write as _;
-
-    let mut out = String::new();
-    let _ = writeln!(out, "{}", nl.name());
-    let wf = |w: &Waveform| -> String {
-        match w {
-            Waveform::Dc(v) => format!("DC {v}"),
-            Waveform::Pulse {
-                v0,
-                v1,
-                delay,
-                rise,
-                fall,
-                width,
-                period,
-            } => format!("PULSE({v0} {v1} {delay} {rise} {fall} {width} {period})"),
-            Waveform::Sin {
-                offset,
-                amplitude,
-                freq,
-                delay,
-            } => format!("SIN({offset} {amplitude} {freq} 0 {delay})"),
-            Waveform::Pwl(pts) => {
-                let body: Vec<String> =
-                    pts.iter().map(|(t, v)| format!("{t} {v}")).collect();
-                format!("PWL({})", body.join(" "))
-            }
-        }
-    };
-    for (_, dev) in nl.devices() {
-        let nodes: Vec<&str> = dev
-            .terminals()
-            .iter()
-            .map(|n| nl.node_name(*n))
-            .collect();
-        match &dev.kind {
-            DeviceKind::Resistor { ohms, .. } => {
-                let _ = writeln!(out, "{} {} {} {}", dev.name, nodes[0], nodes[1], ohms);
-            }
-            DeviceKind::Capacitor { farads, .. } => {
-                let _ = writeln!(out, "{} {} {} {}", dev.name, nodes[0], nodes[1], farads);
-            }
-            DeviceKind::Vsource { waveform, .. } | DeviceKind::Isource { waveform, .. } => {
-                let _ = writeln!(
-                    out,
-                    "{} {} {} {}",
-                    dev.name,
-                    nodes[0],
-                    nodes[1],
-                    wf(waveform)
-                );
-            }
-            DeviceKind::Diode { params, .. } => {
-                let _ = writeln!(
-                    out,
-                    "{} {} {} IS={} N={}",
-                    dev.name, nodes[0], nodes[1], params.is, params.n
-                );
-            }
-            DeviceKind::Mosfet { ty, params, .. } => {
-                let model = match ty {
-                    crate::MosType::Nmos => "NMOS",
-                    crate::MosType::Pmos => "PMOS",
-                };
-                let _ = writeln!(
-                    out,
-                    "{} {} {} {} {} {model} W={} L={} VT0={} KP={} LAMBDA={} GAMMA={} PHI={} IS={}",
-                    dev.name,
-                    nodes[0],
-                    nodes[1],
-                    nodes[2],
-                    nodes[3],
-                    params.w,
-                    params.l,
-                    params.vt0,
-                    params.kp,
-                    params.lambda,
-                    params.gamma,
-                    params.phi,
-                    params.is_leak
-                );
-            }
-            DeviceKind::Switch { .. } => {
-                return Err(crate::NetlistError::InvalidEdit(format!(
-                    "device `{}`: switches have no SPICE-card form",
-                    dev.name
-                )));
-            }
-        }
-    }
-    out.push_str(".end\n");
-    Ok(out)
 }

@@ -1,31 +1,56 @@
-//! Property-based tests on the netlist container: naming invariants,
+//! Randomised tests on the netlist container: naming invariants,
 //! instantiation, waveform evaluation and the fault-edit operations.
+//!
+//! Formerly proptest; now seeded loops over the in-tree PRNG so the
+//! workspace builds hermetically.
 
 use dotm_netlist::{Netlist, TerminalRef, Waveform};
-use proptest::prelude::*;
+use dotm_rng::rngs::StdRng;
+use dotm_rng::{Rng, SeedableRng};
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,10}".prop_filter("not ground alias", |s| s != "gnd")
+/// `[a-z][a-z0-9_]{0,10}`, never the ground alias.
+fn random_name(rng: &mut StdRng) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let len = rng.gen_range(0usize..=10);
+        let mut s = String::with_capacity(len + 1);
+        s.push(HEAD[rng.gen_range(0usize..HEAD.len())] as char);
+        for _ in 0..len {
+            s.push(TAIL[rng.gen_range(0usize..TAIL.len())] as char);
+        }
+        if s != "gnd" {
+            return s;
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn node_lookup_is_idempotent(names in prop::collection::vec(name_strategy(), 1..20)) {
+#[test]
+fn node_lookup_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x4e01);
+    for _ in 0..200 {
+        let count = rng.gen_range(1usize..20);
+        let names: Vec<String> = (0..count).map(|_| random_name(&mut rng)).collect();
         let mut nl = Netlist::new("t");
         let ids: Vec<_> = names.iter().map(|n| nl.node(n)).collect();
         for (name, id) in names.iter().zip(&ids) {
-            prop_assert_eq!(nl.node(name), *id);
-            prop_assert_eq!(nl.find_node(name), Some(*id));
-            prop_assert_eq!(nl.node_name(*id), name.as_str());
+            assert_eq!(nl.node(name), *id);
+            assert_eq!(nl.find_node(name), Some(*id));
+            assert_eq!(nl.node_name(*id), name.as_str());
         }
         let mut unique = names.clone();
         unique.sort();
         unique.dedup();
-        prop_assert_eq!(nl.node_count(), unique.len() + 1); // + ground
+        assert_eq!(nl.node_count(), unique.len() + 1); // + ground
     }
+}
 
-    #[test]
-    fn resistor_chain_builds_and_connects(n in 1usize..40, ohms in 1.0f64..1e6) {
+#[test]
+fn resistor_chain_builds_and_connects() {
+    let mut rng = StdRng::seed_from_u64(0x4e02);
+    for _ in 0..100 {
+        let n = rng.gen_range(1usize..40);
+        let ohms = rng.gen_range(1.0f64..1e6);
         let mut nl = Netlist::new("chain");
         let mut prev = nl.node("n0");
         for k in 1..=n {
@@ -33,16 +58,18 @@ proptest! {
             nl.add_resistor(&format!("R{k}"), prev, next, ohms).unwrap();
             prev = next;
         }
-        prop_assert_eq!(nl.device_count(), n);
+        assert_eq!(nl.device_count(), n);
         // Every internal node touches exactly two resistors.
         for k in 1..n {
             let node = nl.find_node(&format!("n{k}")).unwrap();
-            prop_assert_eq!(nl.connections(node).len(), 2);
+            assert_eq!(nl.connections(node).len(), 2);
         }
     }
+}
 
-    #[test]
-    fn instantiate_preserves_device_count(copies in 1usize..10) {
+#[test]
+fn instantiate_preserves_device_count() {
+    for copies in 1usize..10 {
         let mut sub = Netlist::new("cell");
         let a = sub.node("in");
         let b = sub.node("out");
@@ -53,15 +80,18 @@ proptest! {
         let mut top = Netlist::new("top");
         let shared = top.node("bus");
         for k in 0..copies {
-            top.instantiate(&sub, &format!("u{k}"), &[("in", shared)]).unwrap();
+            top.instantiate(&sub, &format!("u{k}"), &[("in", shared)])
+                .unwrap();
         }
-        prop_assert_eq!(top.device_count(), 2 * copies);
+        assert_eq!(top.device_count(), 2 * copies);
         // The shared port node fans out to one terminal per copy.
-        prop_assert_eq!(top.connections(shared).len(), copies);
+        assert_eq!(top.connections(shared).len(), copies);
     }
+}
 
-    #[test]
-    fn split_node_moves_exactly_the_requested_terminals(move_first in proptest::bool::ANY) {
+#[test]
+fn split_node_moves_exactly_the_requested_terminals() {
+    for move_first in [false, true] {
         let mut nl = Netlist::new("t");
         let x = nl.node("x");
         nl.add_resistor("R1", x, Netlist::GROUND, 10.0).unwrap();
@@ -69,40 +99,66 @@ proptest! {
         let target = if move_first { "R1" } else { "R2" };
         let keep = if move_first { "R2" } else { "R1" };
         let id = nl.device_id(target).unwrap();
-        let fresh = nl.split_node(x, &[TerminalRef { device: id, terminal: 0 }]).unwrap();
-        prop_assert_eq!(nl.device(target).unwrap().terminals()[0], fresh);
-        prop_assert_eq!(nl.device(keep).unwrap().terminals()[0], x);
+        let fresh = nl
+            .split_node(
+                x,
+                &[TerminalRef {
+                    device: id,
+                    terminal: 0,
+                }],
+            )
+            .unwrap();
+        assert_eq!(nl.device(target).unwrap().terminals()[0], fresh);
+        assert_eq!(nl.device(keep).unwrap().terminals()[0], x);
     }
+}
 
-    #[test]
-    fn pulse_waveform_is_bounded(
-        v0 in -10.0f64..10.0,
-        v1 in -10.0f64..10.0,
-        t in 0.0f64..1e-3,
-    ) {
+#[test]
+fn pulse_waveform_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x4e03);
+    for _ in 0..500 {
+        let v0 = rng.gen_range(-10.0f64..10.0);
+        let v1 = rng.gen_range(-10.0f64..10.0);
+        let t = rng.gen_range(0.0f64..1e-3);
         let w = Waveform::pulse(v0, v1, 10e-6, 5e-6, 5e-6, 20e-6, 100e-6);
         let v = w.value_at(t);
         let (lo, hi) = (v0.min(v1), v0.max(v1));
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "v = {v} outside [{lo}, {hi}]");
+        assert!(
+            v >= lo - 1e-12 && v <= hi + 1e-12,
+            "v = {v} outside [{lo}, {hi}] at t = {t}"
+        );
     }
+}
 
-    #[test]
-    fn triangle_stays_in_range_and_hits_extremes(lo in 0.0f64..2.0, span in 0.1f64..3.0) {
+#[test]
+fn triangle_stays_in_range_and_hits_extremes() {
+    let mut rng = StdRng::seed_from_u64(0x4e04);
+    for _ in 0..200 {
+        let lo = rng.gen_range(0.0f64..2.0);
+        let span = rng.gen_range(0.1f64..3.0);
         let hi = lo + span;
         let w = Waveform::triangle(lo, hi, 1e-3);
         for k in 0..=100 {
             let v = w.value_at(k as f64 * 1e-5);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "lo {lo} hi {hi} k {k}");
         }
-        prop_assert!((w.value_at(0.0) - lo).abs() < 1e-9);
-        prop_assert!((w.value_at(0.5e-3) - hi).abs() < 1e-6);
+        assert!((w.value_at(0.0) - lo).abs() < 1e-9);
+        assert!((w.value_at(0.5e-3) - hi).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn scaled_waveform_scales_every_sample(k in -3.0f64..3.0, t in 0.0f64..1e-3) {
+#[test]
+fn scaled_waveform_scales_every_sample() {
+    let mut rng = StdRng::seed_from_u64(0x4e05);
+    for _ in 0..500 {
+        let k = rng.gen_range(-3.0f64..3.0);
+        let t = rng.gen_range(0.0f64..1e-3);
         let w = Waveform::pulse(0.0, 5.0, 10e-6, 5e-6, 5e-6, 20e-6, 100e-6);
         let ws = w.scaled(k);
-        prop_assert!((ws.value_at(t) - k * w.value_at(t)).abs() < 1e-9);
+        assert!(
+            (ws.value_at(t) - k * w.value_at(t)).abs() < 1e-9,
+            "k {k} t {t}"
+        );
     }
 }
 
@@ -110,26 +166,27 @@ mod spice_roundtrip {
     use dotm_netlist::{
         parse_spice, write_spice, DiodeParams, MosType, MosfetParams, Netlist, Waveform,
     };
-    use proptest::prelude::*;
+    use dotm_rng::rngs::StdRng;
+    use dotm_rng::{Rng, SeedableRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn write_then_parse_preserves_structure(
-            r in 1.0f64..1e6,
-            c in 1e-15f64..1e-6,
-            v in -10.0f64..10.0,
-            w in 1e-6f64..50e-6,
-        ) {
+    #[test]
+    fn write_then_parse_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(0x4e06);
+        for _ in 0..64 {
+            let r = rng.gen_range(1.0f64..1e6);
+            let c = rng.gen_range(1e-15f64..1e-6);
+            let v = rng.gen_range(-10.0f64..10.0);
+            let w = rng.gen_range(1e-6f64..50e-6);
             let mut nl = Netlist::new("roundtrip");
             let a = nl.node("a");
             let b = nl.node("b");
             let d = nl.node("d");
-            nl.add_vsource("V1", a, Netlist::GROUND, Waveform::dc(v)).unwrap();
+            nl.add_vsource("V1", a, Netlist::GROUND, Waveform::dc(v))
+                .unwrap();
             nl.add_resistor("R1", a, b, r).unwrap();
             nl.add_capacitor("C1", b, Netlist::GROUND, c).unwrap();
-            nl.add_diode("D1", b, Netlist::GROUND, DiodeParams::default()).unwrap();
+            nl.add_diode("D1", b, Netlist::GROUND, DiodeParams::default())
+                .unwrap();
             nl.add_mosfet(
                 "M1",
                 d,
@@ -140,15 +197,16 @@ mod spice_roundtrip {
                 MosfetParams::nmos_default().sized(w, 2e-6),
             )
             .unwrap();
-            nl.add_isource("I1", d, Netlist::GROUND, Waveform::dc(1e-3)).unwrap();
+            nl.add_isource("I1", d, Netlist::GROUND, Waveform::dc(1e-3))
+                .unwrap();
 
             let deck = write_spice(&nl).unwrap();
             let back = parse_spice(&deck).unwrap();
-            prop_assert_eq!(back.device_count(), nl.device_count());
-            prop_assert_eq!(back.node_count(), nl.node_count());
+            assert_eq!(back.device_count(), nl.device_count());
+            assert_eq!(back.node_count(), nl.node_count());
             for (_, dev) in nl.devices() {
                 let other = back.device(&dev.name);
-                prop_assert!(other.is_some(), "missing {}", dev.name);
+                assert!(other.is_some(), "missing {}", dev.name);
                 // Same terminals by name.
                 let t1: Vec<&str> = dev.terminals().iter().map(|n| nl.node_name(*n)).collect();
                 let t2: Vec<&str> = other
@@ -157,28 +215,30 @@ mod spice_roundtrip {
                     .iter()
                     .map(|n| back.node_name(*n))
                     .collect();
-                prop_assert_eq!(t1, t2, "terminals of {}", dev.name);
+                assert_eq!(t1, t2, "terminals of {}", dev.name);
             }
             // Numeric fidelity for the resistor and the MOSFET width.
             match &back.device("R1").unwrap().kind {
                 dotm_netlist::DeviceKind::Resistor { ohms, .. } => {
-                    prop_assert!((ohms - r).abs() / r < 1e-12);
+                    assert!((ohms - r).abs() / r < 1e-12);
                 }
-                _ => prop_assert!(false),
+                _ => panic!("R1 is not a resistor after roundtrip"),
             }
             match &back.device("M1").unwrap().kind {
                 dotm_netlist::DeviceKind::Mosfet { params, .. } => {
-                    prop_assert!((params.w - w).abs() / w < 1e-12);
+                    assert!((params.w - w).abs() / w < 1e-12);
                 }
-                _ => prop_assert!(false),
+                _ => panic!("M1 is not a mosfet after roundtrip"),
             }
         }
+    }
 
-        #[test]
-        fn pulse_waveform_roundtrips_samples(
-            v1 in 0.1f64..5.0,
-            delay in 0.0f64..1e-6,
-        ) {
+    #[test]
+    fn pulse_waveform_roundtrips_samples() {
+        let mut rng = StdRng::seed_from_u64(0x4e07);
+        for _ in 0..64 {
+            let v1 = rng.gen_range(0.1f64..5.0);
+            let delay = rng.gen_range(0.0f64..1e-6);
             let mut nl = Netlist::new("pulse");
             let a = nl.node("a");
             nl.add_vsource(
@@ -199,7 +259,10 @@ mod spice_roundtrip {
             };
             for k in 0..50 {
                 let t = k as f64 * 5e-9;
-                prop_assert!((w1.value_at(t) - w2.value_at(t)).abs() < 1e-9);
+                assert!(
+                    (w1.value_at(t) - w2.value_at(t)).abs() < 1e-9,
+                    "v1 {v1} delay {delay} t {t}"
+                );
             }
         }
     }

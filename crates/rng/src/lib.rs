@@ -1,0 +1,355 @@
+//! # dotm-rng — in-tree seeded pseudo-random numbers
+//!
+//! The workspace must build hermetically with no registry access, so the
+//! external `rand` crate is replaced by this zero-dependency module: a
+//! xoshiro256++ core seeded through SplitMix64, wrapped in a surface that
+//! mirrors the small part of `rand`'s API the workspace uses
+//! ([`Rng::gen_range`], [`SeedableRng::seed_from_u64`], `rngs::StdRng`).
+//!
+//! Two properties matter here more than raw statistical strength:
+//!
+//! * **Determinism** — every Monte-Carlo run in the methodology is keyed
+//!   by an explicit `u64` seed, and the stream for a seed is part of the
+//!   repo's reproducibility contract (fault populations, good-space
+//!   compilations and figure regenerations are all replayable).
+//! * **Splittability** — the parallel executor gives each work item its
+//!   own statistically independent stream derived from `(seed, stream)`
+//!   via [`StdRng::seed_from_stream`], so results are identical no matter
+//!   how many threads the loop runs on.
+//!
+//! xoshiro256++ passes BigCrush and is the generator family `rand`'s own
+//! `SmallRng` uses; SplitMix64 is the recommended seeder for it (Blackman
+//! & Vigna, "Scrambled linear pseudorandom number generators").
+
+use std::ops::{Range, RangeInclusive};
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used to expand a single `u64` seed into the four xoshiro words and to
+/// mix `(seed, stream)` pairs for per-item substreams.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator — the workspace's standard RNG.
+///
+/// The name mirrors `rand::rngs::StdRng` so call sites read identically;
+/// the streams are of course different from the `rand` crate's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// `rand`-style module alias so `use dotm_rng::rngs::StdRng;` works.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+impl StdRng {
+    /// Derives an independent substream for work item `stream` of a run
+    /// keyed by `seed`.
+    ///
+    /// The pair is mixed through SplitMix64 before state expansion, so
+    /// neighbouring streams (0, 1, 2, …) share no detectable structure.
+    /// This is what makes parallel Monte-Carlo loops order-independent:
+    /// item `i` draws from `seed_from_stream(seed, i)` whether it runs
+    /// first, last, or concurrently.
+    pub fn seed_from_stream(seed: u64, stream: u64) -> StdRng {
+        // Decorrelate (seed, stream) from (seed', stream') pairs that
+        // would collide under a plain xor: the stream id goes through its
+        // own SplitMix64 round before mixing with the seed.
+        let mut stream_key = stream.wrapping_mul(0xa076_1d64_78bd_642f);
+        let mut sm = seed ^ splitmix64(&mut stream_key);
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // The all-zero state is the one invalid xoshiro state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        StdRng { s }
+    }
+}
+
+/// Core source of random `u64`s (the `rand::RngCore` analogue).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding surface (the `rand::SeedableRng` analogue).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng::seed_from_stream(seed, 0)
+    }
+}
+
+/// A type that can be drawn uniformly from a range (the
+/// `rand::distributions::uniform` analogue, reduced to what the
+/// workspace needs).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(
+        rng: &mut R,
+        range: RangeInclusive<Self>,
+    ) -> Self;
+}
+
+/// Uniform in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform in `[0, span)` by 128-bit widening multiply (Lemire reduction
+/// without the rejection step; the bias is < 2⁻⁶⁴ · span, irrelevant for
+/// Monte-Carlo work).
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty f64 sample range");
+        range.start + (range.end - range.start) * unit_f64(rng)
+    }
+
+    #[inline]
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, range: RangeInclusive<f64>) -> f64 {
+        let (lo, hi) = range.into_inner();
+        assert!(lo <= hi, "empty f64 sample range");
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty integer sample range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+
+            #[inline]
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: RangeInclusive<$t>,
+            ) -> $t {
+                let (lo, hi) = range.into_inner();
+                assert!(lo <= hi, "empty integer sample range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i64, u64, i32, u32, usize);
+
+/// A range expression accepted by [`Rng::gen_range`] — both `lo..hi` and
+/// `lo..=hi` work, matching the `rand` crate's call syntax.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, self)
+    }
+}
+
+/// Convenience surface over any [`RngCore`] (the `rand::Rng` analogue).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open (`lo..hi`) or closed (`lo..=hi`)
+    /// range.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        unit_f64(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn substreams_are_independent_of_each_other() {
+        // Stream k of seed s must not equal stream 0 of seed s+k (a
+        // naive xor construction fails exactly this).
+        let mut a = StdRng::seed_from_stream(10, 5);
+        let mut b = StdRng::seed_from_stream(15, 0);
+        let mut c = StdRng::seed_from_stream(10, 5);
+        assert_ne!(a.next_u64(), b.next_u64());
+        assert_eq!(c.next_u64(), StdRng::seed_from_stream(10, 5).next_u64());
+    }
+
+    #[test]
+    fn float_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&v));
+            let u = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn integer_inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn negative_integer_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-1_000_000..-999_000);
+            assert!((-1_000_000..-999_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_and_variance_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1995);
+        let n = 100_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = rng.gen_f64();
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn equidistribution_over_bytes() {
+        // Crude chi-square-ish check: low byte of the output is roughly
+        // uniform over its 256 bins.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut bins = [0usize; 256];
+        let n = 256 * 1000;
+        for _ in 0..n {
+            bins[(rng.next_u64() & 0xff) as usize] += 1;
+        }
+        for (b, &count) in bins.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&count),
+                "bin {b} count {count} far from 1000"
+            );
+        }
+    }
+}

@@ -198,12 +198,7 @@ impl<'a> Simulator<'a> {
     /// # Errors
     /// [`SimError::BadSource`] if `source` is not a voltage source;
     /// [`SimError::Singular`] if the linearised system is singular.
-    pub fn ac(
-        &mut self,
-        op: &OpPoint,
-        source: &str,
-        freqs: &[f64],
-    ) -> Result<AcResult, SimError> {
+    pub fn ac(&mut self, op: &OpPoint, source: &str, freqs: &[f64]) -> Result<AcResult, SimError> {
         let nl = self.netlist();
         let ac_id = nl
             .device_id(source)
@@ -460,8 +455,16 @@ mod tests {
         // Explicit load capacitance sets a clean dominant pole.
         nl.add_capacitor("CL", d, Netlist::GROUND, 10e-12).unwrap();
         let p = MosfetParams::nmos_default();
-        nl.add_mosfet("M1", d, g, Netlist::GROUND, Netlist::GROUND, MosType::Nmos, p.clone())
-            .unwrap();
+        nl.add_mosfet(
+            "M1",
+            d,
+            g,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            p.clone(),
+        )
+        .unwrap();
         let mut sim = Simulator::new(&nl);
         let op = sim.dc_op().unwrap();
         let vd = op.voltage(d);

@@ -707,8 +707,16 @@ impl<'a> Simulator<'a> {
                     d, g, s, b, params, ..
                 } => {
                     let cg = 0.5 * params.gate_cap();
-                    caps.push(CapInst { a: *g, b: *s, c: cg });
-                    caps.push(CapInst { a: *g, b: *d, c: cg });
+                    caps.push(CapInst {
+                        a: *g,
+                        b: *s,
+                        c: cg,
+                    });
+                    caps.push(CapInst {
+                        a: *g,
+                        b: *d,
+                        c: cg,
+                    });
                     caps.push(CapInst {
                         a: *d,
                         b: *b,
@@ -862,7 +870,11 @@ impl<'a> Simulator<'a> {
                 let i = op.branch_current(id).unwrap_or(0.0);
                 vec![i, -i]
             }
-            DeviceKind::Isource { pos: _, neg: _, waveform } => {
+            DeviceKind::Isource {
+                pos: _,
+                neg: _,
+                waveform,
+            } => {
                 let i = self.source_value(id, waveform, None);
                 vec![i, -i]
             }
@@ -907,7 +919,11 @@ impl<'a> Simulator<'a> {
                 vec![i_d, i_g, i_s, i_b]
             }
             DeviceKind::Switch {
-                a, b, cp, cn, params,
+                a,
+                b,
+                cp,
+                cn,
+                params,
             } => {
                 let (g, _) = switch_eval(v(*cp) - v(*cn), params);
                 let i = g * (v(*a) - v(*b));

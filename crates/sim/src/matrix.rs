@@ -53,16 +53,10 @@ impl DenseMatrix {
     /// Computes `self · x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
-        let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
-            let row = &self.data[r * self.n..(r + 1) * self.n];
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            y[r] = acc;
-        }
-        y
+        self.data
+            .chunks_exact(self.n)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Factors the matrix in place (LU with partial pivoting) and solves

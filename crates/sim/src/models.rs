@@ -97,10 +97,7 @@ fn nmos_eval_forward(vgs: f64, vds: f64, vbs: f64, p: &MosfetParams, vt0: f64) -
         let arg = p.phi - vbs;
         if arg > 1e-9 {
             let sq = arg.sqrt();
-            (
-                vt0 + p.gamma * (sq - p.phi.sqrt()),
-                -p.gamma / (2.0 * sq),
-            )
+            (vt0 + p.gamma * (sq - p.phi.sqrt()), -p.gamma / (2.0 * sq))
         } else {
             (vt0 + p.gamma * (0.0 - p.phi.sqrt()), 0.0)
         }

@@ -89,8 +89,16 @@ fn nmos_saturation_current_matches_level1() {
         .unwrap();
     nl.add_resistor("RD", vdd, d, 1e3).unwrap();
     let p = MosfetParams::nmos_default();
-    nl.add_mosfet("M1", d, g, Netlist::GROUND, Netlist::GROUND, MosType::Nmos, p.clone())
-        .unwrap();
+    nl.add_mosfet(
+        "M1",
+        d,
+        g,
+        Netlist::GROUND,
+        Netlist::GROUND,
+        MosType::Nmos,
+        p.clone(),
+    )
+    .unwrap();
     let mut sim = Simulator::new(&nl);
     let op = sim.dc_op().unwrap();
     let vd = op.voltage(d);
@@ -143,10 +151,7 @@ fn cmos_inverter_vtc_monotone_with_sharp_transition() {
         assert!(w[1] <= w[0] + 1e-6, "VTC must be monotone: {w:?}");
     }
     // The transition must be sharp: gain region somewhere in the middle.
-    let max_drop = vout
-        .windows(2)
-        .map(|w| w[0] - w[1])
-        .fold(0.0f64, f64::max);
+    let max_drop = vout.windows(2).map(|w| w[0] - w[1]).fold(0.0f64, f64::max);
     assert!(max_drop > 1.0, "inverter gain too low, max step {max_drop}");
 }
 
@@ -294,8 +299,10 @@ fn rc_transient_trapezoidal_is_more_accurate() {
     nl.add_resistor("R1", inp, out, 1e3).unwrap();
     nl.add_capacitor("C1", out, Netlist::GROUND, 1e-6).unwrap();
     let err = |integ: Integration| {
-        let mut opts = SimOptions::default();
-        opts.integration = integ;
+        let opts = SimOptions {
+            integration: integ,
+            ..SimOptions::default()
+        };
         let mut sim = Simulator::with_options(&nl, opts);
         let tr = sim.transient(2e-3, 50e-6).unwrap();
         let k = tr.index_at(1e-3);
@@ -320,8 +327,10 @@ fn rc_transient_backward_euler_also_converges() {
     .unwrap();
     nl.add_resistor("R1", inp, out, 1e3).unwrap();
     nl.add_capacitor("C1", out, Netlist::GROUND, 1e-6).unwrap();
-    let mut opts = SimOptions::default();
-    opts.integration = Integration::BackwardEuler;
+    let opts = SimOptions {
+        integration: Integration::BackwardEuler,
+        ..SimOptions::default()
+    };
     let mut sim = Simulator::with_options(&nl, opts);
     let tr = sim.transient(5e-3, 10e-6).unwrap();
     let v_end = tr.voltage(tr.len() - 1, out);
@@ -481,7 +490,10 @@ fn mosfet_junction_leakage_appears_in_supply_current() {
             .unwrap()
             .abs()
     };
-    assert!(i_big > 100.0 * i_small, "i_big = {i_big}, i_small = {i_small}");
+    assert!(
+        i_big > 100.0 * i_small,
+        "i_big = {i_big}, i_small = {i_small}"
+    );
 }
 
 #[test]
@@ -576,10 +588,16 @@ fn override_source_affects_transient_too() {
     sim.override_source("V1", 2.0).unwrap();
     let tr = sim.transient(1e-6, 50e-9).unwrap();
     for k in 0..tr.len() {
-        assert!((tr.voltage(k, a) - 2.0).abs() < 1e-6, "override must pin the source");
+        assert!(
+            (tr.voltage(k, a) - 2.0).abs() < 1e-6,
+            "override must pin the source"
+        );
     }
     sim.clear_override("V1");
     let tr = sim.transient(1e-6, 50e-9).unwrap();
     let mid = tr.voltage(tr.index_at(0.5e-6), a);
-    assert!(mid > 4.5, "triangle must be back after clearing the override");
+    assert!(
+        mid > 4.5,
+        "triangle must be back after clearing the override"
+    );
 }

@@ -9,8 +9,7 @@
 
 use dotm::core::harnesses::ComparatorHarness;
 use dotm::core::{
-    check_trunk_order, detectability, run_macro_path, GoodSpaceConfig, MacroHarness,
-    PipelineConfig,
+    check_trunk_order, detectability, run_macro_path, GoodSpaceConfig, MacroHarness, PipelineConfig,
 };
 use dotm::faults::Severity;
 
@@ -26,6 +25,7 @@ fn main() {
             common_samples: 4,
             mismatch_samples: 3,
             seed: 7,
+            ..GoodSpaceConfig::default()
         },
         non_catastrophic: false,
         ..PipelineConfig::default()
@@ -79,8 +79,7 @@ fn main() {
     ] {
         let order = dotm::adc::layouts::comparator_trunk_order(lcfg);
         let nl = ComparatorHarness::production().testbench();
-        let is_static =
-            |net: &str| matches!(net, "vbn" | "vbnc" | "vbp" | "vaz" | "vref");
+        let is_static = |net: &str| matches!(net, "vbn" | "vbnc" | "vbp" | "vaz" | "vref");
         match check_trunk_order(&nl, &order, &is_static) {
             Ok(advisories) if advisories.is_empty() => {
                 println!("DfT advisor ({label}): no similar-signal adjacencies")

@@ -8,8 +8,8 @@ use dotm::adc::comparator::ComparatorConfig;
 use dotm::adc::layouts::{comparator_layout, LayoutConfig};
 use dotm::defects::{Defect, DefectKind, DefectStatistics, Sprinkler};
 use dotm::layout::Layer;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dotm_rng::rngs::StdRng;
+use dotm_rng::{Rng, SeedableRng};
 
 fn main() {
     let layout = comparator_layout(ComparatorConfig::default(), LayoutConfig::default());
@@ -64,7 +64,10 @@ fn main() {
             }
         }
         if !shown {
-            println!("{:<22} (no fault found in 300k samples — rare by construction)", kind.to_string());
+            println!(
+                "{:<22} (no fault found in 300k samples — rare by construction)",
+                kind.to_string()
+            );
         }
     }
     println!();

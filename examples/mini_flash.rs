@@ -27,11 +27,12 @@ fn convert(vin: f64) -> (usize, usize, usize) {
 }
 
 fn main() {
-    println!(
-        "3-bit transistor-level flash: {N_STAGES} comparator macros, ladder {V_LO}..{V_HI} V"
-    );
+    println!("3-bit transistor-level flash: {N_STAGES} comparator macros, ladder {V_LO}..{V_HI} V");
     println!();
-    println!("{:>8} {:>12} {:>12}", "vin (V)", "transistor", "behavioural");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "vin (V)", "transistor", "behavioural"
+    );
     let lsb = (V_HI - V_LO) / (N_STAGES + 1) as f64;
     let mut agree = true;
     let mut devices = 0;
@@ -40,7 +41,11 @@ fn main() {
         let vin = V_LO + (code as f64 + 0.5) * lsb;
         let (silicon, expected, d) = convert(vin);
         devices = d;
-        let mark = if silicon == expected { "" } else { "  <-- MISMATCH" };
+        let mark = if silicon == expected {
+            ""
+        } else {
+            "  <-- MISMATCH"
+        };
         agree &= silicon == expected;
         println!("{vin:>8.3} {silicon:>12} {expected:>12}{mark}");
     }

@@ -48,7 +48,10 @@ fn main() {
             )
         })
         .collect();
-    println!("overlaying {} fault-causing defects on the comparator:", defects.len());
+    println!(
+        "overlaying {} fault-causing defects on the comparator:",
+        defects.len()
+    );
     for (_, label) in &defects {
         println!("  {label}");
     }

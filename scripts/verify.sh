@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus small-N smoke runs of the paper binaries.
+#
+# This is what CI runs and what a developer runs before pushing: the
+# whole thing is offline (path-only dependency graph, --locked) and
+# finishes in a few minutes on one core. Thread count only changes
+# wall-clock time, never a number — the determinism gate at the end
+# proves it on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: release build"
+cargo build --release --locked
+
+echo "==> tier 1: test suite (workspace)"
+cargo test -q --workspace --locked
+
+echo "==> smoke: table1 (small sprinkle)"
+DOTM_DEFECTS=4000 DOTM_TABLE1_FULL=100000 \
+    cargo run --release --locked -p dotm-bench --bin table1
+
+echo "==> smoke: fig4 (truncated classes, small good space)"
+DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+    cargo run --release --locked -p dotm-bench --bin fig4
+
+echo "==> determinism: serial vs parallel fingerprints"
+DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+    cargo run --release --locked -p dotm-bench --bin par_speedup
+
+echo "==> verify: all green"
