@@ -3,7 +3,7 @@
 //! the paper's DfT analysis ("the methodology used makes it easy to
 //! investigate the reasons for the undetectability of faults").
 
-use dotm_bench::{comparator_report, run_with_progress};
+use dotm_bench::{comparator_report, print_macro_accounting, run_with_progress};
 use dotm_core::harnesses::{BiasHarness, ClockgenHarness, DecoderHarness, LadderHarness};
 use dotm_faults::Severity;
 
@@ -45,4 +45,5 @@ fn main() {
             100.0 * undetected / total.max(1.0)
         );
     }
+    print_macro_accounting(&report);
 }

@@ -7,7 +7,7 @@
 //! "a better test method" than voltage; clock generator 93.8 % and ladder
 //! 99.8 % current-detectable.
 
-use dotm_bench::{global_report, rule};
+use dotm_bench::{global_report, print_global_accounting, rule};
 use dotm_core::GlobalDetectability;
 use dotm_faults::Severity;
 
@@ -51,4 +51,5 @@ fn main() {
         );
     }
     println!("  (paper: clock generator 93.8%, reference ladder 99.8%)");
+    print_global_accounting(&global);
 }

@@ -7,7 +7,7 @@
 //! voltage-only share shrinks to 5.8 % (cat) / 5.6 % (non-cat), making a
 //! current-only wafer-sort test feasible.
 
-use dotm_bench::{global_report, rule};
+use dotm_bench::{global_report, print_global_accounting, rule};
 use dotm_core::GlobalDetectability;
 use dotm_faults::Severity;
 
@@ -37,4 +37,5 @@ fn main() {
     println!("paper: coverage rises to 99.1%; voltage-only shrinks to 5.8% / 5.6%,");
     println!("       so a current-only wafer-sort test becomes feasible");
     rule(72);
+    print_global_accounting(&global);
 }

@@ -6,7 +6,7 @@
 //! biasing currents"; for non-catastrophic faults the clock-value
 //! signature becomes more important.
 
-use dotm_bench::{comparator_report, rule};
+use dotm_bench::{comparator_report, print_macro_accounting, rule};
 use dotm_core::voltage_table;
 
 fn main() {
@@ -40,4 +40,5 @@ fn main() {
         "clock-value share: {:.1}% cat vs {:.1}% non-cat (paper: grows for non-catastrophic)",
         cv.catastrophic_pct, cv.non_catastrophic_pct
     );
+    print_macro_accounting(&report);
 }

@@ -6,7 +6,7 @@
 //! detectable by measuring the quiescent current of the clock generator
 //! (IDDQ) — "striking" for an analog macro.
 
-use dotm_bench::{comparator_report, rule};
+use dotm_bench::{comparator_report, print_macro_accounting, rule};
 use dotm_core::current_table;
 
 fn main() {
@@ -38,4 +38,5 @@ fn main() {
         "IDDQ-detectable share: {:.1}% cat / {:.1}% non-cat (paper: 24.2% / 25.6%)",
         iddq.catastrophic_pct, iddq.non_catastrophic_pct
     );
+    print_macro_accounting(&report);
 }

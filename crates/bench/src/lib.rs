@@ -20,14 +20,22 @@
 //! `DOTM_GS_COMMON` / `DOTM_GS_MM` (good-space Monte-Carlo sizes),
 //! `DOTM_MAX_CLASSES` (truncate to the most frequent classes — smoke runs
 //! only), `DOTM_SEED`, `DOTM_THREADS` (worker threads for the parallel
-//! executor; changes wall-clock time only, never a number).
+//! executor; changes wall-clock time only, never a number),
+//! `DOTM_SIM_FAILURE_POLICY` (`assume-detected` — the paper-parity
+//! default — `assume-undetected`, or `exclude`: how classes that never
+//! converge, even after the escalation ladder, enter the statistics).
+//!
+//! Every binary appends a failure-accounting block after its table: how
+//! many classes rest on failed simulations or injections, how many needed
+//! solver escalation (and to which rung), and the total solver work. On a
+//! healthy paper-parity run the failure counters are all zero.
 
 use dotm_core::harnesses::{
     BiasHarness, ClockgenHarness, ComparatorHarness, DecoderHarness, LadderHarness,
 };
 use dotm_core::{
     par_map, run_macro_path, ExecConfig, GlobalReport, GoodSpaceConfig, MacroHarness, MacroReport,
-    PipelineConfig,
+    PipelineConfig, SimFailurePolicy,
 };
 
 /// Reads a `usize` environment knob.
@@ -46,6 +54,18 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Reads the `DOTM_SIM_FAILURE_POLICY` knob (default: the paper-parity
+/// `AssumeDetected`). An unparsable value aborts loudly rather than
+/// silently running with the wrong accounting.
+pub fn env_sim_failure_policy() -> SimFailurePolicy {
+    match std::env::var("DOTM_SIM_FAILURE_POLICY") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("DOTM_SIM_FAILURE_POLICY: {e}")),
+        Err(_) => SimFailurePolicy::default(),
+    }
+}
+
 /// The standard pipeline configuration, honouring the environment knobs.
 pub fn standard_config() -> PipelineConfig {
     let max_classes = std::env::var("DOTM_MAX_CLASSES")
@@ -61,6 +81,7 @@ pub fn standard_config() -> PipelineConfig {
             ..GoodSpaceConfig::default()
         },
         max_classes,
+        sim_failure_policy: env_sim_failure_policy(),
         ..PipelineConfig::default()
     }
 }
@@ -124,6 +145,66 @@ pub fn global_report(dft: bool) -> GlobalReport {
 /// Prints a ruled table row.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// Prints the failure-accounting block shared by the aggregate printers.
+fn print_accounting(
+    sim_failed: usize,
+    inject_failed: usize,
+    escalated: usize,
+    excluded: usize,
+    hist: [u64; dotm_core::ESCALATION_RUNGS],
+    solver: dotm_sim::SimStats,
+) {
+    println!();
+    println!("solver accounting ({:?} policy):", env_sim_failure_policy());
+    println!("  sim-failed classes:    {sim_failed}");
+    println!("  inject-failed classes: {inject_failed}");
+    println!("  escalated classes:     {escalated}");
+    if excluded > 0 {
+        println!("  excluded classes:      {excluded}");
+    }
+    let rungs: Vec<String> = hist
+        .iter()
+        .enumerate()
+        .map(|(r, n)| format!("r{r}:{n}"))
+        .collect();
+    println!("  ladder-rung histogram: {}", rungs.join(" "));
+    println!(
+        "  solver totals: {} NR solves, {} iterations, {} DC failures, \
+         {} singular pivots, {} tran steps ({} rejected, {} halvings)",
+        solver.nr_solves,
+        solver.nr_iterations,
+        solver.dc_failures,
+        solver.singular_pivots,
+        solver.tran_steps,
+        solver.rejected_steps,
+        solver.step_halvings,
+    );
+}
+
+/// Prints the failure-accounting block for one macro report.
+pub fn print_macro_accounting(report: &MacroReport) {
+    print_accounting(
+        report.sim_failed_classes(),
+        report.inject_failed_classes(),
+        report.escalated_classes(),
+        report.excluded_classes(),
+        report.rung_histogram(),
+        report.solver_totals(),
+    );
+}
+
+/// Prints the failure-accounting block summed over a global report.
+pub fn print_global_accounting(report: &GlobalReport) {
+    print_accounting(
+        report.sim_failed_classes(),
+        report.inject_failed_classes(),
+        report.escalated_classes(),
+        report.excluded_classes(),
+        report.rung_histogram(),
+        report.solver_totals(),
+    );
 }
 
 #[cfg(test)]

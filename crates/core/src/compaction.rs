@@ -174,7 +174,12 @@ mod tests {
                     .collect(),
             }
         }
-        fn measure(&self, _nl: &Netlist) -> Result<Vec<f64>, dotm_sim::SimError> {
+        fn measure_with(
+            &self,
+            _nl: &Netlist,
+            _opts: &dotm_sim::SimOptions,
+            _stats: &mut dotm_sim::SimStats,
+        ) -> Result<Vec<f64>, dotm_sim::SimError> {
             Ok(vec![0.0; 5])
         }
         fn perturb(
@@ -213,6 +218,10 @@ mod tests {
             flagged,
             sim_failed: false,
             inject_failed: false,
+            rung: Some(0),
+            inject_errors: 0,
+            excluded: false,
+            solver: dotm_sim::SimStats::default(),
         }
     }
 
@@ -225,6 +234,8 @@ mod tests {
             total_faults: 100,
             class_count: outcomes.len(),
             outcomes,
+            goodspace_solver: dotm_sim::SimStats::default(),
+            goodspace_corner_retries: 0,
         }
     }
 

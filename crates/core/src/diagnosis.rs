@@ -178,6 +178,10 @@ mod tests {
             flagged: Vec::new(),
             sim_failed: false,
             inject_failed: false,
+            rung: Some(0),
+            inject_errors: 0,
+            excluded: false,
+            solver: dotm_sim::SimStats::default(),
         }
     }
 
@@ -194,6 +198,8 @@ mod tests {
                 outcome("bias_short", 30, false, true, false),
                 outcome("ff_fault", 20, false, false, true),
             ],
+            goodspace_solver: dotm_sim::SimStats::default(),
+            goodspace_corner_retries: 0,
         }
     }
 
@@ -260,6 +266,8 @@ mod tests {
             total_faults: 0,
             class_count: 0,
             outcomes: vec![],
+            goodspace_solver: dotm_sim::SimStats::default(),
+            goodspace_corner_retries: 0,
         };
         let dict = FaultDictionary::from_report(&r, Severity::Catastrophic);
         assert!(dict.is_empty());

@@ -100,13 +100,22 @@ where
                     local.push((i, f(i, &items[i])));
                 }
                 if !local.is_empty() {
-                    collected.lock().expect("no poisoned workers").extend(local);
+                    // A panicking sibling poisons the mutex; recovering the
+                    // guard instead of unwrapping avoids a double panic
+                    // (abort) while this scope unwinds — the original panic
+                    // still propagates when the scope joins.
+                    collected
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .extend(local);
                 }
             });
         }
     });
 
-    let mut indexed = collected.into_inner().expect("all workers joined");
+    let mut indexed = collected
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     debug_assert_eq!(indexed.len(), items.len());
     indexed.sort_unstable_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
@@ -162,6 +171,22 @@ mod tests {
         assert_eq!(cfg.effective_threads(3), 3);
         assert_eq!(cfg.effective_threads(0), 1);
         assert_eq!(ExecConfig::serial().effective_threads(100), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_abort() {
+        // One item panics while siblings are mid-batch: the scope must
+        // surface the original panic (not abort on a poisoned mutex).
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&ExecConfig::with_threads(4), &items, |_, &i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i * 2
+            })
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
     }
 
     #[test]

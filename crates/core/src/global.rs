@@ -97,6 +97,58 @@ impl GlobalReport {
     pub fn current_kind_pct(&self, severity: Severity, kind: CurrentKind) -> f64 {
         self.pct_where(severity, |o| o.currents.get(kind))
     }
+
+    /// Classes across all macros whose result rests on a failed
+    /// simulation.
+    pub fn sim_failed_classes(&self) -> usize {
+        self.reports
+            .iter()
+            .map(MacroReport::sim_failed_classes)
+            .sum()
+    }
+
+    /// Classes across all macros with real injection errors.
+    pub fn inject_failed_classes(&self) -> usize {
+        self.reports
+            .iter()
+            .map(MacroReport::inject_failed_classes)
+            .sum()
+    }
+
+    /// Classes across all macros that needed escalation above rung 0.
+    pub fn escalated_classes(&self) -> usize {
+        self.reports
+            .iter()
+            .map(MacroReport::escalated_classes)
+            .sum()
+    }
+
+    /// Classes across all macros excluded by
+    /// [`SimFailurePolicy::Exclude`](crate::SimFailurePolicy::Exclude).
+    pub fn excluded_classes(&self) -> usize {
+        self.reports.iter().map(MacroReport::excluded_classes).sum()
+    }
+
+    /// Rung histogram summed over all macros.
+    pub fn rung_histogram(&self) -> [u64; crate::pipeline::ESCALATION_RUNGS] {
+        let mut hist = [0u64; crate::pipeline::ESCALATION_RUNGS];
+        for report in &self.reports {
+            for (slot, count) in hist.iter_mut().zip(report.rung_histogram()) {
+                *slot += count;
+            }
+        }
+        hist
+    }
+
+    /// Solver telemetry summed over all macros (fault simulation plus
+    /// good-space compilation).
+    pub fn solver_totals(&self) -> dotm_sim::SimStats {
+        let mut total = dotm_sim::SimStats::default();
+        for report in &self.reports {
+            total.merge(&report.solver_totals());
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +184,13 @@ mod tests {
                 flagged: Vec::new(),
                 sim_failed: false,
                 inject_failed: false,
+                rung: Some(0),
+                inject_errors: 0,
+                excluded: false,
+                solver: dotm_sim::SimStats::default(),
             }],
+            goodspace_solver: dotm_sim::SimStats::default(),
+            goodspace_corner_retries: 0,
         }
     }
 

@@ -15,7 +15,7 @@ use crate::measure::MeasureKind;
 use crate::processvar::ProcessModel;
 use crate::signature::{CurrentFlags, CurrentKind};
 use dotm_rng::rngs::StdRng;
-use dotm_sim::SimError;
+use dotm_sim::{SimError, SimStats};
 
 /// Monte-Carlo sizes for good-space compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +54,11 @@ fn compile_common_sample(
     cfg: &GoodSpaceConfig,
     m: usize,
     si: u64,
-) -> Result<Vec<Vec<f64>>, SimError> {
+) -> Result<(Vec<Vec<f64>>, SimStats, u64), SimError> {
+    let opts = harness.sim_options();
     let mut rng = StdRng::seed_from_stream(cfg.seed, si);
+    let mut stats = SimStats::default();
+    let mut retries: u64 = 0;
     let mut retries_left = 2 * m + 2;
     loop {
         let common = model.sample_common(&mut rng);
@@ -64,7 +67,7 @@ fn compile_common_sample(
         for _ in 0..m {
             let mut nl = harness.testbench();
             harness.perturb(&mut nl, model, &common, &mut rng);
-            match harness.measure(&nl) {
+            match harness.measure_with(&nl, &opts, &mut stats) {
                 Ok(v) => per_mm.push(v),
                 Err(e) => {
                     corner_error = Some(e);
@@ -73,12 +76,13 @@ fn compile_common_sample(
             }
         }
         match corner_error {
-            None => return Ok(per_mm),
+            None => return Ok((per_mm, stats, retries)),
             Some(e) => {
                 if retries_left == 0 {
                     return Err(e);
                 }
                 retries_left -= 1;
+                retries += 1;
             }
         }
     }
@@ -96,6 +100,12 @@ pub struct GoodSpace {
     pub sigma_common: Vec<f64>,
     /// Within-die (mismatch) σ.
     pub sigma_mismatch: Vec<f64>,
+    /// Solver telemetry accumulated over the whole compilation (nominal
+    /// plus every Monte-Carlo corner, including redrawn ones).
+    pub solver: SimStats,
+    /// Process corners redrawn because the simulator left its convergence
+    /// envelope (bounded per common sample).
+    pub corner_retries: u64,
 }
 
 impl GoodSpace {
@@ -109,7 +119,9 @@ impl GoodSpace {
         model: &ProcessModel,
         cfg: GoodSpaceConfig,
     ) -> Result<GoodSpace, SimError> {
-        let nominal = harness.measure(&harness.testbench())?;
+        let mut solver = SimStats::default();
+        let nominal =
+            harness.measure_with(&harness.testbench(), &harness.sim_options(), &mut solver)?;
         let n = nominal.len();
         let s = cfg.common_samples.max(1);
         let m = cfg.mismatch_samples.max(1);
@@ -120,11 +132,23 @@ impl GoodSpace {
         // convergence envelope; the good space is a statistical estimate,
         // so such a sample is redrawn from its own stream (bounded
         // retries) rather than failing the whole compilation.
-        let samples: Vec<Vec<Vec<f64>>> = exec::par_map_indices(&cfg.exec, s, |si| {
-            compile_common_sample(harness, model, &cfg, m, si as u64)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        let per_sample: Vec<(Vec<Vec<f64>>, SimStats, u64)> =
+            exec::par_map_indices(&cfg.exec, s, |si| {
+                compile_common_sample(harness, model, &cfg, m, si as u64)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        // Telemetry is folded in index order: SimStats addition commutes,
+        // but a fixed order keeps the reduction trivially reproducible.
+        let mut corner_retries: u64 = 0;
+        let samples: Vec<Vec<Vec<f64>>> = per_sample
+            .into_iter()
+            .map(|(sample, stats, retries)| {
+                solver.merge(&stats);
+                corner_retries += retries;
+                sample
+            })
+            .collect();
         let mut mean = vec![0.0; n];
         let mut sigma_common = vec![0.0; n];
         let mut sigma_mismatch = vec![0.0; n];
@@ -157,6 +181,8 @@ impl GoodSpace {
             mean,
             sigma_common,
             sigma_mismatch,
+            solver,
+            corner_retries,
         })
     }
 

@@ -14,7 +14,7 @@ use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
 use dotm_rng::rngs::StdRng;
-use dotm_sim::SimError;
+use dotm_sim::{SimError, SimOptions, SimStats, Simulator};
 
 /// Drives circuit-level analysis of one macro cell type.
 ///
@@ -39,13 +39,42 @@ pub trait MacroHarness: Sync {
     /// The measurement plan produced by [`MacroHarness::measure`].
     fn plan(&self) -> MeasurementPlan;
 
+    /// Base simulator options for this harness's measurement procedure —
+    /// rung 0 of the pipeline's convergence-escalation ladder. Higher
+    /// rungs derive progressively more robust option sets from this one.
+    fn sim_options(&self) -> SimOptions {
+        SimOptions::default()
+    }
+
     /// Runs the macro's measurement procedure on a (possibly faulted,
-    /// possibly perturbed) netlist.
+    /// possibly perturbed) netlist with the harness's base options.
     ///
     /// # Errors
-    /// Propagates simulator failures; the pipeline treats a non-converging
-    /// faulty circuit as a grossly faulty part.
-    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError>;
+    /// Propagates simulator failures; the pipeline escalates a
+    /// non-converging faulty circuit through the retry ladder before
+    /// applying its [`SimFailurePolicy`](crate::SimFailurePolicy).
+    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError> {
+        self.measure_with(nl, &self.sim_options(), &mut SimStats::default())
+    }
+
+    /// Runs the measurement procedure with explicit solver options,
+    /// merging the solver telemetry of every simulator it spins up into
+    /// `stats` — on failure as well as success, so the accounting sees
+    /// the work spent on circuits that never converged.
+    ///
+    /// Implementations should build every simulator through
+    /// [`with_instrumented_sim`] (or merge
+    /// [`Simulator::stats`](dotm_sim::Simulator::stats) manually on all
+    /// exit paths).
+    ///
+    /// # Errors
+    /// Propagates simulator failures.
+    fn measure_with(
+        &self,
+        nl: &Netlist,
+        opts: &SimOptions,
+        stats: &mut SimStats,
+    ) -> Result<Vec<f64>, SimError>;
 
     /// Applies one process Monte-Carlo sample. The default perturbs every
     /// device generically; harnesses whose bias inputs track the process
@@ -79,4 +108,23 @@ pub trait MacroHarness: Sync {
             CurrentKind::Iinput => 50e-6,
         }
     }
+}
+
+/// Runs `f` over a fresh simulator bound to `nl` with `opts`, merging the
+/// simulator's solver telemetry into `stats` whether or not the analysis
+/// succeeds — the building block for [`MacroHarness::measure_with`]
+/// implementations.
+///
+/// # Errors
+/// Whatever `f` returns.
+pub fn with_instrumented_sim<R>(
+    nl: &Netlist,
+    opts: &SimOptions,
+    stats: &mut SimStats,
+    f: impl FnOnce(&mut Simulator<'_>) -> Result<R, SimError>,
+) -> Result<R, SimError> {
+    let mut sim = Simulator::with_options(nl, opts.clone());
+    let result = f(&mut sim);
+    stats.merge(sim.stats());
+    result
 }

@@ -1,6 +1,6 @@
 //! Harness for the bias generator.
 
-use crate::harness::MacroHarness;
+use crate::harness::{with_instrumented_sim, MacroHarness};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::comparator::{
@@ -9,7 +9,7 @@ use dotm_adc::comparator::{
 use dotm_adc::process::BiasValues;
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
-use dotm_sim::{SimError, Simulator};
+use dotm_sim::{SimError, SimOptions, SimStats, Simulator};
 
 use super::comparator::{DECISION_DVS, VREF_MID};
 
@@ -61,9 +61,13 @@ impl MacroHarness for BiasHarness {
         MeasurementPlan { labels }
     }
 
-    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError> {
-        let mut sim = Simulator::new(nl);
-        let op = sim.dc_op()?;
+    fn measure_with(
+        &self,
+        nl: &Netlist,
+        opts: &SimOptions,
+        stats: &mut SimStats,
+    ) -> Result<Vec<f64>, SimError> {
+        let op = with_instrumented_sim(nl, opts, stats, |sim| sim.dc_op())?;
         let mut out = Vec::with_capacity(5);
         for net in ["vbn", "vbnc", "vbp", "vaz"] {
             out.push(match nl.find_node(net) {

@@ -1,14 +1,14 @@
 //! Harness for the clock generator — the digital cell whose quiescent
 //! supply current is the IDDQ measurement.
 
-use crate::harness::MacroHarness;
+use crate::harness::{with_instrumented_sim, MacroHarness};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::clockgen::clockgen_testbench;
 use dotm_adc::process::{Phase, CLOCK_PERIOD};
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
-use dotm_sim::{SimError, Simulator};
+use dotm_sim::{SimError, SimOptions, SimStats};
 
 /// Level deviation that still counts as a working (but shifted) clock.
 const LEVEL_DEV: f64 = 0.30;
@@ -70,9 +70,14 @@ impl MacroHarness for ClockgenHarness {
         MeasurementPlan { labels }
     }
 
-    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError> {
-        let mut sim = Simulator::new(nl);
-        let tr = sim.transient(CLOCK_PERIOD, self.dt)?;
+    fn measure_with(
+        &self,
+        nl: &Netlist,
+        opts: &SimOptions,
+        stats: &mut SimStats,
+    ) -> Result<Vec<f64>, SimError> {
+        let tr =
+            with_instrumented_sim(nl, opts, stats, |sim| sim.transient(CLOCK_PERIOD, self.dt))?;
         let mut out = Vec::new();
         for ck in 1..=3 {
             let node = nl.find_node(&format!("ck{ck}"));

@@ -1,7 +1,7 @@
 //! Harness for the comparator macro — the cell the paper analyses in
 //! depth (§3.2).
 
-use crate::harness::MacroHarness;
+use crate::harness::{with_instrumented_sim, MacroHarness};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::processvar::{CommonSample, ProcessModel};
 use crate::signature::{CurrentKind, VoltageSignature};
@@ -13,7 +13,7 @@ use dotm_adc::process::{Phase, CLOCK_PERIOD, VREF_HI, VREF_LO};
 use dotm_layout::Layout;
 use dotm_netlist::{DeviceKind, Netlist, Waveform};
 use dotm_rng::rngs::StdRng;
-use dotm_sim::{SimError, Simulator};
+use dotm_sim::{SimError, SimOptions, SimStats, Simulator};
 
 /// The differential drive points probed by the voltage test, in volts
 /// around the reference. ±8 mV is the paper's one-LSB offset bound.
@@ -161,22 +161,29 @@ impl MacroHarness for ComparatorHarness {
         MeasurementPlan { labels }
     }
 
-    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError> {
+    fn measure_with(
+        &self,
+        nl: &Netlist,
+        opts: &SimOptions,
+        stats: &mut SimStats,
+    ) -> Result<Vec<f64>, SimError> {
         let mut out = Vec::new();
         // Voltage test: four decisions around the mid reference, plus one
         // pair at each range extreme.
         for dv in DECISION_DVS {
-            let mut sim = Simulator::new(nl);
-            sim.override_source("VIN", VREF_MID + dv)?;
-            let tr = sim.transient(decision_sim_time(), self.dt)?;
+            let tr = with_instrumented_sim(nl, opts, stats, |sim| {
+                sim.override_source("VIN", VREF_MID + dv)?;
+                sim.transient(decision_sim_time(), self.dt)
+            })?;
             out.push(read_decision(nl, &tr));
         }
         for vref in EXTREME_VREFS {
             for dv in [-EXTREME_DV, EXTREME_DV] {
-                let mut sim = Simulator::new(nl);
-                sim.override_source("VREF", vref)?;
-                sim.override_source("VIN", vref + dv)?;
-                let tr = sim.transient(decision_sim_time(), self.dt)?;
+                let tr = with_instrumented_sim(nl, opts, stats, |sim| {
+                    sim.override_source("VREF", vref)?;
+                    sim.override_source("VIN", vref + dv)?;
+                    sim.transient(decision_sim_time(), self.dt)
+                })?;
                 out.push(read_decision(nl, &tr));
             }
         }
@@ -184,9 +191,10 @@ impl MacroHarness for ComparatorHarness {
         // levels ride along on the first condition.
         let mut clock_levels = Vec::new();
         for (ci, vin) in CURRENT_VINS.iter().enumerate() {
-            let mut sim = Simulator::new(nl);
-            sim.override_source("VIN", *vin)?;
-            let tr = sim.transient(2.0 * CLOCK_PERIOD, self.dt)?;
+            let tr = with_instrumented_sim(nl, opts, stats, |sim| {
+                sim.override_source("VIN", *vin)?;
+                sim.transient(2.0 * CLOCK_PERIOD, self.dt)
+            })?;
             for phase in Phase::ALL {
                 let k = tr.index_at(CLOCK_PERIOD + phase.settle_time());
                 let branch = |name: &str| -> f64 {

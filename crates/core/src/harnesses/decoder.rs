@@ -1,12 +1,12 @@
 //! Harness for the decoder column section.
 
-use crate::harness::MacroHarness;
+use crate::harness::{with_instrumented_sim, MacroHarness};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::decoder::{decoder_slice_testbench, SLICE_CODES, SLICE_INPUTS};
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
-use dotm_sim::{SimError, Simulator};
+use dotm_sim::{SimError, SimOptions, SimStats};
 
 /// Bitline deviation counting as a corrupted code (V).
 const BIT_DEV: f64 = 1.0;
@@ -75,15 +75,21 @@ impl MacroHarness for DecoderHarness {
         MeasurementPlan { labels }
     }
 
-    fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, SimError> {
+    fn measure_with(
+        &self,
+        nl: &Netlist,
+        opts: &SimOptions,
+        stats: &mut SimStats,
+    ) -> Result<Vec<f64>, SimError> {
         let mut out = Vec::new();
         for h in HEIGHTS {
-            let mut sim = Simulator::new(nl);
-            for i in 0..SLICE_INPUTS {
-                let level = if i < h { 5.0 } else { 0.0 };
-                sim.override_source(&format!("VT{i}"), level)?;
-            }
-            let tr = sim.transient(30e-9, self.dt)?;
+            let tr = with_instrumented_sim(nl, opts, stats, |sim| {
+                for i in 0..SLICE_INPUTS {
+                    let level = if i < h { 5.0 } else { 0.0 };
+                    sim.override_source(&format!("VT{i}"), level)?;
+                }
+                sim.transient(30e-9, self.dt)
+            })?;
             let k = tr.index_at(29e-9);
             for bit in 0..8 {
                 out.push(match nl.find_node(&format!("bl{bit}")) {

@@ -51,11 +51,11 @@ pub use escapes::YieldModel;
 pub use exec::{par_map, par_map_indices, ExecConfig};
 pub use global::{GlobalDetectability, GlobalReport};
 pub use goodspace::{GoodSpace, GoodSpaceConfig};
-pub use harness::MacroHarness;
+pub use harness::{with_instrumented_sim, MacroHarness};
 pub use measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 pub use pipeline::{
-    run_macro_path, run_macro_path_with_faults, ClassOutcome, MacroReport, PathError,
-    PipelineConfig,
+    run_macro_path, run_macro_path_with_faults, ClassOutcome, EscalationLadder, MacroReport,
+    PathError, PipelineConfig, SimFailurePolicy, ESCALATION_RUNGS,
 };
 pub use processvar::{CommonSample, ProcessModel};
 pub use report::{

@@ -12,9 +12,108 @@ use dotm_defects::{
 };
 use dotm_faults::{InjectError, Injector, Severity};
 use dotm_netlist::{DeviceKind, Netlist};
-use dotm_sim::SimError;
+use dotm_sim::{Integration, SimError, SimOptions, SimStats};
 use std::collections::HashSet;
 use std::fmt;
+
+/// How a fault class whose every model variant still fails to simulate —
+/// even at the top of the escalation ladder — enters the detection
+/// statistics.
+///
+/// The paper's flow treats an unsolvable faulty circuit as an erratic
+/// part that the missing-code test flags; that is the
+/// [`AssumeDetected`](SimFailurePolicy::AssumeDetected) default and the
+/// setting under which the published tables are reproduced. The other two
+/// policies bound the coverage claim from below instead of above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimFailurePolicy {
+    /// Count the class as missing-code detected (paper parity): a circuit
+    /// without a stable solution produces garbage codes on the tester.
+    #[default]
+    AssumeDetected,
+    /// Count the class as undetected: pessimistic lower bound that never
+    /// credits the test set for a solver limitation.
+    AssumeUndetected,
+    /// Drop the class from the weighted statistics entirely (reported via
+    /// [`MacroReport::excluded_classes`]).
+    Exclude,
+}
+
+impl std::str::FromStr for SimFailurePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "assumedetected" | "detected" => Ok(SimFailurePolicy::AssumeDetected),
+            "assumeundetected" | "undetected" => Ok(SimFailurePolicy::AssumeUndetected),
+            "exclude" | "excluded" => Ok(SimFailurePolicy::Exclude),
+            other => Err(format!(
+                "unknown sim-failure policy `{other}` (want assume-detected, \
+                 assume-undetected or exclude)"
+            )),
+        }
+    }
+}
+
+/// Number of rungs in the convergence-escalation ladder, rung 0 being the
+/// harness's own base options.
+pub const ESCALATION_RUNGS: usize = 6;
+
+/// Deterministic retry ladder for fault-injected circuits that fail to
+/// simulate. Each rung keeps every robustness measure of the rungs below
+/// it and adds one more, so the sequence is strictly monotone:
+///
+/// | rung | added measure                                   |
+/// |------|-------------------------------------------------|
+/// | 0    | the harness's base options                      |
+/// | 1    | 4× Newton–Raphson iteration budget              |
+/// | 2    | tighter per-iteration voltage-step clamp        |
+/// | 3    | forced Backward Euler + extra step halvings     |
+/// | 4    | raised `gmin` (≥ 1 nS to ground everywhere)     |
+/// | 5    | relaxed `reltol` (≥ 1e-3)                       |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationLadder {
+    /// Highest rung to try (`0` disables escalation entirely).
+    pub max_rung: u8,
+}
+
+impl Default for EscalationLadder {
+    fn default() -> Self {
+        EscalationLadder {
+            max_rung: (ESCALATION_RUNGS - 1) as u8,
+        }
+    }
+}
+
+impl EscalationLadder {
+    /// A ladder that never retries: every class gets exactly one attempt
+    /// with the base options.
+    pub fn disabled() -> Self {
+        EscalationLadder { max_rung: 0 }
+    }
+
+    /// Solver options at `rung`, derived cumulatively from `base`.
+    pub fn options_at(base: &SimOptions, rung: u8) -> SimOptions {
+        let mut o = base.clone();
+        if rung >= 1 {
+            o.max_iter = base.max_iter.saturating_mul(4);
+        }
+        if rung >= 2 {
+            o.v_step_limit = base.v_step_limit.min(0.3);
+        }
+        if rung >= 3 {
+            o.integration = Integration::BackwardEuler;
+            o.max_step_halvings = base.max_step_halvings + 4;
+        }
+        if rung >= 4 {
+            o.gmin = base.gmin.max(1e-9);
+        }
+        if rung >= 5 {
+            o.reltol = base.reltol.max(1e-3);
+        }
+        o
+    }
+}
 
 /// Configuration of one macro test path run.
 #[derive(Debug, Clone)]
@@ -40,6 +139,11 @@ pub struct PipelineConfig {
     /// bit-for-bit identical for every thread count; `threads = 1` is the
     /// plain serial loop.
     pub exec: ExecConfig,
+    /// Accounting policy for classes that fail to simulate even after the
+    /// escalation ladder.
+    pub sim_failure_policy: SimFailurePolicy,
+    /// Convergence-escalation ladder applied to fault-injected circuits.
+    pub escalation: EscalationLadder,
 }
 
 impl Default for PipelineConfig {
@@ -53,6 +157,8 @@ impl Default for PipelineConfig {
             max_classes: None,
             non_catastrophic: true,
             exec: ExecConfig::default(),
+            sim_failure_policy: SimFailurePolicy::default(),
+            escalation: EscalationLadder::default(),
         }
     }
 }
@@ -100,11 +206,27 @@ pub struct ClassOutcome {
     /// measurements that flagged this class — the raw material for
     /// test-set compaction.
     pub flagged: Vec<usize>,
-    /// `true` if the faulty circuit failed to converge (treated as an
-    /// erratic part: missing-code detected, classified Mixed).
+    /// `true` if the reported result rests on a circuit that failed to
+    /// converge even at the top of the escalation ladder (accounted per
+    /// the run's [`SimFailurePolicy`]).
     pub sim_failed: bool,
-    /// `true` if injection was impossible (excluded from statistics).
+    /// `true` if no model variant could be injected at all (excluded from
+    /// statistics).
     pub inject_failed: bool,
+    /// Highest escalation-ladder rung any measured variant of this class
+    /// needed (`Some(0)` = base options sufficed; `None` = no variant
+    /// ever measured).
+    pub rung: Option<u8>,
+    /// Model variants that hit a *real* injection error (unknown
+    /// net/device, netlist edit failure) — not-applicable variants are
+    /// legitimately skipped and not counted here.
+    pub inject_errors: usize,
+    /// `true` if the class was dropped from the weighted statistics by
+    /// [`SimFailurePolicy::Exclude`].
+    pub excluded: bool,
+    /// Solver telemetry accumulated over every variant and ladder rung
+    /// tried for this class.
+    pub solver: SimStats,
 }
 
 /// Full result of one macro's test path.
@@ -125,14 +247,21 @@ pub struct MacroReport {
     /// Evaluated outcomes (catastrophic, plus non-catastrophic entries
     /// when enabled).
     pub outcomes: Vec<ClassOutcome>,
+    /// Solver telemetry of the good-space compilation (nominal plus every
+    /// Monte-Carlo corner).
+    pub goodspace_solver: SimStats,
+    /// Process corners redrawn during good-space compilation because the
+    /// simulator left its convergence envelope.
+    pub goodspace_corner_retries: u64,
 }
 
 impl MacroReport {
-    /// Outcomes of one severity (excluding injection failures).
+    /// Outcomes of one severity (excluding injection failures and classes
+    /// dropped by [`SimFailurePolicy::Exclude`]).
     pub fn outcomes_of(&self, severity: Severity) -> impl Iterator<Item = &ClassOutcome> {
         self.outcomes
             .iter()
-            .filter(move |o| o.severity == severity && !o.inject_failed)
+            .filter(move |o| o.severity == severity && !o.inject_failed && !o.excluded)
     }
 
     /// Total fault weight of one severity.
@@ -157,6 +286,55 @@ impl MacroReport {
     /// Overall fault coverage (any detection mechanism), in percent.
     pub fn coverage(&self, severity: Severity) -> f64 {
         self.pct_where(severity, |o| o.detection.detected())
+    }
+
+    /// Outcomes whose reported result rests on a circuit that never
+    /// converged, even at the top of the escalation ladder.
+    pub fn sim_failed_classes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.sim_failed).count()
+    }
+
+    /// Outcomes where at least one model variant hit a real injection
+    /// error (unknown net/device, netlist edit failure).
+    pub fn inject_failed_classes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.inject_errors > 0).count()
+    }
+
+    /// Outcomes that needed at least one escalation rung above the base
+    /// options before a variant measured.
+    pub fn escalated_classes(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.rung.unwrap_or(0) > 0)
+            .count()
+    }
+
+    /// Outcomes dropped from the statistics by
+    /// [`SimFailurePolicy::Exclude`].
+    pub fn excluded_classes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.excluded).count()
+    }
+
+    /// Histogram over the highest ladder rung each measured outcome
+    /// needed (index = rung; outcomes that never measured do not appear).
+    pub fn rung_histogram(&self) -> [u64; ESCALATION_RUNGS] {
+        let mut hist = [0u64; ESCALATION_RUNGS];
+        for o in &self.outcomes {
+            if let Some(r) = o.rung {
+                hist[(r as usize).min(ESCALATION_RUNGS - 1)] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Total solver telemetry: every fault-simulation solve plus the
+    /// good-space compilation.
+    pub fn solver_totals(&self) -> SimStats {
+        let mut total = self.goodspace_solver;
+        for o in &self.outcomes {
+            total.merge(&o.solver);
+        }
+        total
     }
 
     /// A 64-bit FNV-1a digest over every field of the report, including
@@ -193,11 +371,21 @@ impl MacroReport {
                 o.detection.missing_code as u8,
                 o.sim_failed as u8,
                 o.inject_failed as u8,
+                o.excluded as u8,
+                o.rung.unwrap_or(u8::MAX),
             ]);
+            eat(&(o.inject_errors as u64).to_le_bytes());
+            for w in o.solver.to_words() {
+                eat(&w.to_le_bytes());
+            }
             for &i in &o.flagged {
                 eat(&(i as u64).to_le_bytes());
             }
         }
+        for w in self.goodspace_solver.to_words() {
+            eat(&w.to_le_bytes());
+        }
+        eat(&self.goodspace_corner_retries.to_le_bytes());
         h
     }
 
@@ -309,7 +497,15 @@ pub fn run_macro_path_with_faults(
             .into_iter()
             .map(|severity| {
                 let outcome = evaluate_class(
-                    harness, &injector, &good, &base, effect, severity, is_shared,
+                    harness,
+                    &injector,
+                    &good,
+                    &base,
+                    effect,
+                    severity,
+                    is_shared,
+                    cfg.sim_failure_policy,
+                    cfg.escalation,
                 );
                 ClassOutcome {
                     key: class.key.clone(),
@@ -323,6 +519,10 @@ pub fn run_macro_path_with_faults(
                     flagged: outcome.flagged,
                     sim_failed: outcome.sim_failed,
                     inject_failed: outcome.inject_failed,
+                    rung: outcome.rung,
+                    inject_errors: outcome.inject_errors,
+                    excluded: outcome.excluded,
+                    solver: outcome.solver,
                 }
             })
             .collect::<Vec<_>>()
@@ -339,6 +539,8 @@ pub fn run_macro_path_with_faults(
         total_faults: collapsed.total_faults,
         class_count: collapsed.class_count(),
         outcomes,
+        goodspace_solver: good.solver,
+        goodspace_corner_retries: good.corner_retries,
     })
 }
 
@@ -350,10 +552,48 @@ struct Evaluated {
     flagged: Vec<usize>,
     sim_failed: bool,
     inject_failed: bool,
+    rung: Option<u8>,
+    inject_errors: usize,
+    excluded: bool,
+    solver: SimStats,
+}
+
+/// Detection outcome of a single model variant, competing in the
+/// worst-case (minimum-score) selection.
+struct VariantEval {
+    voltage: VoltageSignature,
+    currents: CurrentFlags,
+    detection: DetectionSet,
+    flagged: Vec<usize>,
+    sim_failed: bool,
+}
+
+/// Measures one injected variant, walking up the escalation ladder on
+/// retryable failures. Returns the measurement and the rung that
+/// succeeded, or `None` if every rung failed (or the failure was not a
+/// numerical one, where retrying cannot help).
+fn measure_escalated(
+    harness: &dyn MacroHarness,
+    nl: &Netlist,
+    base_opts: &SimOptions,
+    ladder: EscalationLadder,
+    solver: &mut SimStats,
+) -> Option<(Vec<f64>, u8)> {
+    for rung in 0..=ladder.max_rung {
+        let opts = EscalationLadder::options_at(base_opts, rung);
+        match harness.measure_with(nl, &opts, solver) {
+            Ok(meas) => return Some((meas, rung)),
+            Err(e) if e.is_retryable() => continue,
+            Err(_) => return None,
+        }
+    }
+    None
 }
 
 /// Evaluates one class at one severity, keeping the worst-case (hardest
-/// to detect) model variant.
+/// to detect) model variant. Variants that fail to simulate at every
+/// ladder rung enter the selection per `policy`.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_class(
     harness: &dyn MacroHarness,
     injector: &Injector,
@@ -362,68 +602,102 @@ fn evaluate_class(
     effect: &FaultEffect,
     severity: Severity,
     shared: bool,
+    policy: SimFailurePolicy,
+    ladder: EscalationLadder,
 ) -> Evaluated {
     let n_variants = injector.variant_count(effect);
-    let mut best: Option<(u32, Evaluated)> = None;
+    let base_opts = harness.sim_options();
+    let mut best: Option<(u32, VariantEval)> = None;
     let mut any_injected = false;
+    let mut inject_errors = 0usize;
+    let mut rung: Option<u8> = None;
+    let mut solver = SimStats::default();
     for variant in 0..n_variants {
         let mut nl = base.clone();
         match injector.inject(&mut nl, effect, severity, variant, "flt") {
             Ok(()) => any_injected = true,
             Err(InjectError::NotApplicable(_)) => continue,
-            Err(_) => continue,
-        }
-        let (voltage, currents, flagged, sim_failed) = match harness.measure(&nl) {
-            Ok(meas) => {
-                let v = harness.classify_voltage(&good.nominal, &meas);
-                let c = good.current_flags(harness, &meas, shared);
-                let f = good.flagged_indices(harness, &meas, shared);
-                (v, c, f, false)
-            }
             Err(_) => {
-                // A faulty circuit without a stable solution behaves
-                // erratically on the tester: garbage codes, so the
-                // missing-code test flags it.
-                (
-                    VoltageSignature::Mixed,
-                    CurrentFlags::default(),
-                    Vec::new(),
-                    true,
-                )
+                // A *real* injection error (unknown net/device, netlist
+                // edit failure) is silent data loss if merely skipped —
+                // count it so the report can surface it.
+                inject_errors += 1;
+                continue;
             }
-        };
-        let missing_code = if sim_failed {
-            true
-        } else {
-            voltage.causes_missing_code()
-        };
-        let detection = DetectionSet {
-            missing_code,
-            currents,
-        };
-        let score = (missing_code as u32)
-            + (currents.ivdd as u32)
-            + (currents.iddq as u32)
-            + (currents.iinput as u32);
-        let candidate = (
-            score,
-            Evaluated {
-                voltage,
-                currents,
-                detection,
-                flagged,
-                sim_failed,
-                inject_failed: false,
+        }
+        let candidate = match measure_escalated(harness, &nl, &base_opts, ladder, &mut solver) {
+            Some((meas, used_rung)) => {
+                rung = Some(rung.map_or(used_rung, |r: u8| r.max(used_rung)));
+                let voltage = harness.classify_voltage(&good.nominal, &meas);
+                let currents = good.current_flags(harness, &meas, shared);
+                let flagged = good.flagged_indices(harness, &meas, shared);
+                let detection = DetectionSet {
+                    missing_code: voltage.causes_missing_code(),
+                    currents,
+                };
+                VariantEval {
+                    voltage,
+                    currents,
+                    detection,
+                    flagged,
+                    sim_failed: false,
+                }
+            }
+            None => match policy {
+                // The paper's reading: a faulty circuit without a stable
+                // solution behaves erratically on the tester — garbage
+                // codes, so the missing-code test flags it.
+                SimFailurePolicy::AssumeDetected => VariantEval {
+                    voltage: VoltageSignature::Mixed,
+                    currents: CurrentFlags::default(),
+                    detection: DetectionSet {
+                        missing_code: true,
+                        currents: CurrentFlags::default(),
+                    },
+                    flagged: Vec::new(),
+                    sim_failed: true,
+                },
+                // Pessimistic: the solver's failure earns no detection
+                // credit, so the variant scores 0 and is always the
+                // worst case.
+                SimFailurePolicy::AssumeUndetected => VariantEval {
+                    voltage: VoltageSignature::Mixed,
+                    currents: CurrentFlags::default(),
+                    detection: DetectionSet {
+                        missing_code: false,
+                        currents: CurrentFlags::default(),
+                    },
+                    flagged: Vec::new(),
+                    sim_failed: true,
+                },
+                // Excluded variants do not compete; if every variant is
+                // excluded the whole class drops from the statistics.
+                SimFailurePolicy::Exclude => continue,
             },
-        );
+        };
+        let score = (candidate.detection.missing_code as u32)
+            + (candidate.currents.ivdd as u32)
+            + (candidate.currents.iddq as u32)
+            + (candidate.currents.iinput as u32);
         best = Some(match best {
-            None => candidate,
-            Some(prev) if candidate.0 < prev.0 => candidate,
+            None => (score, candidate),
+            Some(prev) if score < prev.0 => (score, candidate),
             Some(prev) => prev,
         });
     }
     match best {
-        Some((_, e)) => e,
+        Some((_, v)) => Evaluated {
+            voltage: v.voltage,
+            currents: v.currents,
+            detection: v.detection,
+            flagged: v.flagged,
+            sim_failed: v.sim_failed,
+            inject_failed: false,
+            rung,
+            inject_errors,
+            excluded: false,
+            solver,
+        },
         None => Evaluated {
             voltage: VoltageSignature::NoDeviation,
             currents: CurrentFlags::default(),
@@ -432,8 +706,15 @@ fn evaluate_class(
                 currents: CurrentFlags::default(),
             },
             flagged: Vec::new(),
-            sim_failed: false,
+            // `best` is empty either because nothing injected
+            // (inject_failed) or because `Exclude` dropped every
+            // sim-failed variant (excluded, sim_failed).
+            sim_failed: any_injected,
             inject_failed: !any_injected,
+            rung: None,
+            inject_errors,
+            excluded: any_injected,
+            solver,
         },
     }
 }
@@ -447,7 +728,6 @@ mod tests {
     use dotm_defects::{collapse, BridgeMedium, Defect, DefectKind, Fault};
     use dotm_layout::{Layer, Layout};
     use dotm_netlist::{Netlist, Waveform};
-    use dotm_sim::Simulator;
 
     /// A minimal harness: a 5 V divider whose mid voltage is the decision
     /// and whose supply current is the IVdd measurement.
@@ -494,9 +774,13 @@ mod tests {
             }
         }
 
-        fn measure(&self, nl: &Netlist) -> Result<Vec<f64>, dotm_sim::SimError> {
-            let mut sim = Simulator::new(nl);
-            let op = sim.dc_op()?;
+        fn measure_with(
+            &self,
+            nl: &Netlist,
+            opts: &SimOptions,
+            stats: &mut SimStats,
+        ) -> Result<Vec<f64>, dotm_sim::SimError> {
+            let op = crate::harness::with_instrumented_sim(nl, opts, stats, |sim| sim.dc_op())?;
             Ok(vec![
                 op.voltage(nl.find_node("mid").expect("mid")),
                 nl.device_id("VDD")
@@ -671,6 +955,239 @@ mod tests {
             &nl,
         );
         assert_eq!(nets, vec!["0".to_string(), "a".to_string()]);
+    }
+
+    /// A divider whose measurement refuses to converge on *faulted*
+    /// netlists until the solver's iteration budget reaches
+    /// `needs_iters` — fault-free circuits (good-space compilation)
+    /// always measure, so only the escalation ladder is exercised.
+    #[derive(Debug)]
+    struct FlakyHarness {
+        needs_iters: usize,
+    }
+
+    impl MacroHarness for FlakyHarness {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn layout(&self) -> Layout {
+            DividerHarness.layout()
+        }
+
+        fn instance_count(&self) -> usize {
+            1
+        }
+
+        fn testbench(&self) -> Netlist {
+            DividerHarness.testbench()
+        }
+
+        fn plan(&self) -> MeasurementPlan {
+            DividerHarness.plan()
+        }
+
+        fn measure_with(
+            &self,
+            nl: &Netlist,
+            opts: &SimOptions,
+            stats: &mut SimStats,
+        ) -> Result<Vec<f64>, dotm_sim::SimError> {
+            let faulted = nl.devices().any(|(_, d)| d.name.starts_with("flt"));
+            if faulted && opts.max_iter < self.needs_iters {
+                stats.nr_solves += 1;
+                stats.dc_failures += 1;
+                return Err(dotm_sim::SimError::NoConvergence {
+                    analysis: "dc",
+                    time: None,
+                    iterations: opts.max_iter,
+                });
+            }
+            DividerHarness.measure_with(nl, opts, stats)
+        }
+
+        fn classify_voltage(&self, nominal: &[f64], faulty: &[f64]) -> VoltageSignature {
+            DividerHarness.classify_voltage(nominal, faulty)
+        }
+
+        fn shared_nets(&self) -> Vec<&'static str> {
+            DividerHarness.shared_nets()
+        }
+
+        fn current_floor(&self, kind: CurrentKind) -> f64 {
+            DividerHarness.current_floor(kind)
+        }
+    }
+
+    fn run_flaky(
+        needs_iters: usize,
+        policy: SimFailurePolicy,
+        escalation: EscalationLadder,
+    ) -> MacroReport {
+        let collapsed = collapse(
+            1000,
+            vec![fault(
+                FaultEffect::Bridge {
+                    nets: vec!["mid".into(), "vdd".into()],
+                    medium: BridgeMedium::Metal,
+                },
+                FaultMechanism::Short,
+            )],
+        );
+        let cfg = PipelineConfig {
+            non_catastrophic: false,
+            goodspace: crate::goodspace::GoodSpaceConfig {
+                common_samples: 2,
+                mismatch_samples: 2,
+                seed: 1,
+                ..GoodSpaceConfig::default()
+            },
+            sim_failure_policy: policy,
+            escalation,
+            ..PipelineConfig::default()
+        };
+        run_macro_path_with_faults(&FlakyHarness { needs_iters }, &cfg, &collapsed, 1e6)
+            .expect("path")
+    }
+
+    #[test]
+    fn escalation_ladder_recovers_nonconverging_class() {
+        // Rung 0 offers max_iter = 150; the harness demands 600, which is
+        // exactly rung 1's 4× budget — the class must measure there with
+        // its real signature, not fall through to the failure policy.
+        let report = run_flaky(
+            600,
+            SimFailurePolicy::AssumeDetected,
+            EscalationLadder::default(),
+        );
+        let cat = &report.outcomes[0];
+        assert!(!cat.sim_failed, "rung 1 must recover the measurement");
+        assert_eq!(cat.rung, Some(1));
+        assert_eq!(cat.voltage, VoltageSignature::OutputStuckAt);
+        assert_eq!(report.escalated_classes(), 1);
+        assert_eq!(report.sim_failed_classes(), 0);
+        let hist = report.rung_histogram();
+        assert_eq!(hist[0], 0);
+        assert_eq!(hist[1], 1);
+        // The failed rung-0 attempt stays in the books.
+        assert!(cat.solver.dc_failures >= 1);
+        assert!(report.solver_totals().dc_failures >= 1);
+    }
+
+    #[test]
+    fn disabled_ladder_does_not_retry() {
+        let report = run_flaky(
+            600,
+            SimFailurePolicy::AssumeDetected,
+            EscalationLadder::disabled(),
+        );
+        let cat = &report.outcomes[0];
+        assert!(cat.sim_failed);
+        assert_eq!(cat.rung, None);
+        assert_eq!(report.escalated_classes(), 0);
+        assert_eq!(report.sim_failed_classes(), 1);
+    }
+
+    #[test]
+    fn assume_detected_policy_credits_missing_code() {
+        // Never converges, at any rung.
+        let report = run_flaky(
+            usize::MAX,
+            SimFailurePolicy::AssumeDetected,
+            EscalationLadder::default(),
+        );
+        let cat = &report.outcomes[0];
+        assert!(cat.sim_failed);
+        assert_eq!(cat.voltage, VoltageSignature::Mixed);
+        assert!(cat.detection.missing_code);
+        assert!(cat.detection.detected());
+        assert!(!cat.excluded);
+        assert_eq!(report.sim_failed_classes(), 1);
+        assert!(report.weight_of(Severity::Catastrophic) > 0.0);
+        assert_eq!(report.coverage(Severity::Catastrophic), 100.0);
+    }
+
+    #[test]
+    fn assume_undetected_policy_withholds_credit() {
+        let report = run_flaky(
+            usize::MAX,
+            SimFailurePolicy::AssumeUndetected,
+            EscalationLadder::default(),
+        );
+        let cat = &report.outcomes[0];
+        assert!(cat.sim_failed);
+        assert!(!cat.detection.detected(), "no credit for a solver failure");
+        assert!(!cat.excluded);
+        assert_eq!(report.sim_failed_classes(), 1);
+        assert!(report.weight_of(Severity::Catastrophic) > 0.0);
+        assert_eq!(report.coverage(Severity::Catastrophic), 0.0);
+    }
+
+    #[test]
+    fn exclude_policy_drops_class_from_statistics() {
+        let report = run_flaky(
+            usize::MAX,
+            SimFailurePolicy::Exclude,
+            EscalationLadder::default(),
+        );
+        let cat = &report.outcomes[0];
+        assert!(cat.excluded);
+        assert!(cat.sim_failed);
+        assert!(!cat.inject_failed, "injection itself worked");
+        assert_eq!(report.excluded_classes(), 1);
+        assert_eq!(report.weight_of(Severity::Catastrophic), 0.0);
+    }
+
+    #[test]
+    fn policies_parse_from_env_style_strings() {
+        for (s, want) in [
+            ("assume-detected", SimFailurePolicy::AssumeDetected),
+            ("AssumeDetected", SimFailurePolicy::AssumeDetected),
+            ("detected", SimFailurePolicy::AssumeDetected),
+            ("assume_undetected", SimFailurePolicy::AssumeUndetected),
+            ("undetected", SimFailurePolicy::AssumeUndetected),
+            ("exclude", SimFailurePolicy::Exclude),
+            ("Excluded", SimFailurePolicy::Exclude),
+        ] {
+            assert_eq!(s.parse::<SimFailurePolicy>().unwrap(), want, "{s}");
+        }
+        assert!("banana".parse::<SimFailurePolicy>().is_err());
+    }
+
+    #[test]
+    fn real_inject_errors_are_counted() {
+        // An unknown net is a real injection error on every variant: the
+        // class is inject-failed *and* its error count is visible.
+        let report = run(vec![fault(
+            FaultEffect::Bridge {
+                nets: vec!["mid".into(), "nowhere".into()],
+                medium: BridgeMedium::Metal,
+            },
+            FaultMechanism::Short,
+        )]);
+        let cat = report
+            .outcomes
+            .iter()
+            .find(|o| o.severity == Severity::Catastrophic)
+            .unwrap();
+        assert!(cat.inject_failed);
+        assert!(cat.inject_errors > 0);
+        assert_eq!(cat.rung, None);
+        assert!(report.inject_failed_classes() >= 1);
+    }
+
+    #[test]
+    fn ladder_options_escalate_cumulatively() {
+        let base = SimOptions::default();
+        let r0 = EscalationLadder::options_at(&base, 0);
+        assert_eq!(r0, base);
+        let r1 = EscalationLadder::options_at(&base, 1);
+        assert_eq!(r1.max_iter, base.max_iter * 4);
+        let r5 = EscalationLadder::options_at(&base, 5);
+        assert_eq!(r5.max_iter, base.max_iter * 4, "rung 1 measure retained");
+        assert!(r5.v_step_limit <= base.v_step_limit);
+        assert!(r5.gmin >= 1e-9);
+        assert!(r5.reltol >= 1e-3);
     }
 
     #[test]

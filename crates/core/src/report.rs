@@ -132,6 +132,10 @@ mod tests {
             flagged: Vec::new(),
             sim_failed: false,
             inject_failed: false,
+            rung: Some(0),
+            inject_errors: 0,
+            excluded: false,
+            solver: dotm_sim::SimStats::default(),
         }
     }
 
@@ -173,6 +177,8 @@ mod tests {
                     false,
                 ),
             ],
+            goodspace_solver: dotm_sim::SimStats::default(),
+            goodspace_corner_retries: 0,
         }
     }
 

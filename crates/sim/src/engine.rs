@@ -4,6 +4,7 @@
 use crate::error::SimError;
 use crate::matrix::DenseMatrix;
 use crate::models::{diode_eval, mosfet_eval, switch_eval};
+use crate::stats::SimStats;
 use dotm_netlist::{Device, DeviceId, DeviceKind, DiodeParams, Netlist, NodeId};
 use std::collections::HashMap;
 
@@ -169,11 +170,16 @@ impl TranResult {
     }
 
     /// Index of the stored point closest to time `t`.
+    ///
+    /// The lookup is total: a NaN query time maps to index 0 (the initial
+    /// condition) rather than panicking — a faulty-circuit measurement
+    /// chain can produce NaN probe times, and blaming the stored grid
+    /// (which is finite by construction) would point at the wrong side.
     pub fn index_at(&self, t: f64) -> usize {
-        match self
-            .times
-            .binary_search_by(|probe| probe.partial_cmp(&t).expect("times are finite"))
-        {
+        if t.is_nan() {
+            return 0;
+        }
+        match self.times.binary_search_by(|probe| probe.total_cmp(&t)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) if i >= self.times.len() => self.times.len() - 1,
@@ -198,8 +204,7 @@ impl TranResult {
 }
 
 enum NrOutcome {
-    /// Converged after the given number of iterations.
-    Converged(#[allow(dead_code)] usize),
+    Converged,
     MaxIter,
     Singular,
 }
@@ -236,6 +241,7 @@ pub struct Simulator<'a> {
     source_override: HashMap<u32, f64>,
     a: DenseMatrix,
     z: Vec<f64>,
+    stats: SimStats,
 }
 
 impl<'a> std::fmt::Debug for Simulator<'a> {
@@ -276,6 +282,7 @@ impl<'a> Simulator<'a> {
             source_override: HashMap::new(),
             a: DenseMatrix::zeros(n_unknowns),
             z: vec![0.0; n_unknowns],
+            stats: SimStats::default(),
         }
     }
 
@@ -292,6 +299,21 @@ impl<'a> Simulator<'a> {
     /// Mutable access to the options.
     pub fn options_mut(&mut self) -> &mut SimOptions {
         &mut self.opts
+    }
+
+    /// Solver telemetry accumulated over every analysis run so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Returns the accumulated telemetry and resets the accumulator.
+    pub fn take_stats(&mut self) -> SimStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Resets the telemetry accumulator.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
     }
 
     /// Overrides the DC value of the named source for subsequent analyses
@@ -544,19 +566,23 @@ impl<'a> Simulator<'a> {
     ) -> NrOutcome {
         let n_v = self.n_nodes - 1;
         let mut xnext = vec![0.0; self.n_unknowns];
+        self.stats.nr_solves += 1;
         for iter in 0..self.opts.max_iter {
+            self.stats.nr_iterations += 1;
             self.assemble(x, t, tran, gmin, src_scale);
             xnext.copy_from_slice(&self.z);
             let mut mat = std::mem::replace(&mut self.a, DenseMatrix::zeros(0));
             let ok = mat.solve_in_place(&mut xnext);
             self.a = mat;
             if !ok {
+                self.stats.singular_pivots += 1;
                 return NrOutcome::Singular;
             }
             let mut converged = true;
             let mut limited = false;
             for (i, xn) in xnext.iter_mut().enumerate() {
                 if !xn.is_finite() {
+                    self.stats.singular_pivots += 1;
                     return NrOutcome::Singular;
                 }
                 let dx = *xn - x[i];
@@ -576,9 +602,10 @@ impl<'a> Simulator<'a> {
             }
             x.copy_from_slice(&xnext);
             if converged && !limited && iter > 0 {
-                return NrOutcome::Converged(iter + 1);
+                return NrOutcome::Converged;
             }
         }
+        self.stats.maxiter_exhausted += 1;
         NrOutcome::MaxIter
     }
 
@@ -622,7 +649,10 @@ impl<'a> Simulator<'a> {
         let mut x = guess.to_vec();
         x.resize(self.n_unknowns, 0.0);
         match self.newton(&mut x, t, None, self.opts.gmin, 1.0) {
-            NrOutcome::Converged(_) => return Ok(self.op_point(x)),
+            NrOutcome::Converged => {
+                self.stats.converged_plain += 1;
+                return Ok(self.op_point(x));
+            }
             NrOutcome::Singular | NrOutcome::MaxIter => {}
         }
 
@@ -632,7 +662,7 @@ impl<'a> Simulator<'a> {
         let mut ok = true;
         while gmin > self.opts.gmin * 0.9 {
             match self.newton(&mut x, t, None, gmin.max(self.opts.gmin), 1.0) {
-                NrOutcome::Converged(_) => {}
+                NrOutcome::Converged => {}
                 _ => {
                     ok = false;
                     break;
@@ -641,6 +671,7 @@ impl<'a> Simulator<'a> {
             gmin /= 10.0;
         }
         if ok {
+            self.stats.converged_gmin += 1;
             return Ok(self.op_point(x));
         }
 
@@ -650,26 +681,39 @@ impl<'a> Simulator<'a> {
         for k in 1..=steps {
             let scale = k as f64 / steps as f64;
             match self.newton(&mut x, t, None, self.opts.gmin.max(1e-9), scale) {
-                NrOutcome::Converged(_) => {}
-                NrOutcome::Singular => return Err(SimError::Singular { analysis }),
+                NrOutcome::Converged => {}
+                NrOutcome::Singular => {
+                    self.stats.dc_failures += 1;
+                    return Err(SimError::Singular { analysis });
+                }
                 NrOutcome::MaxIter => {
+                    self.stats.dc_failures += 1;
                     return Err(SimError::NoConvergence {
                         analysis,
                         time: t,
                         iterations: self.opts.max_iter,
-                    })
+                    });
                 }
             }
         }
         // Final polish at full scale with target gmin.
         match self.newton(&mut x, t, None, self.opts.gmin, 1.0) {
-            NrOutcome::Converged(_) => Ok(self.op_point(x)),
-            NrOutcome::Singular => Err(SimError::Singular { analysis }),
-            NrOutcome::MaxIter => Err(SimError::NoConvergence {
-                analysis,
-                time: t,
-                iterations: self.opts.max_iter,
-            }),
+            NrOutcome::Converged => {
+                self.stats.converged_source += 1;
+                Ok(self.op_point(x))
+            }
+            NrOutcome::Singular => {
+                self.stats.dc_failures += 1;
+                Err(SimError::Singular { analysis })
+            }
+            NrOutcome::MaxIter => {
+                self.stats.dc_failures += 1;
+                Err(SimError::NoConvergence {
+                    analysis,
+                    time: t,
+                    iterations: self.opts.max_iter,
+                })
+            }
         }
     }
 
@@ -679,17 +723,49 @@ impl<'a> Simulator<'a> {
     /// # Errors
     /// [`SimError::BadSource`] for a non-source device; otherwise the first
     /// failing operating point's error.
+    ///
+    /// The swept source's override state is restored on **every** exit
+    /// path — including a mid-sweep solver failure — so a failed sweep
+    /// never leaves the source pinned at the last swept value for
+    /// subsequent analyses (and a pre-existing override survives the
+    /// sweep).
     pub fn dc_sweep(&mut self, source: &str, values: &[f64]) -> Result<Vec<OpPoint>, SimError> {
+        let prev = self
+            .nl
+            .device_id(source)
+            .and_then(|id| self.source_override.get(&(id.index() as u32)).copied());
         let mut out = Vec::with_capacity(values.len());
         let mut guess = vec![0.0; self.n_unknowns];
+        let mut first_err = None;
         for &v in values {
-            self.override_source(source, v)?;
-            let op = self.dc_op_from(&guess)?;
-            guess.copy_from_slice(&op.x);
-            out.push(op);
+            let point = self
+                .override_source(source, v)
+                .and_then(|()| self.dc_op_from(&guess));
+            match point {
+                Ok(op) => {
+                    guess.copy_from_slice(&op.x);
+                    out.push(op);
+                }
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
         }
-        self.clear_override(source);
-        Ok(out)
+        if let Some(id) = self.nl.device_id(source) {
+            match prev {
+                Some(v) => {
+                    self.source_override.insert(id.index() as u32, v);
+                }
+                None => {
+                    self.source_override.remove(&(id.index() as u32));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Collects the companion capacitor instances (explicit capacitors plus
@@ -770,7 +846,18 @@ impl<'a> Simulator<'a> {
             })
             .collect();
 
-        let n_out = (tstop / dt).round() as usize;
+        // Output grid: when `tstop` is an integer multiple of `dt` (to fp
+        // tolerance), the grid is exactly `k·dt` as before. Otherwise the
+        // old `.round()` silently simulated to the wrong end time (e.g.
+        // tstop = 1 ns, dt = 0.3 ns stopped at 0.9 ns); now the grid gains
+        // a final point clamped to `tstop` itself.
+        let ratio = tstop / dt;
+        let exact = (ratio.round() * dt - tstop).abs() <= 1e-9 * tstop;
+        let n_out = if exact {
+            ratio.round() as usize
+        } else {
+            ratio.ceil() as usize
+        };
         let mut result = TranResult {
             times: Vec::with_capacity(n_out + 1),
             states: Vec::with_capacity(n_out + 1),
@@ -784,7 +871,11 @@ impl<'a> Simulator<'a> {
         let mut first_step = true;
         let mut t = 0.0;
         for k in 1..=n_out {
-            let t_target = k as f64 * dt;
+            let t_target = if !exact && k == n_out {
+                tstop
+            } else {
+                k as f64 * dt
+            };
             while t < t_target - 1e-18 * t_target.max(1.0) {
                 let mut h = t_target - t;
                 let mut halvings = 0;
@@ -799,7 +890,7 @@ impl<'a> Simulator<'a> {
                     };
                     let mut xt = x.clone();
                     match self.newton(&mut xt, Some(t + h), Some(&ctx), self.opts.gmin, 1.0) {
-                        NrOutcome::Converged(_) => {
+                        NrOutcome::Converged => {
                             // Accept: update capacitor states.
                             for (ci, cap) in caps.iter().enumerate() {
                                 let vnew = volt_of(&xt, cap.a) - volt_of(&xt, cap.b);
@@ -815,14 +906,17 @@ impl<'a> Simulator<'a> {
                             x = xt;
                             t += h;
                             first_step = false;
+                            self.stats.tran_steps += 1;
                             break;
                         }
                         NrOutcome::Singular => {
+                            self.stats.rejected_steps += 1;
                             return Err(SimError::Singular {
                                 analysis: "transient",
-                            })
+                            });
                         }
                         NrOutcome::MaxIter => {
+                            self.stats.rejected_steps += 1;
                             halvings += 1;
                             if halvings > self.opts.max_step_halvings {
                                 return Err(SimError::NoConvergence {
@@ -831,6 +925,7 @@ impl<'a> Simulator<'a> {
                                     iterations: self.opts.max_iter,
                                 });
                             }
+                            self.stats.step_halvings += 1;
                             h /= 2.0;
                         }
                     }

@@ -26,6 +26,38 @@ pub enum SimError {
     BadSource(String),
 }
 
+impl SimError {
+    /// `true` for a structurally singular system — the MNA matrix has no
+    /// usable pivot, so retrying with more iterations cannot help (though
+    /// a raised `gmin` sometimes can).
+    pub fn is_singular(&self) -> bool {
+        matches!(self, SimError::Singular { .. })
+    }
+
+    /// `true` for a Newton–Raphson convergence failure — the system is
+    /// solvable but the iteration did not settle; retrying with more
+    /// iterations, tighter step limiting or a relaxed tolerance may help.
+    pub fn is_no_convergence(&self) -> bool {
+        matches!(self, SimError::NoConvergence { .. })
+    }
+
+    /// `true` when an escalated retry with different solver options could
+    /// plausibly succeed (numerical failures, not request errors).
+    pub fn is_retryable(&self) -> bool {
+        self.is_singular() || self.is_no_convergence()
+    }
+
+    /// The analysis during which a numerical failure occurred, when known.
+    pub fn analysis(&self) -> Option<&'static str> {
+        match self {
+            SimError::Singular { analysis } | SimError::NoConvergence { analysis, .. } => {
+                Some(analysis)
+            }
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

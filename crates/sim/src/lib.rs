@@ -51,9 +51,11 @@ mod engine;
 mod error;
 mod matrix;
 mod models;
+mod stats;
 
 pub use ac::{log_sweep, AcResult, Complex};
 pub use engine::{Integration, OpPoint, SimOptions, Simulator, TranResult};
 pub use error::SimError;
 pub use matrix::DenseMatrix;
 pub use models::{diode_eval, mosfet_eval, switch_eval, MosChannel, VT_THERMAL};
+pub use stats::SimStats;

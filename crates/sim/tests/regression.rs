@@ -1,0 +1,152 @@
+//! Regression tests for solver edge cases: override hygiene on failed
+//! sweeps, non-multiple transient grids, NaN-total time lookup, and the
+//! telemetry accumulator.
+
+use dotm_netlist::{Netlist, Waveform};
+use dotm_sim::{SimOptions, Simulator};
+
+/// A 2 V source over a 1k/1k divider: v(mid) = 1 V.
+fn divider() -> Netlist {
+    let mut nl = Netlist::new("divider");
+    let vin = nl.node("in");
+    let mid = nl.node("mid");
+    nl.add_vsource("V1", vin, Netlist::GROUND, Waveform::dc(2.0))
+        .unwrap();
+    nl.add_resistor("R1", vin, mid, 1e3).unwrap();
+    nl.add_resistor("R2", mid, Netlist::GROUND, 1e3).unwrap();
+    nl
+}
+
+#[test]
+fn failed_dc_sweep_does_not_leak_override() {
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::new(&nl);
+    // The NaN point cannot converge, so the sweep fails after the first
+    // point — and must still clear the override it installed.
+    let err = sim.dc_sweep("V1", &[4.0, f64::NAN]);
+    assert!(err.is_err(), "NaN sweep point must fail");
+    let op = sim.dc_op().expect("post-sweep dc");
+    assert!(
+        (op.voltage(mid) - 1.0).abs() < 1e-6,
+        "override leaked: v(mid) = {} (want 1.0 from the netlist's 2 V)",
+        op.voltage(mid)
+    );
+}
+
+#[test]
+fn failed_dc_sweep_restores_preexisting_override() {
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::new(&nl);
+    sim.override_source("V1", 3.0).unwrap();
+    let err = sim.dc_sweep("V1", &[4.0, f64::NAN]);
+    assert!(err.is_err());
+    let op = sim.dc_op().expect("post-sweep dc");
+    assert!(
+        (op.voltage(mid) - 1.5).abs() < 1e-6,
+        "pre-existing override lost: v(mid) = {} (want 1.5 from 3 V)",
+        op.voltage(mid)
+    );
+}
+
+#[test]
+fn successful_dc_sweep_still_clears_override() {
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::new(&nl);
+    let ops = sim.dc_sweep("V1", &[0.0, 4.0]).expect("sweep");
+    assert_eq!(ops.len(), 2);
+    assert!((ops[1].voltage(mid) - 2.0).abs() < 1e-6);
+    let op = sim.dc_op().expect("post-sweep dc");
+    assert!((op.voltage(mid) - 1.0).abs() < 1e-6);
+}
+
+/// An RC so the transient has real dynamics.
+fn rc() -> Netlist {
+    let mut nl = Netlist::new("rc");
+    let vin = nl.node("in");
+    let out = nl.node("out");
+    nl.add_vsource("V1", vin, Netlist::GROUND, Waveform::dc(1.0))
+        .unwrap();
+    nl.add_resistor("R1", vin, out, 1e3).unwrap();
+    nl.add_capacitor("C1", out, Netlist::GROUND, 1e-12).unwrap();
+    nl
+}
+
+#[test]
+fn transient_grid_reaches_tstop_for_non_multiple_dt() {
+    let nl = rc();
+    let mut sim = Simulator::new(&nl);
+    // 1 ns / 0.3 ns is not an integer ratio: the old grid stopped at
+    // 0.9 ns. The final point must now land exactly on tstop.
+    let tr = sim.transient(1e-9, 0.3e-9).expect("transient");
+    let times = tr.times();
+    assert_eq!(times.len(), 5, "0, .3, .6, .9, 1.0 ns");
+    assert_eq!(*times.last().unwrap(), 1e-9);
+    assert!((times[3] - 0.9e-9).abs() < 1e-24);
+}
+
+#[test]
+fn transient_grid_unchanged_for_exact_multiple_dt() {
+    let nl = rc();
+    let mut sim = Simulator::new(&nl);
+    let tr = sim.transient(1e-9, 0.25e-9).expect("transient");
+    let times = tr.times();
+    assert_eq!(times.len(), 5);
+    for (k, &t) in times.iter().enumerate() {
+        assert_eq!(t, k as f64 * 0.25e-9, "uniform grid must be exactly k·dt");
+    }
+}
+
+#[test]
+fn index_at_is_total_over_nan_queries() {
+    let nl = rc();
+    let mut sim = Simulator::new(&nl);
+    let tr = sim.transient(1e-9, 0.25e-9).expect("transient");
+    assert_eq!(tr.index_at(f64::NAN), 0);
+    assert_eq!(tr.index_at(0.26e-9), 1);
+    assert_eq!(tr.index_at(f64::INFINITY), tr.len() - 1);
+    assert_eq!(tr.index_at(f64::NEG_INFINITY), 0);
+}
+
+#[test]
+fn telemetry_counts_dc_and_transient_work() {
+    let nl = divider();
+    let mut sim = Simulator::new(&nl);
+    sim.dc_op().expect("dc");
+    let s = *sim.stats();
+    assert_eq!(s.converged_plain, 1, "linear divider solves plainly");
+    assert_eq!(s.nr_solves, 1);
+    assert!(s.nr_iterations >= 2);
+    assert_eq!(s.dc_failures, 0);
+
+    let rc_nl = rc();
+    let mut sim = Simulator::new(&rc_nl);
+    let tr = sim.transient(1e-9, 0.25e-9).expect("transient");
+    let s = *sim.stats();
+    assert_eq!(s.tran_steps as usize, tr.len() - 1);
+    assert!(s.converged_plain >= 1, "initial DC point recorded");
+
+    // take_stats drains the accumulator.
+    let taken = sim.take_stats();
+    assert_eq!(taken, s);
+    assert!(sim.stats().is_empty());
+}
+
+#[test]
+fn telemetry_counts_failures() {
+    let nl = divider();
+    let mut sim = Simulator::with_options(
+        &nl,
+        SimOptions {
+            max_iter: 1, // a single iteration can never satisfy `iter > 0`
+            ..SimOptions::default()
+        },
+    );
+    assert!(sim.dc_op().is_err());
+    let s = sim.stats();
+    assert_eq!(s.dc_failures, 1);
+    assert!(s.maxiter_exhausted >= 1);
+    assert_eq!(s.converged_plain + s.converged_gmin + s.converged_source, 0);
+}

@@ -23,6 +23,20 @@ echo "==> smoke: fig4 (truncated classes, small good space)"
 DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
     cargo run --release --locked -p dotm-bench --bin fig4
 
+echo "==> smoke: failure accounting on the fixed-seed comparator run"
+# The table2 run prints the solver-accounting block; on a healthy
+# paper-parity run every failure counter must be present AND zero —
+# a non-zero count means solver failures are being papered over.
+acct=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+    cargo run --release --locked -p dotm-bench --bin table2)
+echo "$acct" | grep -q "sim-failed classes:    0" || {
+    echo "FAIL: sim-failed counter missing or non-zero"; echo "$acct"; exit 1; }
+echo "$acct" | grep -q "inject-failed classes: 0" || {
+    echo "FAIL: inject-failed counter missing or non-zero"; echo "$acct"; exit 1; }
+echo "$acct" | grep -q "ladder-rung histogram:" || {
+    echo "FAIL: ladder-rung histogram missing"; echo "$acct"; exit 1; }
+echo "    failure counters present and zero"
+
 echo "==> determinism: serial vs parallel fingerprints"
 DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
     cargo run --release --locked -p dotm-bench --bin par_speedup

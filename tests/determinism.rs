@@ -62,7 +62,20 @@ fn comparator_report_is_thread_count_invariant() {
         assert_eq!(a.flagged, b.flagged, "class {}", a.key);
         assert_eq!(a.sim_failed, b.sim_failed, "class {}", a.key);
         assert_eq!(a.inject_failed, b.inject_failed, "class {}", a.key);
+        assert_eq!(a.rung, b.rung, "class {}", a.key);
+        assert_eq!(a.inject_errors, b.inject_errors, "class {}", a.key);
+        assert_eq!(a.excluded, b.excluded, "class {}", a.key);
+        assert_eq!(a.solver, b.solver, "class {}", a.key);
     }
+    // The solver telemetry is order-independent counter addition, so the
+    // aggregates must also be thread-count-invariant.
+    assert_eq!(serial.goodspace_solver, parallel.goodspace_solver);
+    assert_eq!(
+        serial.goodspace_corner_retries,
+        parallel.goodspace_corner_retries
+    );
+    assert_eq!(serial.solver_totals(), parallel.solver_totals());
+    assert_eq!(serial.rung_histogram(), parallel.rung_histogram());
     // And the digest covers everything else (floats bit-for-bit).
     assert_eq!(serial.fingerprint(), parallel.fingerprint());
 }
