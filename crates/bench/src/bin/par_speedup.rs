@@ -34,6 +34,7 @@ fn config(threads: usize) -> PipelineConfig {
             mismatch_samples: env_usize("DOTM_GS_MM", 2),
             seed: env_u64("DOTM_SEED", 1995) ^ 0xD07,
             exec: ExecConfig::with_threads(threads),
+            ..GoodSpaceConfig::default()
         },
         max_classes,
         non_catastrophic: true,

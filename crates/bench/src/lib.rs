@@ -23,7 +23,13 @@
 //! executor; changes wall-clock time only, never a number),
 //! `DOTM_SIM_FAILURE_POLICY` (`assume-detected` — the paper-parity
 //! default — `assume-undetected`, or `exclude`: how classes that never
-//! converge, even after the escalation ladder, enter the statistics).
+//! converge, even after the escalation ladder, enter the statistics),
+//! `DOTM_WARM_START` (`1`/`0`, default on: seed Newton from the
+//! fault-free nominal operating points), `DOTM_MEASURE_CACHE` (`1`/`0`,
+//! default on: memoize measurements of structurally identical injected
+//! netlists). Both are pure solver-effort knobs — detection verdicts are
+//! identical either way, and the cache replays solver telemetry so
+//! cache-on reports are bit-identical to cache-off at any thread count.
 //!
 //! Every binary appends a failure-accounting block after its table: how
 //! many classes rest on failed simulations or injections, how many needed
@@ -54,6 +60,18 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Reads a boolean environment knob (`1`/`true`/`on` vs `0`/`false`/`off`).
+pub fn env_bool(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => true,
+            "0" | "false" | "off" | "no" => false,
+            other => panic!("{name}: expected a boolean, got {other:?}"),
+        },
+        Err(_) => default,
+    }
+}
+
 /// Reads the `DOTM_SIM_FAILURE_POLICY` knob (default: the paper-parity
 /// `AssumeDetected`). An unparsable value aborts loudly rather than
 /// silently running with the wrong accounting.
@@ -82,6 +100,8 @@ pub fn standard_config() -> PipelineConfig {
         },
         max_classes,
         sim_failure_policy: env_sim_failure_policy(),
+        warm_start: env_bool("DOTM_WARM_START", true),
+        measure_cache: env_bool("DOTM_MEASURE_CACHE", true),
         ..PipelineConfig::default()
     }
 }
@@ -148,6 +168,7 @@ pub fn rule(width: usize) {
 }
 
 /// Prints the failure-accounting block shared by the aggregate printers.
+#[allow(clippy::too_many_arguments)]
 fn print_accounting(
     sim_failed: usize,
     inject_failed: usize,
@@ -155,6 +176,8 @@ fn print_accounting(
     excluded: usize,
     hist: [u64; dotm_core::ESCALATION_RUNGS],
     solver: dotm_sim::SimStats,
+    cache_lookups: u64,
+    cache_entries: u64,
 ) {
     println!();
     println!("solver accounting ({:?} policy):", env_sim_failure_policy());
@@ -181,6 +204,22 @@ fn print_accounting(
         solver.rejected_steps,
         solver.step_halvings,
     );
+    if solver.warm_hits + solver.warm_misses > 0 {
+        println!(
+            "  warm starts: {} hits, {} misses ({:.1}% of seeded DC solves)",
+            solver.warm_hits,
+            solver.warm_misses,
+            100.0 * solver.warm_hits as f64 / (solver.warm_hits + solver.warm_misses) as f64,
+        );
+    }
+    if cache_lookups > 0 {
+        let hits = cache_lookups.saturating_sub(cache_entries);
+        println!(
+            "  measurement cache: {cache_lookups} lookups, {cache_entries} entries, \
+             {hits} hits ({:.1}% hit rate)",
+            100.0 * hits as f64 / cache_lookups as f64,
+        );
+    }
 }
 
 /// Prints the failure-accounting block for one macro report.
@@ -192,6 +231,8 @@ pub fn print_macro_accounting(report: &MacroReport) {
         report.excluded_classes(),
         report.rung_histogram(),
         report.solver_totals(),
+        report.cache_lookups,
+        report.cache_entries,
     );
 }
 
@@ -204,6 +245,8 @@ pub fn print_global_accounting(report: &GlobalReport) {
         report.excluded_classes(),
         report.rung_histogram(),
         report.solver_totals(),
+        report.cache_lookups(),
+        report.cache_entries(),
     );
 }
 

@@ -179,6 +179,7 @@ mod tests {
             _nl: &Netlist,
             _opts: &dotm_sim::SimOptions,
             _stats: &mut dotm_sim::SimStats,
+            _warm: crate::harness::Warm<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
             Ok(vec![0.0; 5])
         }
@@ -236,6 +237,8 @@ mod tests {
             outcomes,
             goodspace_solver: dotm_sim::SimStats::default(),
             goodspace_corner_retries: 0,
+            cache_lookups: 0,
+            cache_entries: 0,
         }
     }
 

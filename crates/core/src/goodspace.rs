@@ -10,7 +10,7 @@
 //! supply pin).
 
 use crate::exec::{self, ExecConfig};
-use crate::harness::MacroHarness;
+use crate::harness::{MacroHarness, Warm, WarmCapture, WarmStart};
 use crate::measure::MeasureKind;
 use crate::processvar::ProcessModel;
 use crate::signature::{CurrentFlags, CurrentKind};
@@ -30,6 +30,12 @@ pub struct GoodSpaceConfig {
     /// thread-count-invariant: each common sample draws from its own
     /// `(seed, index)` substream.
     pub exec: ExecConfig,
+    /// Capture the nominal operating points and use them to warm-start
+    /// Newton on every Monte-Carlo corner (and, downstream, on every
+    /// fault-injected variant). A failed seed falls back to the cold
+    /// homotopy chain, so this only changes solver effort, never whether
+    /// a corner converges from the methodology's point of view.
+    pub warm_start: bool,
 }
 
 impl Default for GoodSpaceConfig {
@@ -39,6 +45,7 @@ impl Default for GoodSpaceConfig {
             mismatch_samples: 4,
             seed: 1995,
             exec: ExecConfig::default(),
+            warm_start: true,
         }
     }
 }
@@ -54,6 +61,7 @@ fn compile_common_sample(
     cfg: &GoodSpaceConfig,
     m: usize,
     si: u64,
+    warm: Option<&WarmStart>,
 ) -> Result<(Vec<Vec<f64>>, SimStats, u64), SimError> {
     let opts = harness.sim_options();
     let mut rng = StdRng::seed_from_stream(cfg.seed, si);
@@ -67,7 +75,8 @@ fn compile_common_sample(
         for _ in 0..m {
             let mut nl = harness.testbench();
             harness.perturb(&mut nl, model, &common, &mut rng);
-            match harness.measure_with(&nl, &opts, &mut stats) {
+            let w = warm.map_or(Warm::Cold, Warm::Seed);
+            match harness.measure_with(&nl, &opts, &mut stats, w) {
                 Ok(v) => per_mm.push(v),
                 Err(e) => {
                     corner_error = Some(e);
@@ -106,6 +115,10 @@ pub struct GoodSpace {
     /// Process corners redrawn because the simulator left its convergence
     /// envelope (bounded per common sample).
     pub corner_retries: u64,
+    /// Nominal operating points captured per analysis slot during the
+    /// nominal measurement — the seed table for warm-starting faulty and
+    /// perturbed variants. `None` when warm-start is disabled.
+    pub warm: Option<WarmStart>,
 }
 
 impl GoodSpace {
@@ -120,8 +133,23 @@ impl GoodSpace {
         cfg: GoodSpaceConfig,
     ) -> Result<GoodSpace, SimError> {
         let mut solver = SimStats::default();
-        let nominal =
-            harness.measure_with(&harness.testbench(), &harness.sim_options(), &mut solver)?;
+        // The nominal measurement is single-threaded; in warm-start mode
+        // it doubles as the capture run for the per-analysis operating
+        // points, frozen into an immutable seed table before any parallel
+        // work starts (so seeded results cannot depend on scheduling).
+        let capture = WarmCapture::new();
+        let nominal_warm = if cfg.warm_start {
+            Warm::Capture(&capture)
+        } else {
+            Warm::Cold
+        };
+        let nominal = harness.measure_with(
+            &harness.testbench(),
+            &harness.sim_options(),
+            &mut solver,
+            nominal_warm,
+        )?;
+        let warm = cfg.warm_start.then(|| capture.freeze());
         let n = nominal.len();
         let s = cfg.common_samples.max(1);
         let m = cfg.mismatch_samples.max(1);
@@ -134,7 +162,7 @@ impl GoodSpace {
         // retries) rather than failing the whole compilation.
         let per_sample: Vec<(Vec<Vec<f64>>, SimStats, u64)> =
             exec::par_map_indices(&cfg.exec, s, |si| {
-                compile_common_sample(harness, model, &cfg, m, si as u64)
+                compile_common_sample(harness, model, &cfg, m, si as u64, warm.as_ref())
             })
             .into_iter()
             .collect::<Result<_, _>>()?;
@@ -183,6 +211,7 @@ impl GoodSpace {
             sigma_mismatch,
             solver,
             corner_retries,
+            warm,
         })
     }
 

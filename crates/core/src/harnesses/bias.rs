@@ -1,6 +1,6 @@
 //! Harness for the bias generator.
 
-use crate::harness::{with_instrumented_sim, MacroHarness};
+use crate::harness::{with_instrumented_sim_warm, MacroHarness, Warm, WarmCursor};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::comparator::{
@@ -66,8 +66,10 @@ impl MacroHarness for BiasHarness {
         nl: &Netlist,
         opts: &SimOptions,
         stats: &mut SimStats,
+        warm: Warm<'_>,
     ) -> Result<Vec<f64>, SimError> {
-        let op = with_instrumented_sim(nl, opts, stats, |sim| sim.dc_op())?;
+        let mut cursor = WarmCursor::new();
+        let op = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| sim.dc_op())?;
         let mut out = Vec::with_capacity(5);
         for net in ["vbn", "vbnc", "vbp", "vaz"] {
             out.push(match nl.find_node(net) {

@@ -36,6 +36,7 @@ mod goodspace;
 mod harness;
 pub mod harnesses;
 mod measure;
+mod memo;
 mod pipeline;
 mod processvar;
 mod report;
@@ -51,8 +52,12 @@ pub use escapes::YieldModel;
 pub use exec::{par_map, par_map_indices, ExecConfig};
 pub use global::{GlobalDetectability, GlobalReport};
 pub use goodspace::{GoodSpace, GoodSpaceConfig};
-pub use harness::{with_instrumented_sim, MacroHarness};
+pub use harness::{
+    with_instrumented_sim, with_instrumented_sim_warm, MacroHarness, Warm, WarmCapture, WarmCursor,
+    WarmStart,
+};
 pub use measure::{MeasureKind, MeasureLabel, MeasurementPlan};
+pub use memo::MeasureCache;
 pub use pipeline::{
     run_macro_path, run_macro_path_with_faults, ClassOutcome, EscalationLadder, MacroReport,
     PathError, PipelineConfig, SimFailurePolicy, ESCALATION_RUNGS,

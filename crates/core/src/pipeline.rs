@@ -5,7 +5,8 @@
 
 use crate::exec::{self, ExecConfig};
 use crate::goodspace::{GoodSpace, GoodSpaceConfig};
-use crate::harness::MacroHarness;
+use crate::harness::{MacroHarness, Warm, WarmStart};
+use crate::memo::MeasureCache;
 use crate::signature::{CurrentFlags, DetectionSet, VoltageSignature};
 use dotm_defects::{
     sprinkle_collapsed, CollapseReport, DefectStatistics, FaultEffect, FaultMechanism, Sprinkler,
@@ -144,6 +145,16 @@ pub struct PipelineConfig {
     pub sim_failure_policy: SimFailurePolicy,
     /// Convergence-escalation ladder applied to fault-injected circuits.
     pub escalation: EscalationLadder,
+    /// Seed every fault-variant DC solve from the good circuit's nominal
+    /// operating point (captured during good-space compilation). Purely a
+    /// solver-effort optimisation: a failed seed falls back to the cold
+    /// homotopy chain. Also gates the good-space capture itself.
+    pub warm_start: bool,
+    /// Memoize `(injected-netlist digest, ladder rung) → measurement`
+    /// across the per-class evaluations, so byte-identical injected
+    /// circuits are solved once per run. Replays the cached solver-stats
+    /// delta on a hit, keeping reports bit-identical to a cache-off run.
+    pub measure_cache: bool,
 }
 
 impl Default for PipelineConfig {
@@ -159,6 +170,8 @@ impl Default for PipelineConfig {
             exec: ExecConfig::default(),
             sim_failure_policy: SimFailurePolicy::default(),
             escalation: EscalationLadder::default(),
+            warm_start: true,
+            measure_cache: true,
         }
     }
 }
@@ -253,6 +266,13 @@ pub struct MacroReport {
     /// Process corners redrawn during good-space compilation because the
     /// simulator left its convergence envelope.
     pub goodspace_corner_retries: u64,
+    /// Measurement-cache lookups made during fault evaluation (0 when the
+    /// cache is disabled). Thread-invariant: one lookup per
+    /// (variant, severity, rung) measurement attempt.
+    pub cache_lookups: u64,
+    /// Distinct (injected netlist, rung) pairs actually solved — the
+    /// cache's final occupancy (0 when disabled). Hits = lookups − entries.
+    pub cache_entries: u64,
 }
 
 impl MacroReport {
@@ -386,7 +406,15 @@ impl MacroReport {
             eat(&w.to_le_bytes());
         }
         eat(&self.goodspace_corner_retries.to_le_bytes());
+        eat(&self.cache_lookups.to_le_bytes());
+        eat(&self.cache_entries.to_le_bytes());
         h
+    }
+
+    /// Measurement-cache hits (lookups that found an entry). Every miss
+    /// is followed by exactly one insert, so hits = lookups − entries.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_lookups.saturating_sub(self.cache_entries)
     }
 
     /// Expected number of faults this macro type contributes per sprinkled
@@ -468,11 +496,20 @@ pub fn run_macro_path_with_faults(
     collapsed: &CollapseReport,
     sprinkle_area_nm2: f64,
 ) -> Result<MacroReport, PathError> {
-    let good =
-        GoodSpace::compile(harness, &cfg.process, cfg.goodspace).map_err(PathError::GoodCircuit)?;
+    let mut gs_cfg = cfg.goodspace;
+    gs_cfg.warm_start = gs_cfg.warm_start && cfg.warm_start;
+    let good = GoodSpace::compile(harness, &cfg.process, gs_cfg).map_err(PathError::GoodCircuit)?;
     let injector = Injector::default();
     let shared: HashSet<&str> = harness.shared_nets().into_iter().collect();
     let base = harness.testbench();
+    // The seed table is frozen before any parallel work: every worker sees
+    // the same seeds, so warm-started measurements stay scheduling-free.
+    let warm = if cfg.warm_start {
+        good.warm.as_ref()
+    } else {
+        None
+    };
+    let cache = cfg.measure_cache.then(MeasureCache::new);
 
     let classes: Vec<_> = match cfg.max_classes {
         Some(n) => collapsed.classes.iter().take(n).collect(),
@@ -506,6 +543,8 @@ pub fn run_macro_path_with_faults(
                     is_shared,
                     cfg.sim_failure_policy,
                     cfg.escalation,
+                    warm,
+                    cache.as_ref(),
                 );
                 ClassOutcome {
                     key: class.key.clone(),
@@ -541,6 +580,8 @@ pub fn run_macro_path_with_faults(
         outcomes,
         goodspace_solver: good.solver,
         goodspace_corner_retries: good.corner_retries,
+        cache_lookups: cache.as_ref().map_or(0, |c| c.lookups()),
+        cache_entries: cache.as_ref().map_or(0, |c| c.entries()),
     })
 }
 
@@ -566,22 +607,69 @@ struct VariantEval {
     detection: DetectionSet,
     flagged: Vec<usize>,
     sim_failed: bool,
+    /// Ladder rung this variant measured at (`None` for policy stand-ins
+    /// of variants that never measured).
+    rung: Option<u8>,
+}
+
+/// Combines a netlist content digest with a ladder rung into the
+/// measurement-cache key: one extra FNV-1a step, so rungs of the same
+/// circuit land in unrelated buckets.
+fn cache_key(digest: u128, rung: u8) -> u128 {
+    (digest ^ (rung as u128 + 1)).wrapping_mul(0x0000000001000000000000000000013b)
+}
+
+/// Runs one `(netlist, rung)` measurement, through the memoization cache
+/// when one is active. On a hit the cached solver-stats delta is replayed
+/// into `solver`, so accounting is identical whether the measurement was
+/// computed or replayed.
+#[allow(clippy::too_many_arguments)]
+fn measure_rung(
+    harness: &dyn MacroHarness,
+    nl: &Netlist,
+    opts: &SimOptions,
+    solver: &mut SimStats,
+    warm: Option<&WarmStart>,
+    cache: Option<&MeasureCache>,
+    digest: Option<u128>,
+    rung: u8,
+) -> Result<Vec<f64>, SimError> {
+    let w = warm.map_or(Warm::Cold, Warm::Seed);
+    let (cache, digest) = match (cache, digest) {
+        (Some(c), Some(d)) => (c, d),
+        _ => return harness.measure_with(nl, opts, solver, w),
+    };
+    let key = cache_key(digest, rung);
+    if let Some((result, delta)) = cache.get(key) {
+        solver.merge(&delta);
+        return result;
+    }
+    let mut delta = SimStats::default();
+    let result = harness.measure_with(nl, opts, &mut delta, w);
+    cache.insert(key, (result.clone(), delta));
+    solver.merge(&delta);
+    result
 }
 
 /// Measures one injected variant, walking up the escalation ladder on
 /// retryable failures. Returns the measurement and the rung that
 /// succeeded, or `None` if every rung failed (or the failure was not a
 /// numerical one, where retrying cannot help).
+#[allow(clippy::too_many_arguments)]
 fn measure_escalated(
     harness: &dyn MacroHarness,
     nl: &Netlist,
     base_opts: &SimOptions,
     ladder: EscalationLadder,
     solver: &mut SimStats,
+    warm: Option<&WarmStart>,
+    cache: Option<&MeasureCache>,
 ) -> Option<(Vec<f64>, u8)> {
+    // One digest per injected netlist, shared by every rung's cache key.
+    let digest = cache.map(|_| nl.content_digest());
     for rung in 0..=ladder.max_rung {
         let opts = EscalationLadder::options_at(base_opts, rung);
-        match harness.measure_with(nl, &opts, solver) {
+        match measure_rung(harness, nl, &opts, solver, warm, cache, digest, rung) {
             Ok(meas) => return Some((meas, rung)),
             Err(e) if e.is_retryable() => continue,
             Err(_) => return None,
@@ -604,13 +692,14 @@ fn evaluate_class(
     shared: bool,
     policy: SimFailurePolicy,
     ladder: EscalationLadder,
+    warm: Option<&WarmStart>,
+    cache: Option<&MeasureCache>,
 ) -> Evaluated {
     let n_variants = injector.variant_count(effect);
     let base_opts = harness.sim_options();
     let mut best: Option<(u32, VariantEval)> = None;
     let mut any_injected = false;
     let mut inject_errors = 0usize;
-    let mut rung: Option<u8> = None;
     let mut solver = SimStats::default();
     for variant in 0..n_variants {
         let mut nl = base.clone();
@@ -625,56 +714,59 @@ fn evaluate_class(
                 continue;
             }
         }
-        let candidate = match measure_escalated(harness, &nl, &base_opts, ladder, &mut solver) {
-            Some((meas, used_rung)) => {
-                rung = Some(rung.map_or(used_rung, |r: u8| r.max(used_rung)));
-                let voltage = harness.classify_voltage(&good.nominal, &meas);
-                let currents = good.current_flags(harness, &meas, shared);
-                let flagged = good.flagged_indices(harness, &meas, shared);
-                let detection = DetectionSet {
-                    missing_code: voltage.causes_missing_code(),
-                    currents,
-                };
-                VariantEval {
-                    voltage,
-                    currents,
-                    detection,
-                    flagged,
-                    sim_failed: false,
+        let candidate =
+            match measure_escalated(harness, &nl, &base_opts, ladder, &mut solver, warm, cache) {
+                Some((meas, used_rung)) => {
+                    let voltage = harness.classify_voltage(&good.nominal, &meas);
+                    let currents = good.current_flags(harness, &meas, shared);
+                    let flagged = good.flagged_indices(harness, &meas, shared);
+                    let detection = DetectionSet {
+                        missing_code: voltage.causes_missing_code(),
+                        currents,
+                    };
+                    VariantEval {
+                        voltage,
+                        currents,
+                        detection,
+                        flagged,
+                        sim_failed: false,
+                        rung: Some(used_rung),
+                    }
                 }
-            }
-            None => match policy {
-                // The paper's reading: a faulty circuit without a stable
-                // solution behaves erratically on the tester — garbage
-                // codes, so the missing-code test flags it.
-                SimFailurePolicy::AssumeDetected => VariantEval {
-                    voltage: VoltageSignature::Mixed,
-                    currents: CurrentFlags::default(),
-                    detection: DetectionSet {
-                        missing_code: true,
+                None => match policy {
+                    // The paper's reading: a faulty circuit without a stable
+                    // solution behaves erratically on the tester — garbage
+                    // codes, so the missing-code test flags it.
+                    SimFailurePolicy::AssumeDetected => VariantEval {
+                        voltage: VoltageSignature::Mixed,
                         currents: CurrentFlags::default(),
+                        detection: DetectionSet {
+                            missing_code: true,
+                            currents: CurrentFlags::default(),
+                        },
+                        flagged: Vec::new(),
+                        sim_failed: true,
+                        rung: None,
                     },
-                    flagged: Vec::new(),
-                    sim_failed: true,
-                },
-                // Pessimistic: the solver's failure earns no detection
-                // credit, so the variant scores 0 and is always the
-                // worst case.
-                SimFailurePolicy::AssumeUndetected => VariantEval {
-                    voltage: VoltageSignature::Mixed,
-                    currents: CurrentFlags::default(),
-                    detection: DetectionSet {
-                        missing_code: false,
+                    // Pessimistic: the solver's failure earns no detection
+                    // credit, so the variant scores 0 and is always the
+                    // worst case.
+                    SimFailurePolicy::AssumeUndetected => VariantEval {
+                        voltage: VoltageSignature::Mixed,
                         currents: CurrentFlags::default(),
+                        detection: DetectionSet {
+                            missing_code: false,
+                            currents: CurrentFlags::default(),
+                        },
+                        flagged: Vec::new(),
+                        sim_failed: true,
+                        rung: None,
                     },
-                    flagged: Vec::new(),
-                    sim_failed: true,
+                    // Excluded variants do not compete; if every variant is
+                    // excluded the whole class drops from the statistics.
+                    SimFailurePolicy::Exclude => continue,
                 },
-                // Excluded variants do not compete; if every variant is
-                // excluded the whole class drops from the statistics.
-                SimFailurePolicy::Exclude => continue,
-            },
-        };
+            };
         let score = (candidate.detection.missing_code as u32)
             + (candidate.currents.ivdd as u32)
             + (candidate.currents.iddq as u32)
@@ -686,6 +778,10 @@ fn evaluate_class(
         });
     }
     match best {
+        // The recorded rung is the *winning* (worst-case) variant's: the
+        // escalation histogram describes what it took to obtain the
+        // reported signature, not the hardest variant that was merely
+        // tried along the way.
         Some((_, v)) => Evaluated {
             voltage: v.voltage,
             currents: v.currents,
@@ -693,7 +789,7 @@ fn evaluate_class(
             flagged: v.flagged,
             sim_failed: v.sim_failed,
             inject_failed: false,
-            rung,
+            rung: v.rung,
             inject_errors,
             excluded: false,
             solver,
@@ -779,8 +875,17 @@ mod tests {
             nl: &Netlist,
             opts: &SimOptions,
             stats: &mut SimStats,
+            warm: Warm<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
-            let op = crate::harness::with_instrumented_sim(nl, opts, stats, |sim| sim.dc_op())?;
+            let mut cursor = crate::harness::WarmCursor::new();
+            let op = crate::harness::with_instrumented_sim_warm(
+                nl,
+                opts,
+                stats,
+                warm,
+                &mut cursor,
+                |sim| sim.dc_op(),
+            )?;
             Ok(vec![
                 op.voltage(nl.find_node("mid").expect("mid")),
                 nl.device_id("VDD")
@@ -992,6 +1097,7 @@ mod tests {
             nl: &Netlist,
             opts: &SimOptions,
             stats: &mut SimStats,
+            warm: Warm<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
             let faulted = nl.devices().any(|(_, d)| d.name.starts_with("flt"));
             if faulted && opts.max_iter < self.needs_iters {
@@ -1003,7 +1109,7 @@ mod tests {
                     iterations: opts.max_iter,
                 });
             }
-            DividerHarness.measure_with(nl, opts, stats)
+            DividerHarness.measure_with(nl, opts, stats, warm)
         }
 
         fn classify_voltage(&self, nominal: &[f64], faulty: &[f64]) -> VoltageSignature {
@@ -1174,6 +1280,123 @@ mod tests {
         assert!(cat.inject_errors > 0);
         assert_eq!(cat.rung, None);
         assert!(report.inject_failed_classes() >= 1);
+    }
+
+    /// A harness with three gate-oxide model variants (on `M1`) whose
+    /// measurements are fabricated from the injected device names: the
+    /// `gs` variant is strongly detected at rung 0, the `gd` variant only
+    /// measures at rung 1 (also detected), and the `gc` variant looks
+    /// fault-free — so `gc` wins the worst-case selection at rung 0 while
+    /// `gd` escalates along the way.
+    #[derive(Debug)]
+    struct VariantFlakyHarness;
+
+    impl MacroHarness for VariantFlakyHarness {
+        fn name(&self) -> &str {
+            "variant_flaky"
+        }
+
+        fn layout(&self) -> Layout {
+            DividerHarness.layout()
+        }
+
+        fn instance_count(&self) -> usize {
+            1
+        }
+
+        fn testbench(&self) -> Netlist {
+            let mut nl = DividerHarness.testbench();
+            let mid = nl.node("mid");
+            let gx = nl.node("gx");
+            nl.add_mosfet(
+                "M1",
+                mid,
+                gx,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                dotm_netlist::MosType::Nmos,
+                dotm_netlist::MosfetParams::nmos_default(),
+            )
+            .unwrap();
+            nl
+        }
+
+        fn plan(&self) -> MeasurementPlan {
+            DividerHarness.plan()
+        }
+
+        fn measure_with(
+            &self,
+            nl: &Netlist,
+            opts: &SimOptions,
+            stats: &mut SimStats,
+            _warm: Warm<'_>,
+        ) -> Result<Vec<f64>, dotm_sim::SimError> {
+            if nl.device("flt.gd").is_some() && opts.max_iter < 600 {
+                stats.nr_solves += 1;
+                stats.dc_failures += 1;
+                return Err(dotm_sim::SimError::NoConvergence {
+                    analysis: "dc",
+                    time: None,
+                    iterations: opts.max_iter,
+                });
+            }
+            stats.nr_solves += 1;
+            if nl.device("flt.gs").is_some() || nl.device("flt.gd").is_some() {
+                Ok(vec![5.0, 0.0]) // hard deviation: detected
+            } else {
+                Ok(vec![2.5, 250e-6]) // nominal-looking: undetected
+            }
+        }
+
+        fn classify_voltage(&self, nominal: &[f64], faulty: &[f64]) -> VoltageSignature {
+            DividerHarness.classify_voltage(nominal, faulty)
+        }
+
+        fn shared_nets(&self) -> Vec<&'static str> {
+            Vec::new()
+        }
+
+        fn current_floor(&self, kind: CurrentKind) -> f64 {
+            DividerHarness.current_floor(kind)
+        }
+    }
+
+    #[test]
+    fn rung_attribution_follows_winning_variant() {
+        let collapsed = collapse(
+            1000,
+            vec![fault(
+                FaultEffect::GateOxide {
+                    device: "M1".into(),
+                },
+                FaultMechanism::GateOxidePinhole,
+            )],
+        );
+        let cfg = PipelineConfig {
+            non_catastrophic: false,
+            goodspace: crate::goodspace::GoodSpaceConfig {
+                common_samples: 2,
+                mismatch_samples: 2,
+                seed: 1,
+                ..GoodSpaceConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let report =
+            run_macro_path_with_faults(&VariantFlakyHarness, &cfg, &collapsed, 1e6).expect("path");
+        let cat = &report.outcomes[0];
+        // The winning (worst-case) variant is the undetected `gc` one,
+        // measured at rung 0 — the rung must be its, not the max over the
+        // escalated-but-losing `gd` variant.
+        assert!(!cat.detection.detected());
+        assert_eq!(cat.rung, Some(0));
+        assert_eq!(report.escalated_classes(), 0);
+        let hist = report.rung_histogram();
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 0);
+        // The gd variant's failed rung-0 attempt still shows in the books.
+        assert!(cat.solver.dc_failures >= 1);
     }
 
     #[test]

@@ -118,6 +118,123 @@ impl Netlist {
         self.devices.len()
     }
 
+    /// A 128-bit content hash (FNV-1a) over the full electrical structure:
+    /// node names in id order, then every device's name, kind tag, terminal
+    /// node ids, and parameter values (as raw `f64` bit patterns, so `-0.0`
+    /// and `0.0` hash differently and NaNs are stable).
+    ///
+    /// Two netlists with equal digests stamp identical MNA systems, so any
+    /// measurement is a pure function of `(digest, SimOptions)` — this is
+    /// the key used by the measurement memoization cache in `dotm-core`.
+    /// The netlist *name* is deliberately excluded: fault injection renames
+    /// the netlist per fault id while distinct faults can degenerate to the
+    /// same circuit, and those should share a cache entry.
+    pub fn content_digest(&self) -> u128 {
+        struct Fnv(u128);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                // 128-bit FNV-1a prime and xor-multiply step.
+                self.0 ^= b as u128;
+                self.0 = self.0.wrapping_mul(0x0000000001000000000000000000013b);
+            }
+            fn u64(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+            // Length-prefix every variable-size field so concatenations
+            // cannot collide ("ab"+"c" vs "a"+"bc").
+            fn bytes(&mut self, bs: &[u8]) {
+                self.u64(bs.len() as u64);
+                for &b in bs {
+                    self.byte(b);
+                }
+            }
+            fn f64s(&mut self, vs: &[f64]) {
+                for v in vs {
+                    self.u64(v.to_bits());
+                }
+            }
+            fn waveform(&mut self, w: &Waveform) {
+                match w {
+                    Waveform::Dc(v) => {
+                        self.byte(0);
+                        self.f64s(&[*v]);
+                    }
+                    Waveform::Pulse {
+                        v0,
+                        v1,
+                        delay,
+                        rise,
+                        fall,
+                        width,
+                        period,
+                    } => {
+                        self.byte(1);
+                        self.f64s(&[*v0, *v1, *delay, *rise, *fall, *width, *period]);
+                    }
+                    Waveform::Pwl(points) => {
+                        self.byte(2);
+                        self.u64(points.len() as u64);
+                        for &(t, v) in points {
+                            self.f64s(&[t, v]);
+                        }
+                    }
+                    Waveform::Sin {
+                        offset,
+                        amplitude,
+                        freq,
+                        delay,
+                    } => {
+                        self.byte(3);
+                        self.f64s(&[*offset, *amplitude, *freq, *delay]);
+                    }
+                }
+            }
+        }
+        let mut h = Fnv(0x6c62272e07bb014262b821756295c58d);
+        for name in &self.node_names {
+            h.bytes(name.as_bytes());
+        }
+        h.u64(self.devices.len() as u64);
+        for dev in &self.devices {
+            h.bytes(dev.name.as_bytes());
+            h.bytes(dev.kind.tag().as_bytes());
+            for t in dev.terminals() {
+                h.u64(t.index() as u64);
+            }
+            match &dev.kind {
+                DeviceKind::Resistor { ohms, .. } => h.f64s(&[*ohms]),
+                DeviceKind::Capacitor { farads, .. } => h.f64s(&[*farads]),
+                DeviceKind::Vsource { waveform: w, .. }
+                | DeviceKind::Isource { waveform: w, .. } => h.waveform(w),
+                DeviceKind::Diode { params, .. } => h.f64s(&[params.is, params.n]),
+                DeviceKind::Mosfet { ty, params, .. } => {
+                    h.byte(match ty {
+                        MosType::Nmos => 0,
+                        MosType::Pmos => 1,
+                    });
+                    h.f64s(&[
+                        params.w,
+                        params.l,
+                        params.vt0,
+                        params.kp,
+                        params.lambda,
+                        params.gamma,
+                        params.phi,
+                        params.is_leak,
+                        params.cox,
+                        params.cj,
+                    ]);
+                }
+                DeviceKind::Switch { params, .. } => {
+                    h.f64s(&[params.v_on, params.v_off, params.r_on, params.r_off])
+                }
+            }
+        }
+        h.0
+    }
+
     /// Iterates over `(DeviceId, &Device)` pairs.
     pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
         self.devices
@@ -487,6 +604,27 @@ mod tests {
         nl.add_resistor("R1", a, b, 1e3).unwrap();
         nl.add_capacitor("C1", b, Netlist::GROUND, 1e-12).unwrap();
         nl
+    }
+
+    #[test]
+    fn content_digest_tracks_structure_not_name() {
+        let a = rc();
+        let mut b = rc();
+        assert_eq!(a.content_digest(), b.content_digest());
+        // The netlist name is excluded: renamed copies share a digest.
+        let mut renamed = rc();
+        renamed.name = "other".to_string();
+        assert_eq!(a.content_digest(), renamed.content_digest());
+        // A parameter change, however small, changes the digest.
+        if let DeviceKind::Resistor { ohms, .. } = &mut b.device_mut("R1").unwrap().kind {
+            *ohms += 1e-9;
+        }
+        assert_ne!(a.content_digest(), b.content_digest());
+        // A structural change (extra node + device) changes the digest.
+        let mut c = rc();
+        let extra = c.node("extra");
+        c.add_resistor("Rx", extra, Netlist::GROUND, 1.0).unwrap();
+        assert_ne!(a.content_digest(), c.content_digest());
     }
 
     #[test]

@@ -242,6 +242,17 @@ pub struct Simulator<'a> {
     a: DenseMatrix,
     z: Vec<f64>,
     stats: SimStats,
+    /// `true` if the netlist contains any device whose stamps depend on
+    /// the solution vector (diode, MOSFET, switch). For a purely linear
+    /// circuit the assembled system is independent of `x`, so Newton may
+    /// accept a first-iteration convergence without a confirming solve.
+    has_nonlinear: bool,
+    /// One-shot warm-start guess consumed by the next [`robust_dc`] call
+    /// (installed by [`Simulator::seed_dc_from`]).
+    dc_seed: Option<Vec<f64>>,
+    /// The most recent successfully solved DC operating point (also the
+    /// transient initial point), kept for warm-start capture.
+    last_dc: Option<Vec<f64>>,
 }
 
 impl<'a> std::fmt::Debug for Simulator<'a> {
@@ -272,6 +283,12 @@ impl<'a> Simulator<'a> {
             }
         }
         let n_unknowns = (n_nodes - 1) + vsrc.len();
+        let has_nonlinear = nl.devices().any(|(_, d)| {
+            matches!(
+                d.kind,
+                DeviceKind::Diode { .. } | DeviceKind::Mosfet { .. } | DeviceKind::Switch { .. }
+            )
+        });
         Simulator {
             nl,
             opts,
@@ -283,6 +300,9 @@ impl<'a> Simulator<'a> {
             a: DenseMatrix::zeros(n_unknowns),
             z: vec![0.0; n_unknowns],
             stats: SimStats::default(),
+            has_nonlinear,
+            dc_seed: None,
+            last_dc: None,
         }
     }
 
@@ -601,7 +621,11 @@ impl<'a> Simulator<'a> {
                 }
             }
             x.copy_from_slice(&xnext);
-            if converged && !limited && iter > 0 {
+            // A purely linear system is solved exactly by its first
+            // iteration (the stamps do not depend on `x`), so a converged
+            // first iteration needs no confirming re-solve; nonlinear
+            // circuits must re-linearise at the new point at least once.
+            if converged && !limited && (iter > 0 || !self.has_nonlinear) {
                 return NrOutcome::Converged;
             }
         }
@@ -609,12 +633,54 @@ impl<'a> Simulator<'a> {
         NrOutcome::MaxIter
     }
 
-    fn op_point(&self, x: Vec<f64>) -> OpPoint {
+    fn op_point(&mut self, x: Vec<f64>) -> OpPoint {
+        self.last_dc = Some(x.clone());
         OpPoint {
             x,
             n_nodes: self.n_nodes,
             vsrc: self.vsrc.clone(),
         }
+    }
+
+    /// The most recent successfully solved DC operating point (including
+    /// the transient initial point), for warm-start capture.
+    pub fn last_dc_op(&self) -> Option<OpPoint> {
+        self.last_dc.as_ref().map(|x| OpPoint {
+            x: x.clone(),
+            n_nodes: self.n_nodes,
+            vsrc: self.vsrc.clone(),
+        })
+    }
+
+    /// Installs `op` — typically the fault-free nominal solution — as a
+    /// one-shot warm-start guess for the next DC solve (including the
+    /// transient initial point).
+    ///
+    /// Fault injection only ever *appends* nodes and devices, so a
+    /// nominal solution maps onto the faulted circuit's unknown vector by
+    /// copying the node-voltage and branch-current sections to their new
+    /// positions and zero-filling the appended entries. The append-only
+    /// invariant is checked structurally: `op`'s node count must not
+    /// exceed this simulator's, and `op`'s voltage sources must be an
+    /// exact id-prefix of this simulator's (device removal reindexes ids
+    /// and breaks the prefix). Returns `false` — and installs nothing, so
+    /// the solve starts cold — when the check fails.
+    pub fn seed_dc_from(&mut self, op: &OpPoint) -> bool {
+        if op.n_nodes == 0
+            || op.n_nodes > self.n_nodes
+            || op.vsrc.len() > self.vsrc.len()
+            || op.vsrc != self.vsrc[..op.vsrc.len()]
+        {
+            return false;
+        }
+        debug_assert_eq!(op.x.len(), (op.n_nodes - 1) + op.vsrc.len());
+        let mut x = vec![0.0; self.n_unknowns];
+        x[..op.n_nodes - 1].copy_from_slice(&op.x[..op.n_nodes - 1]);
+        for (k, &i) in op.x[op.n_nodes - 1..].iter().enumerate() {
+            x[self.n_nodes - 1 + k] = i;
+        }
+        self.dc_seed = Some(x);
+        true
     }
 
     /// Solves the DC operating point.
@@ -646,6 +712,24 @@ impl<'a> Simulator<'a> {
         t: Option<f64>,
         analysis: &'static str,
     ) -> Result<OpPoint, SimError> {
+        // Warm start: one plain Newton solve from the seeded nominal
+        // solution. On failure of any kind the full cold homotopy chain
+        // below runs unchanged — the seed is only ever a speed-up, never
+        // a correctness dependency.
+        if let Some(seed) = self.dc_seed.take() {
+            let mut x = seed;
+            match self.newton(&mut x, t, None, self.opts.gmin, 1.0) {
+                NrOutcome::Converged => {
+                    self.stats.warm_hits += 1;
+                    self.stats.converged_plain += 1;
+                    return Ok(self.op_point(x));
+                }
+                NrOutcome::Singular | NrOutcome::MaxIter => {
+                    self.stats.warm_misses += 1;
+                }
+            }
+        }
+
         let mut x = guess.to_vec();
         x.resize(self.n_unknowns, 0.0);
         match self.newton(&mut x, t, None, self.opts.gmin, 1.0) {
@@ -656,19 +740,37 @@ impl<'a> Simulator<'a> {
             NrOutcome::Singular | NrOutcome::MaxIter => {}
         }
 
-        // gmin stepping.
+        // gmin stepping. The ladder starts at least four decades above
+        // the target so the loop always executes (a large target gmin
+        // used to skip the body entirely and return the unsolved
+        // all-zeros vector as "converged"), and the point is only
+        // accepted after a genuinely converged solve at the target gmin
+        // itself.
         let mut x = vec![0.0; self.n_unknowns];
-        let mut gmin = 1e-2;
+        let mut gmin = (self.opts.gmin * 1e4).max(1e-2);
         let mut ok = true;
+        let mut solved_at_target = false;
         while gmin > self.opts.gmin * 0.9 {
-            match self.newton(&mut x, t, None, gmin.max(self.opts.gmin), 1.0) {
-                NrOutcome::Converged => {}
+            let eff = gmin.max(self.opts.gmin);
+            match self.newton(&mut x, t, None, eff, 1.0) {
+                NrOutcome::Converged => {
+                    solved_at_target = eff == self.opts.gmin;
+                }
                 _ => {
                     ok = false;
                     break;
                 }
             }
             gmin /= 10.0;
+        }
+        if ok && !solved_at_target {
+            // The decade ladder landed near but not exactly on the target
+            // (floating-point division drift, or a target above the
+            // ladder's floor): one final confirming solve at the target.
+            ok = matches!(
+                self.newton(&mut x, t, None, self.opts.gmin, 1.0),
+                NrOutcome::Converged
+            );
         }
         if ok {
             self.stats.converged_gmin += 1;

@@ -41,6 +41,12 @@ pub struct SimStats {
     pub rejected_steps: u64,
     /// Transient step halvings performed after a rejected step.
     pub step_halvings: u64,
+    /// DC solves where a warm-start seed converged directly (also counted
+    /// in [`SimStats::converged_plain`]).
+    pub warm_hits: u64,
+    /// DC solves where a warm-start seed failed and the cold homotopy
+    /// chain ran instead.
+    pub warm_misses: u64,
 }
 
 impl SimStats {
@@ -56,7 +62,7 @@ impl SimStats {
 
     /// The counters as a fixed word vector, in declaration order — the
     /// stable serialisation used by report fingerprints.
-    pub fn to_words(&self) -> [u64; 11] {
+    pub fn to_words(&self) -> [u64; 13] {
         [
             self.nr_solves,
             self.nr_iterations,
@@ -69,6 +75,8 @@ impl SimStats {
             self.tran_steps,
             self.rejected_steps,
             self.step_halvings,
+            self.warm_hits,
+            self.warm_misses,
         ]
     }
 }
@@ -86,6 +94,8 @@ impl AddAssign for SimStats {
         self.tran_steps += o.tran_steps;
         self.rejected_steps += o.rejected_steps;
         self.step_halvings += o.step_halvings;
+        self.warm_hits += o.warm_hits;
+        self.warm_misses += o.warm_misses;
     }
 }
 
@@ -127,7 +137,9 @@ mod tests {
             tran_steps: 9,
             rejected_steps: 10,
             step_halvings: 11,
+            warm_hits: 12,
+            warm_misses: 13,
         };
-        assert_eq!(s.to_words(), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(s.to_words(), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
     }
 }

@@ -140,7 +140,7 @@ fn telemetry_counts_failures() {
     let mut sim = Simulator::with_options(
         &nl,
         SimOptions {
-            max_iter: 1, // a single iteration can never satisfy `iter > 0`
+            max_iter: 1, // the first step from all-zeros is never within tolerance
             ..SimOptions::default()
         },
     );
@@ -149,4 +149,187 @@ fn telemetry_counts_failures() {
     assert_eq!(s.dc_failures, 1);
     assert!(s.maxiter_exhausted >= 1);
     assert_eq!(s.converged_plain + s.converged_gmin + s.converged_source, 0);
+}
+
+/// 2 V through 1k into a diode: a mildly nonlinear operating point that
+/// plain Newton solves but only after re-linearising a few times.
+fn diode_clamp() -> Netlist {
+    let mut nl = Netlist::new("clamp");
+    let vin = nl.node("in");
+    let d = nl.node("d");
+    nl.add_vsource("V1", vin, Netlist::GROUND, Waveform::dc(2.0))
+        .unwrap();
+    nl.add_resistor("R1", vin, d, 1e3).unwrap();
+    nl.add_diode(
+        "D1",
+        d,
+        Netlist::GROUND,
+        dotm_netlist::DiodeParams::default(),
+    )
+    .unwrap();
+    nl
+}
+
+#[test]
+fn large_gmin_never_credits_an_unsolved_point() {
+    // Plain Newton cannot finish in one iteration, so the solve falls
+    // through to gmin stepping. The old ladder started at a fixed 1e-2
+    // and skipped its body whenever the target gmin was above that —
+    // crediting `converged_gmin` and returning the untouched all-zeros
+    // vector as a "solution". The solve must now either produce the real
+    // operating point or report failure.
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::with_options(
+        &nl,
+        SimOptions {
+            max_iter: 1,
+            gmin: 5e-2,
+            ..SimOptions::default()
+        },
+    );
+    match sim.dc_op() {
+        Ok(op) => {
+            // gmin = 50 mS loads each node, so the exact value shifts; the
+            // point just must not be the unsolved zeros vector.
+            assert!(
+                op.voltage(mid) > 1e-3,
+                "all-zeros vector passed off as a solution: v(mid) = {}",
+                op.voltage(mid)
+            );
+        }
+        Err(_) => {
+            let s = sim.stats();
+            assert_eq!(
+                s.converged_gmin, 0,
+                "failed solve must not credit gmin stepping"
+            );
+            assert_eq!(s.dc_failures, 1);
+        }
+    }
+}
+
+#[test]
+fn large_gmin_solution_is_genuinely_solved() {
+    // Same large target gmin with a realistic iteration budget: whatever
+    // homotopy succeeds, the reported point must satisfy the (gmin-loaded)
+    // circuit equations, not be a leftover initial guess.
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::with_options(
+        &nl,
+        SimOptions {
+            gmin: 5e-2,
+            ..SimOptions::default()
+        },
+    );
+    let op = sim.dc_op().expect("dc with large gmin");
+    // KCL at mid with the 50 mS gmin shunt: 2 V · 1 mS / (1 + 1 + 50) mS.
+    let expect = 2.0 * 1e-3 / (1e-3 + 1e-3 + 5e-2);
+    assert!(
+        (op.voltage(mid) - expect).abs() < 1e-6,
+        "v(mid) = {} (want {expect})",
+        op.voltage(mid)
+    );
+}
+
+#[test]
+fn warm_seed_accepts_linear_circuit_at_first_iteration() {
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut cold = Simulator::new(&nl);
+    let op = cold.dc_op().expect("cold dc");
+    let cold_iters = cold.stats().nr_iterations;
+
+    let mut warm = Simulator::new(&nl);
+    assert!(warm.seed_dc_from(&op), "same-netlist seed must install");
+    let wop = warm.dc_op().expect("warm dc");
+    assert!((wop.voltage(mid) - 1.0).abs() < 1e-9);
+    let s = *warm.stats();
+    assert_eq!(s.warm_hits, 1);
+    assert_eq!(s.warm_misses, 0);
+    assert_eq!(s.nr_solves, 1);
+    // A linear system's stamps do not depend on x, so an exact seed is
+    // accepted on the very first iteration (the old `iter > 0` guard
+    // forced a pointless second solve of the identical matrix).
+    assert_eq!(s.nr_iterations, 1, "exact linear seed must not re-solve");
+    assert!(
+        cold_iters > 1,
+        "cold linear solve needs its confirming pass"
+    );
+}
+
+#[test]
+fn warm_seed_still_relinearises_nonlinear_circuits() {
+    let nl = diode_clamp();
+    let d = nl.find_node("d").unwrap();
+    let mut cold = Simulator::new(&nl);
+    let op = cold.dc_op().expect("cold dc");
+    let cold_iters = cold.stats().nr_iterations;
+
+    let mut warm = Simulator::new(&nl);
+    assert!(warm.seed_dc_from(&op));
+    let wop = warm.dc_op().expect("warm dc");
+    assert!((wop.voltage(d) - op.voltage(d)).abs() < 1e-9);
+    let s = *warm.stats();
+    assert_eq!(s.warm_hits, 1);
+    // The diode stamps depend on x: even an exact seed needs at least one
+    // confirming re-linearisation before it may be accepted.
+    assert!(
+        s.nr_iterations >= 2,
+        "nonlinear seed accepted without re-linearising"
+    );
+    assert!(
+        s.nr_iterations < cold_iters,
+        "warm start saved nothing: {} vs {} cold",
+        s.nr_iterations,
+        cold_iters
+    );
+}
+
+#[test]
+fn warm_seed_remaps_appended_unknowns_and_rejects_reindexed_sources() {
+    let nl = divider();
+    let mut cold = Simulator::new(&nl);
+    let op = cold.dc_op().expect("cold dc");
+
+    // Fault injection only appends: extra node + bridge resistor after
+    // the original devices. The nominal seed maps onto the larger
+    // unknown vector.
+    let mut faulted = divider();
+    let mid = faulted.find_node("mid").unwrap();
+    let x = faulted.node("x");
+    faulted.add_resistor("RF", mid, x, 1e3).unwrap();
+    faulted
+        .add_resistor("RF2", x, Netlist::GROUND, 1e9)
+        .unwrap();
+    let mut warm = Simulator::new(&faulted);
+    assert!(
+        warm.seed_dc_from(&op),
+        "append-only change must accept the seed"
+    );
+    let wop = warm.dc_op().expect("warm dc on faulted netlist");
+    assert!((wop.voltage(mid) - 1.0).abs() < 1e-4);
+    assert_eq!(warm.stats().warm_hits + warm.stats().warm_misses, 1);
+
+    // Reordered construction reindexes the voltage source: the id prefix
+    // no longer matches and the seed must be refused.
+    let mut reordered = Netlist::new("reordered");
+    let vin = reordered.node("in");
+    let mid2 = reordered.node("mid");
+    reordered.add_resistor("R1", vin, mid2, 1e3).unwrap();
+    reordered
+        .add_resistor("R2", mid2, Netlist::GROUND, 1e3)
+        .unwrap();
+    reordered
+        .add_vsource("V1", vin, Netlist::GROUND, Waveform::dc(2.0))
+        .unwrap();
+    let mut other = Simulator::new(&reordered);
+    assert!(
+        !other.seed_dc_from(&op),
+        "reindexed source ids must reject the seed"
+    );
+    other.dc_op().expect("cold dc still works");
+    assert_eq!(other.stats().warm_hits, 0);
+    assert_eq!(other.stats().warm_misses, 0);
 }

@@ -11,7 +11,7 @@ use dotm::core::{
 use dotm::defects::{sprinkle_collapsed, Sprinkler};
 use dotm::faults::Severity;
 
-fn comparator_config(threads: usize) -> PipelineConfig {
+fn comparator_config(threads: usize, measure_cache: bool) -> PipelineConfig {
     PipelineConfig {
         defects: 4_000,
         seed: 1995,
@@ -20,19 +20,21 @@ fn comparator_config(threads: usize) -> PipelineConfig {
             mismatch_samples: 2,
             seed: 1995 ^ 0xD07,
             exec: ExecConfig::with_threads(threads),
+            ..GoodSpaceConfig::default()
         },
         max_classes: Some(12),
         non_catastrophic: true,
         exec: ExecConfig::with_threads(threads),
+        measure_cache,
         ..PipelineConfig::default()
     }
 }
 
 /// Runs the comparator evaluation on a shared pre-sprinkled population,
-/// so the two runs differ only in thread count.
-fn run_comparator(threads: usize) -> MacroReport {
+/// so the two runs differ only in thread count (or cache setting).
+fn run_comparator(threads: usize, measure_cache: bool) -> MacroReport {
     let harness = ComparatorHarness::production();
-    let cfg = comparator_config(threads);
+    let cfg = comparator_config(threads, measure_cache);
     let layout = harness.layout();
     let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
     let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
@@ -46,8 +48,10 @@ fn run_comparator(threads: usize) -> MacroReport {
 
 #[test]
 fn comparator_report_is_thread_count_invariant() {
-    let serial = run_comparator(1);
-    let parallel = run_comparator(4);
+    // Warm start and the measurement cache are both on (the defaults):
+    // the invariance contract has to hold on the path users actually run.
+    let serial = run_comparator(1, true);
+    let parallel = run_comparator(4, true);
 
     // Field-by-field, not just the digest, so a mismatch names the class.
     assert_eq!(serial.total_faults, parallel.total_faults);
@@ -76,8 +80,34 @@ fn comparator_report_is_thread_count_invariant() {
     );
     assert_eq!(serial.solver_totals(), parallel.solver_totals());
     assert_eq!(serial.rung_histogram(), parallel.rung_histogram());
+    // Cache occupancy is scheduling-free by construction (lookups are a
+    // global count, entries are distinct keys), so it must match too.
+    assert_eq!(serial.cache_lookups, parallel.cache_lookups);
+    assert_eq!(serial.cache_entries, parallel.cache_entries);
     // And the digest covers everything else (floats bit-for-bit).
     assert_eq!(serial.fingerprint(), parallel.fingerprint());
+}
+
+#[test]
+fn measurement_cache_is_invisible_in_the_report() {
+    // A cache hit replays the memoized measurement *and* its solver
+    // telemetry, so a cached run must be bit-for-bit identical to an
+    // uncached one — the only trace is the cache-occupancy counters
+    // themselves, which are zeroed here before fingerprinting.
+    let mut cached = run_comparator(2, true);
+    let mut uncached = run_comparator(2, false);
+    assert!(
+        cached.cache_lookups > 0,
+        "cached run must route measurements through the cache"
+    );
+    assert!(cached.cache_entries <= cached.cache_lookups);
+    assert_eq!(uncached.cache_lookups, 0);
+    assert_eq!(uncached.cache_entries, 0);
+    cached.cache_lookups = 0;
+    cached.cache_entries = 0;
+    uncached.cache_lookups = 0;
+    uncached.cache_entries = 0;
+    assert_eq!(cached.fingerprint(), uncached.fingerprint());
 }
 
 #[test]
