@@ -1,0 +1,274 @@
+//! The persistent campaign driver: runs all five macro test paths with
+//! the on-disk measurement store and a per-macro checkpoint journal, then
+//! compiles the global Fig. 4 detectability panels.
+//!
+//! ```text
+//! campaign [--resume]
+//! ```
+//!
+//! Knobs (on top of the standard `DOTM_*` pipeline knobs):
+//!
+//! * `DOTM_STORE_DIR` — store root (default `dotm-store/`). Holds
+//!   `meas/` (content-addressed measurement entries, shared across
+//!   campaigns whose configuration matches) and `journal/` (one
+//!   checkpoint journal per macro).
+//! * `--resume` — replay each macro's journaled class prefix instead of
+//!   re-evaluating it, then continue. A campaign killed mid-macro and
+//!   resumed produces bit-identical reports *and journals* to an
+//!   uninterrupted run.
+//! * `DOTM_ABORT_AFTER` — abort the campaign (via the in-order class
+//!   observer, not a signal) after this many classes, campaign-wide: the
+//!   deterministic stand-in for a kill that the resume gate scripts use.
+//! * `DOTM_EXPECT_WARM` — `1` asserts the run never touched the solver:
+//!   every measurement must come from the store (`computed=0`), at any
+//!   `DOTM_THREADS`. Exits non-zero otherwise.
+//!
+//! The campaign forces `measure_cache = off` and relies on the store's
+//! own in-memory overlay instead: the cache's occupancy counters are part
+//! of every report fingerprint, and journal-replayed classes perform no
+//! lookups — the cache and the journal cannot both be on without
+//! breaking the resumed-run ≡ uninterrupted-run bit-identity contract.
+
+use dotm_bench::{print_global_accounting, rule, standard_config};
+use dotm_core::harnesses::{
+    BiasHarness, ClockgenHarness, ComparatorHarness, DecoderHarness, LadderHarness,
+};
+use dotm_core::{
+    run_macro_path_with_faults_hooked, ClassObserver, ClassOutcome, GlobalReport, MacroHarness,
+    MacroReport, PathError, PipelineConfig, PipelineHooks,
+};
+use dotm_defects::{sprinkle_collapsed, Sprinkler};
+use dotm_faults::Severity;
+use dotm_store::{load_journal, pipeline_context, DiskStore, JournalHeader, JournalWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Journals every completed class and injects the deterministic abort.
+struct CampaignObserver {
+    writer: Mutex<Option<JournalWriter>>,
+    /// Classes completed campaign-wide (shared across macros).
+    completed: AtomicU64,
+    abort_after: Option<u64>,
+}
+
+impl ClassObserver for CampaignObserver {
+    fn on_class(&self, index: usize, outcomes: &[ClassOutcome]) -> bool {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        writer
+            .as_mut()
+            .expect("journal open while classes run")
+            .record_class(index, outcomes)
+            .expect("journal write must succeed (checkpoint contract)");
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.abort_after.map_or(true, |n| done < n)
+    }
+}
+
+struct MacroRun {
+    report: MacroReport,
+    counters: dotm_store::StoreCounters,
+    seconds: f64,
+}
+
+/// Runs one macro's journaled, store-backed path. `Ok(None)` means the
+/// observer aborted the campaign (the journal keeps the prefix).
+fn run_macro(
+    harness: &dyn MacroHarness,
+    cfg: &PipelineConfig,
+    store_dir: &Path,
+    resume: bool,
+    observer: &CampaignObserver,
+) -> std::io::Result<Option<MacroRun>> {
+    let layout = harness.layout();
+    let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
+    let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
+    let area = layout
+        .bbox()
+        .map(|b| b.expanded(cfg.stats.size.xmax / 2))
+        .map(|b| b.area() as f64)
+        .unwrap_or(0.0);
+    let classes = match cfg.max_classes {
+        Some(n) => collapsed.class_count().min(n),
+        None => collapsed.class_count(),
+    };
+
+    let context = pipeline_context(harness, cfg);
+    let store = DiskStore::open(store_dir, context)?;
+    let header = JournalHeader {
+        context,
+        macro_name: harness.name().to_string(),
+        classes,
+    };
+    let journal_path = store_dir
+        .join("journal")
+        .join(format!("{}.jnl", harness.name()));
+
+    let completed = if resume {
+        let state = load_journal(&journal_path, &header);
+        if state.prefix_len() > 0 {
+            eprintln!(
+                "[campaign] {}: resuming {} of {classes} classes from the journal",
+                harness.name(),
+                state.prefix_len(),
+            );
+        }
+        state.completed
+    } else {
+        Vec::new()
+    };
+
+    // The journal is rewritten from scratch either way: replayed classes
+    // re-emit byte-identical records, so a resumed journal ends up
+    // indistinguishable from an uninterrupted one.
+    *observer.writer.lock().unwrap_or_else(|e| e.into_inner()) =
+        Some(JournalWriter::create(&journal_path, &header)?);
+
+    let hooks = PipelineHooks {
+        store: Some(&store),
+        observer: Some(observer),
+        completed,
+    };
+    let t0 = Instant::now();
+    match run_macro_path_with_faults_hooked(harness, cfg, &collapsed, area, &hooks) {
+        Ok(report) => {
+            let writer = observer
+                .writer
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("journal still open");
+            writer.finish(report.fingerprint())?;
+            Ok(Some(MacroRun {
+                report,
+                counters: store.counters(),
+                seconds: t0.elapsed().as_secs_f64(),
+            }))
+        }
+        Err(PathError::Aborted { completed }) => {
+            eprintln!(
+                "[campaign] {}: aborted after {completed} classes (journal keeps the prefix)",
+                harness.name()
+            );
+            Ok(None)
+        }
+        Err(e) => panic!("macro path must run: {e}"),
+    }
+}
+
+fn main() {
+    let resume = std::env::args().any(|a| a == "--resume");
+    let store_dir = dotm_core::env::store_dir().unwrap_or_else(|| PathBuf::from("dotm-store"));
+    let abort_after = match dotm_core::env::u64_knob("DOTM_ABORT_AFTER", 0) {
+        0 => None,
+        n => Some(n),
+    };
+    let expect_warm = dotm_core::env::bool_knob("DOTM_EXPECT_WARM", false);
+
+    let mut cfg = standard_config();
+    cfg.measure_cache = false; // see the module docs: the store subsumes it
+
+    let harnesses: Vec<Box<dyn MacroHarness>> = vec![
+        Box::new(ComparatorHarness::production()),
+        Box::new(LadderHarness),
+        Box::new(BiasHarness::default()),
+        Box::new(ClockgenHarness::default()),
+        Box::new(DecoderHarness::default()),
+    ];
+
+    println!(
+        "persistent campaign: {} defects/macro, store at {}{}",
+        cfg.defects,
+        store_dir.display(),
+        if resume { ", resuming" } else { "" }
+    );
+    let observer = CampaignObserver {
+        writer: Mutex::new(None),
+        completed: AtomicU64::new(0),
+        abort_after,
+    };
+
+    let mut runs: Vec<MacroRun> = Vec::new();
+    let mut aborted = false;
+    for harness in &harnesses {
+        match run_macro(harness.as_ref(), &cfg, &store_dir, resume, &observer)
+            .expect("store directory must be writable")
+        {
+            Some(run) => {
+                println!(
+                    "  {:<16} {:>4} faults / {:>3} classes  {:>6.1}s  \
+                     store: loads={} hits={} misses={} computed={} fingerprint={:016x}",
+                    run.report.name,
+                    run.report.total_faults,
+                    run.report.class_count,
+                    run.seconds,
+                    run.counters.loads,
+                    run.counters.hits(),
+                    run.counters.misses,
+                    run.counters.computed,
+                    run.report.fingerprint(),
+                );
+                runs.push(run);
+            }
+            None => {
+                aborted = true;
+                break;
+            }
+        }
+    }
+
+    if aborted {
+        println!(
+            "campaign aborted on request after {} classes — rerun with --resume",
+            observer.completed.load(Ordering::Relaxed)
+        );
+        return;
+    }
+
+    let mut totals = dotm_store::StoreCounters::default();
+    for run in &runs {
+        totals.loads += run.counters.loads;
+        totals.mem_hits += run.counters.mem_hits;
+        totals.disk_hits += run.counters.disk_hits;
+        totals.misses += run.counters.misses;
+        totals.computed += run.counters.computed;
+        totals.write_errors += run.counters.write_errors;
+    }
+    println!(
+        "campaign store accounting: loads={} mem_hits={} disk_hits={} misses={} \
+         computed={} write_errors={} hit_rate={:.1}%",
+        totals.loads,
+        totals.mem_hits,
+        totals.disk_hits,
+        totals.misses,
+        totals.computed,
+        totals.write_errors,
+        totals.hit_pct(),
+    );
+
+    let global = GlobalReport::new(runs.into_iter().map(|r| r.report).collect());
+    println!();
+    println!("Fig 4 (from the persistent campaign): global detectability");
+    for (label, severity) in [
+        ("a — catastrophic", Severity::Catastrophic),
+        ("b — non-catastrophic", Severity::NonCatastrophic),
+    ] {
+        let d = global.detectability(severity);
+        println!("({label})");
+        println!("  voltage detectable:   {:>5.1}%", d.voltage_pct);
+        println!("  current detectable:   {:>5.1}%", d.current_pct);
+        println!("  total fault coverage: {:>5.1}%", d.coverage_pct);
+    }
+    rule(72);
+    print_global_accounting(&global);
+
+    if expect_warm && (totals.computed > 0 || totals.misses > 0) {
+        eprintln!(
+            "DOTM_EXPECT_WARM: the store was supposed to answer everything, \
+             but computed={} misses={}",
+            totals.computed, totals.misses
+        );
+        std::process::exit(1);
+    }
+}

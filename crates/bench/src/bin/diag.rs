@@ -8,7 +8,7 @@ use dotm_core::harnesses::{BiasHarness, ClockgenHarness, DecoderHarness, LadderH
 use dotm_faults::Severity;
 
 fn main() {
-    let dft = std::env::var("DOTM_DFT").is_ok();
+    let dft = dotm_core::env::bool_knob("DOTM_DFT", false);
     let which = std::env::var("DOTM_MACRO").unwrap_or_else(|_| "comparator".into());
     let report = match which.as_str() {
         "ladder" => run_with_progress(&LadderHarness),

@@ -44,51 +44,37 @@ use dotm_core::{
     PipelineConfig, SimFailurePolicy,
 };
 
-/// Reads a `usize` environment knob.
+/// Reads a `usize` environment knob (thin wrapper over
+/// [`dotm_core::env::usize_knob`], kept for the bench binaries' API).
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    dotm_core::env::usize_knob(name, default)
 }
 
-/// Reads a `u64` environment knob.
+/// Reads a `u64` environment knob (thin wrapper over
+/// [`dotm_core::env::u64_knob`]).
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    dotm_core::env::u64_knob(name, default)
 }
 
-/// Reads a boolean environment knob (`1`/`true`/`on` vs `0`/`false`/`off`).
+/// Reads a boolean environment knob (thin wrapper over
+/// [`dotm_core::env::bool_knob`]).
 pub fn env_bool(name: &str, default: bool) -> bool {
-    match std::env::var(name) {
-        Ok(v) => match v.to_ascii_lowercase().as_str() {
-            "1" | "true" | "on" | "yes" => true,
-            "0" | "false" | "off" | "no" => false,
-            other => panic!("{name}: expected a boolean, got {other:?}"),
-        },
-        Err(_) => default,
-    }
+    dotm_core::env::bool_knob(name, default)
 }
 
 /// Reads the `DOTM_SIM_FAILURE_POLICY` knob (default: the paper-parity
 /// `AssumeDetected`). An unparsable value aborts loudly rather than
 /// silently running with the wrong accounting.
 pub fn env_sim_failure_policy() -> SimFailurePolicy {
-    match std::env::var("DOTM_SIM_FAILURE_POLICY") {
-        Ok(v) => v
-            .parse()
-            .unwrap_or_else(|e| panic!("DOTM_SIM_FAILURE_POLICY: {e}")),
-        Err(_) => SimFailurePolicy::default(),
-    }
+    dotm_core::env::sim_failure_policy()
 }
 
 /// The standard pipeline configuration, honouring the environment knobs.
 pub fn standard_config() -> PipelineConfig {
-    let max_classes = std::env::var("DOTM_MAX_CLASSES")
-        .ok()
-        .and_then(|v| v.parse().ok());
+    let max_classes = match dotm_core::env::usize_knob("DOTM_MAX_CLASSES", 0) {
+        0 => None,
+        n => Some(n),
+    };
     PipelineConfig {
         defects: env_usize("DOTM_DEFECTS", 25_000),
         seed: env_u64("DOTM_SEED", 1995),
@@ -100,8 +86,8 @@ pub fn standard_config() -> PipelineConfig {
         },
         max_classes,
         sim_failure_policy: env_sim_failure_policy(),
-        warm_start: env_bool("DOTM_WARM_START", true),
-        measure_cache: env_bool("DOTM_MEASURE_CACHE", true),
+        warm_start: dotm_core::env::warm_start(),
+        measure_cache: dotm_core::env::measure_cache(),
         ..PipelineConfig::default()
     }
 }

@@ -1,0 +1,221 @@
+//! Centralized parsing of the `DOTM_*` environment knobs.
+//!
+//! Every process-wide tuning knob the workspace honours goes through this
+//! module, so the parsing rules — and the failure behaviour — are written
+//! once. The rules:
+//!
+//! * An **unset** knob takes its documented default.
+//! * A **malformed** knob panics with the variable name and the offending
+//!   value. A typo like `DOTM_THREADS=fourteen` silently running the
+//!   serial path (or a warm run silently going cold) is exactly the kind
+//!   of quiet misconfiguration the accounting work of earlier PRs exists
+//!   to prevent, so knobs fail loudly instead of guessing.
+//!
+//! The pure `parse_*` helpers carry the actual grammar and are unit
+//! tested without touching the process environment; the `*_knob`
+//! wrappers only add the `std::env::var` lookup and the panic message.
+//!
+//! | knob | meaning | default |
+//! |---|---|---|
+//! | `DOTM_THREADS` | executor worker threads (`0` = auto) | auto |
+//! | `DOTM_WARM_START` | seed Newton from nominal operating points | on |
+//! | `DOTM_MEASURE_CACHE` | in-memory measurement memoization | on |
+//! | `DOTM_SIM_FAILURE_POLICY` | accounting for never-converged classes | assume-detected |
+//! | `DOTM_STORE_DIR` | persistent campaign-store directory | unset |
+
+use crate::pipeline::SimFailurePolicy;
+use std::path::PathBuf;
+
+/// Parses a boolean knob value: `1`/`true`/`on`/`yes` vs
+/// `0`/`false`/`off`/`no`, case-insensitively.
+///
+/// # Errors
+/// A message naming the offending value.
+pub fn parse_bool(value: &str) -> Result<bool, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" => Ok(false),
+        other => Err(format!("expected a boolean, got {other:?}")),
+    }
+}
+
+/// Parses an unsigned integer knob value (whitespace-tolerant).
+///
+/// # Errors
+/// A message naming the offending value.
+pub fn parse_u64(value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("expected an unsigned integer, got {value:?}"))
+}
+
+/// Parses a `usize` knob value (whitespace-tolerant).
+///
+/// # Errors
+/// A message naming the offending value.
+pub fn parse_usize(value: &str) -> Result<usize, String> {
+    value
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| format!("expected an unsigned integer, got {value:?}"))
+}
+
+/// Reads an environment knob through a parser, panicking loudly on a
+/// malformed value and returning `None` when unset.
+fn knob<T>(name: &str, parse: impl FnOnce(&str) -> Result<T, String>) -> Option<T> {
+    match std::env::var(name) {
+        Ok(v) => Some(parse(&v).unwrap_or_else(|e| panic!("{name}: {e}"))),
+        Err(_) => None,
+    }
+}
+
+/// Reads a boolean `DOTM_*` knob.
+///
+/// # Panics
+/// On a malformed value.
+pub fn bool_knob(name: &str, default: bool) -> bool {
+    knob(name, parse_bool).unwrap_or(default)
+}
+
+/// Reads a `usize` `DOTM_*` knob.
+///
+/// # Panics
+/// On a malformed value.
+pub fn usize_knob(name: &str, default: usize) -> usize {
+    knob(name, parse_usize).unwrap_or(default)
+}
+
+/// Reads a `u64` `DOTM_*` knob.
+///
+/// # Panics
+/// On a malformed value.
+pub fn u64_knob(name: &str, default: u64) -> u64 {
+    knob(name, parse_u64).unwrap_or(default)
+}
+
+/// The `DOTM_THREADS` knob: `None` when unset or `0` (both mean "auto" —
+/// resolve from the machine's available parallelism).
+///
+/// # Panics
+/// On a malformed value.
+pub fn threads() -> Option<usize> {
+    knob("DOTM_THREADS", parse_usize).filter(|&t| t > 0)
+}
+
+/// The `DOTM_WARM_START` knob (default on).
+///
+/// # Panics
+/// On a malformed value.
+pub fn warm_start() -> bool {
+    bool_knob("DOTM_WARM_START", true)
+}
+
+/// The `DOTM_MEASURE_CACHE` knob (default on).
+///
+/// # Panics
+/// On a malformed value.
+pub fn measure_cache() -> bool {
+    bool_knob("DOTM_MEASURE_CACHE", true)
+}
+
+/// The `DOTM_SIM_FAILURE_POLICY` knob (default: the paper-parity
+/// [`SimFailurePolicy::AssumeDetected`]).
+///
+/// # Panics
+/// On a malformed value.
+pub fn sim_failure_policy() -> SimFailurePolicy {
+    knob("DOTM_SIM_FAILURE_POLICY", |v| v.parse::<SimFailurePolicy>()).unwrap_or_default()
+}
+
+/// The `DOTM_STORE_DIR` knob: the persistent campaign-store directory.
+/// `None` when unset or set to the empty string (persistence off).
+pub fn store_dir() -> Option<PathBuf> {
+    match std::env::var("DOTM_STORE_DIR") {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_grammar() {
+        for s in ["1", "true", "ON", "Yes", " on "] {
+            assert_eq!(parse_bool(s), Ok(true), "{s}");
+        }
+        for s in ["0", "false", "OFF", "No", " off "] {
+            assert_eq!(parse_bool(s), Ok(false), "{s}");
+        }
+        for s in ["", "2", "maybe", "yess", "on off"] {
+            assert!(parse_bool(s).is_err(), "{s:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn integer_grammar() {
+        assert_eq!(parse_usize("42"), Ok(42));
+        assert_eq!(parse_usize(" 7 "), Ok(7));
+        assert_eq!(parse_u64("0"), Ok(0));
+        assert_eq!(parse_u64("18446744073709551615"), Ok(u64::MAX));
+        for s in ["", "-1", "3.5", "fourteen", "0x10", "1e3"] {
+            assert!(parse_usize(s).is_err(), "{s:?} must be rejected");
+            assert!(parse_u64(s).is_err(), "{s:?} must be rejected");
+        }
+    }
+
+    // The env-reading wrappers are exercised with test-unique variable
+    // names: the test harness runs tests concurrently in one process, so
+    // these must never touch a knob another test might read.
+    #[test]
+    fn unset_knobs_take_defaults() {
+        assert!(bool_knob("DOTM_TEST_UNSET_B", true));
+        assert!(!bool_knob("DOTM_TEST_UNSET_B", false));
+        assert_eq!(usize_knob("DOTM_TEST_UNSET_U", 9), 9);
+        assert_eq!(u64_knob("DOTM_TEST_UNSET_U64", 11), 11);
+    }
+
+    #[test]
+    fn set_knobs_parse() {
+        std::env::set_var("DOTM_TEST_SET_B", "off");
+        assert!(!bool_knob("DOTM_TEST_SET_B", true));
+        std::env::set_var("DOTM_TEST_SET_U", "123");
+        assert_eq!(usize_knob("DOTM_TEST_SET_U", 0), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "DOTM_TEST_MALFORMED_B")]
+    fn malformed_bool_knob_panics() {
+        std::env::set_var("DOTM_TEST_MALFORMED_B", "banana");
+        bool_knob("DOTM_TEST_MALFORMED_B", true);
+    }
+
+    #[test]
+    #[should_panic(expected = "DOTM_TEST_MALFORMED_U")]
+    fn malformed_usize_knob_panics() {
+        std::env::set_var("DOTM_TEST_MALFORMED_U", "-3");
+        usize_knob("DOTM_TEST_MALFORMED_U", 1);
+    }
+
+    #[test]
+    fn threads_treats_zero_as_auto() {
+        std::env::set_var("DOTM_TEST_THREADS_GRAMMAR", "0");
+        // threads() reads the real DOTM_THREADS knob; the zero-is-auto
+        // rule itself is pure, so assert it through the parser.
+        assert_eq!(parse_usize("0").ok().filter(|&t| t > 0), None);
+        assert_eq!(parse_usize("3").ok().filter(|&t| t > 0), Some(3));
+    }
+
+    #[test]
+    fn store_dir_empty_means_unset() {
+        std::env::set_var("DOTM_TEST_STORE_EMPTY", "  ");
+        // store_dir() reads DOTM_STORE_DIR; the emptiness rule is what
+        // matters and is visible through the public function only when
+        // the real variable is unset, which is the harness default.
+        if std::env::var("DOTM_STORE_DIR").is_err() {
+            assert_eq!(store_dir(), None);
+        }
+    }
+}

@@ -49,15 +49,11 @@ impl ExecConfig {
         let configured = if self.threads > 0 {
             self.threads
         } else {
-            std::env::var("DOTM_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&t| t > 0)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                })
+            crate::env::threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
         };
         configured.min(items).max(1)
     }

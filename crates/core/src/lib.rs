@@ -29,6 +29,7 @@
 mod advisor;
 mod compaction;
 mod diagnosis;
+pub mod env;
 mod escapes;
 pub mod exec;
 mod global;
@@ -57,10 +58,11 @@ pub use harness::{
     WarmStart,
 };
 pub use measure::{MeasureKind, MeasureLabel, MeasurementPlan};
-pub use memo::MeasureCache;
+pub use memo::{CachedMeasurement, MeasureCache};
 pub use pipeline::{
-    run_macro_path, run_macro_path_with_faults, ClassOutcome, EscalationLadder, MacroReport,
-    PathError, PipelineConfig, SimFailurePolicy, ESCALATION_RUNGS,
+    run_macro_path, run_macro_path_with_faults, run_macro_path_with_faults_hooked, ClassObserver,
+    ClassOutcome, EscalationLadder, MacroReport, MeasurementStore, PathError, PipelineConfig,
+    PipelineHooks, SimFailurePolicy, ESCALATION_RUNGS,
 };
 pub use processvar::{CommonSample, ProcessModel};
 pub use report::{

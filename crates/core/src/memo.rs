@@ -43,8 +43,11 @@ use std::sync::Mutex;
 const SHARDS: usize = 16;
 
 /// One memoized measurement: the result the harness returned and the
-/// solver-telemetry delta it accumulated while producing it.
-pub(crate) type CachedMeasurement = (Result<Vec<f64>, SimError>, SimStats);
+/// solver-telemetry delta it accumulated while producing it. This is
+/// also the unit a persistent [`MeasurementStore`](crate::MeasurementStore)
+/// holds on disk — the value is a pure function of the cache key, which
+/// is what makes both layers replayable without touching a report.
+pub type CachedMeasurement = (Result<Vec<f64>, SimError>, SimStats);
 
 /// A sharded, thread-safe memoization table for harness measurements,
 /// shared by reference across `exec::par_map` workers. See the module

@@ -6,7 +6,7 @@
 use crate::exec::{self, ExecConfig};
 use crate::goodspace::{GoodSpace, GoodSpaceConfig};
 use crate::harness::{MacroHarness, Warm, WarmStart};
-use crate::memo::MeasureCache;
+use crate::memo::{CachedMeasurement, MeasureCache};
 use crate::signature::{CurrentFlags, DetectionSet, VoltageSignature};
 use dotm_defects::{
     sprinkle_collapsed, CollapseReport, DefectStatistics, FaultEffect, FaultMechanism, Sprinkler,
@@ -14,8 +14,10 @@ use dotm_defects::{
 use dotm_faults::{InjectError, Injector, Severity};
 use dotm_netlist::{DeviceKind, Netlist};
 use dotm_sim::{Integration, SimError, SimOptions, SimStats};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// How a fault class whose every model variant still fails to simulate —
 /// even at the top of the escalation ladder — enters the detection
@@ -181,6 +183,15 @@ impl Default for PipelineConfig {
 pub enum PathError {
     /// The fault-free circuit failed to simulate — a configuration bug.
     GoodCircuit(SimError),
+    /// A [`ClassObserver`] requested an abort: the run stopped after the
+    /// last in-order class it observed. Used by checkpointing campaigns
+    /// (and their kill-and-resume tests) to stop a run at a precise,
+    /// journaled point without delivering a real signal.
+    Aborted {
+        /// Number of classes the observer saw complete, in order, before
+        /// requesting the abort.
+        completed: usize,
+    },
 }
 
 impl fmt::Display for PathError {
@@ -189,11 +200,146 @@ impl fmt::Display for PathError {
             PathError::GoodCircuit(e) => {
                 write!(f, "fault-free circuit failed to simulate: {e}")
             }
+            PathError::Aborted { completed } => {
+                write!(
+                    f,
+                    "run aborted by the class observer after {completed} classes"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for PathError {}
+
+/// A persistent measurement store consulted by the fault-evaluation hot
+/// path: the on-disk extension of the in-memory [`MeasureCache`].
+///
+/// Keys are the same `(netlist content digest, escalation rung)` mix the
+/// in-memory cache uses; an implementation is expected to fold its own
+/// campaign context (harness configuration, seeds, sigma bounds) into the
+/// key before touching storage, so stale entries can never be replayed.
+///
+/// The determinism contract mirrors the cache's: the stored value must be
+/// the *complete* observable effect of the measurement — result plus
+/// solver-stats delta — and a pure function of the key, so replaying an
+/// entry is indistinguishable (in every report byte) from recomputing it.
+/// Implementations must treat corrupt or missing entries as misses, never
+/// as errors, and must be safe to share across executor threads.
+pub trait MeasurementStore: Sync {
+    /// Looks up a stored measurement. `None` on a miss *or* on any
+    /// storage-level problem (truncated file, bad checksum, I/O error).
+    fn load(&self, key: u128) -> Option<CachedMeasurement>;
+
+    /// Persists a freshly computed measurement. Failures must be absorbed
+    /// (counted, at most): persistence is an accelerator, never a
+    /// correctness dependency.
+    fn store(&self, key: u128, value: &CachedMeasurement);
+}
+
+/// Observes class evaluations as they complete — always in ascending
+/// class order, regardless of executor scheduling — so a campaign can
+/// journal per-class progress with byte-identical journals at any thread
+/// count.
+pub trait ClassObserver: Sync {
+    /// Called once per class, in class order, with the class's outcomes
+    /// (one per evaluated severity). Return `false` to abort the run: no
+    /// further classes are observed and the pipeline returns
+    /// [`PathError::Aborted`].
+    fn on_class(&self, index: usize, outcomes: &[ClassOutcome]) -> bool;
+}
+
+/// Optional hooks threaded through one pipeline run. All hooks are
+/// borrowed and frozen before parallel work starts — like the warm-seed
+/// table, they are shared read-only across executor workers so hooked
+/// runs stay deterministic.
+#[derive(Default)]
+pub struct PipelineHooks<'a> {
+    /// Persistent measurement store: consulted after the in-memory cache
+    /// (load-before-evaluate), appended to after every computed
+    /// measurement (append-after-evaluate).
+    pub store: Option<&'a dyn MeasurementStore>,
+    /// In-order completion observer (campaign journaling, abort
+    /// injection).
+    pub observer: Option<&'a dyn ClassObserver>,
+    /// Previously completed outcomes by class index (a journal's
+    /// contiguous prefix): the pipeline replays these verbatim instead of
+    /// re-evaluating, which is what makes a resumed run bit-identical to
+    /// an uninterrupted one. Indices beyond the vector (or `None` slots)
+    /// evaluate normally.
+    pub completed: Vec<Option<Vec<ClassOutcome>>>,
+}
+
+/// Serializes observer callbacks into ascending class order: workers
+/// deposit finished classes here, and whichever worker completes the
+/// contiguous frontier drains it while holding the lock.
+struct ObserverDispatch<'a> {
+    observer: &'a dyn ClassObserver,
+    state: Mutex<DispatchState>,
+    aborted: AtomicBool,
+}
+
+struct DispatchState {
+    /// Next class index to hand to the observer.
+    next: usize,
+    /// Finished classes waiting for the frontier to reach them.
+    pending: BTreeMap<usize, Vec<ClassOutcome>>,
+    /// Classes delivered to the observer so far.
+    delivered: usize,
+}
+
+impl<'a> ObserverDispatch<'a> {
+    fn new(observer: &'a dyn ClassObserver) -> Self {
+        ObserverDispatch {
+            observer,
+            state: Mutex::new(DispatchState {
+                next: 0,
+                pending: BTreeMap::new(),
+                delivered: 0,
+            }),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    fn complete(&self, index: usize, outcomes: &[ClassOutcome]) {
+        if self.aborted() {
+            return;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.pending.insert(index, outcomes.to_vec());
+        while let Some(outcomes) = {
+            let next = state.next;
+            state.pending.remove(&next)
+        } {
+            if self.aborted() {
+                state.pending.clear();
+                return;
+            }
+            let keep_going = self.observer.on_class(state.next, &outcomes);
+            state.next += 1;
+            // The aborting class still counts as delivered: the observer
+            // has already processed (e.g. journaled) it, so `completed`
+            // stays in lockstep with the checkpoint prefix length.
+            state.delivered += 1;
+            if !keep_going {
+                self.aborted.store(true, Ordering::Relaxed);
+                state.pending.clear();
+                return;
+            }
+        }
+    }
+
+    fn delivered(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .delivered
+    }
+}
 
 /// Evaluated outcome of one fault class at one severity.
 #[derive(Debug, Clone)]
@@ -496,6 +642,29 @@ pub fn run_macro_path_with_faults(
     collapsed: &CollapseReport,
     sprinkle_area_nm2: f64,
 ) -> Result<MacroReport, PathError> {
+    run_macro_path_with_faults_hooked(
+        harness,
+        cfg,
+        collapsed,
+        sprinkle_area_nm2,
+        &PipelineHooks::default(),
+    )
+}
+
+/// [`run_macro_path_with_faults`] with campaign hooks: a persistent
+/// measurement store, an in-order class observer, and a replay prefix of
+/// previously completed classes (see [`PipelineHooks`]).
+///
+/// # Errors
+/// [`PathError::GoodCircuit`] if the fault-free testbench does not
+/// simulate; [`PathError::Aborted`] if the observer requested an abort.
+pub fn run_macro_path_with_faults_hooked(
+    harness: &dyn MacroHarness,
+    cfg: &PipelineConfig,
+    collapsed: &CollapseReport,
+    sprinkle_area_nm2: f64,
+    hooks: &PipelineHooks<'_>,
+) -> Result<MacroReport, PathError> {
     let mut gs_cfg = cfg.goodspace;
     gs_cfg.warm_start = gs_cfg.warm_start && cfg.warm_start;
     let good = GoodSpace::compile(harness, &cfg.process, gs_cfg).map_err(PathError::GoodCircuit)?;
@@ -510,6 +679,8 @@ pub fn run_macro_path_with_faults(
         None
     };
     let cache = cfg.measure_cache.then(MeasureCache::new);
+    let store = hooks.store;
+    let dispatch = hooks.observer.map(ObserverDispatch::new);
 
     let classes: Vec<_> = match cfg.max_classes {
         Some(n) => collapsed.classes.iter().take(n).collect(),
@@ -521,7 +692,23 @@ pub fn run_macro_path_with_faults(
     // per-class result vectors by index and flattening keeps the outcome
     // order — and therefore the whole report — identical to the serial
     // loop for every thread count.
-    let outcomes: Vec<ClassOutcome> = exec::par_map(&cfg.exec, &classes, |_, class| {
+    let outcomes: Vec<Vec<ClassOutcome>> = exec::par_map(&cfg.exec, &classes, |ci, class| {
+        // Once an observer aborts, remaining classes are skipped: their
+        // (empty) results never reach the report, because the whole run
+        // returns `PathError::Aborted` below.
+        if dispatch.as_ref().is_some_and(|d| d.aborted()) {
+            return Vec::new();
+        }
+        // A journaled class from a previous (interrupted) run replays
+        // verbatim — same bytes in, same bytes out — instead of
+        // re-evaluating.
+        if let Some(Some(prior)) = hooks.completed.get(ci) {
+            let outcomes = prior.clone();
+            if let Some(d) = &dispatch {
+                d.complete(ci, &outcomes);
+            }
+            return outcomes;
+        }
         let effect = &class.representative.effect;
         let is_shared = effect_nets(effect, &base)
             .iter()
@@ -530,7 +717,7 @@ pub fn run_macro_path_with_faults(
         if cfg.non_catastrophic && injector.supports_non_catastrophic(effect) {
             severities.push(Severity::NonCatastrophic);
         }
-        severities
+        let outcomes: Vec<ClassOutcome> = severities
             .into_iter()
             .map(|severity| {
                 let outcome = evaluate_class(
@@ -545,6 +732,7 @@ pub fn run_macro_path_with_faults(
                     cfg.escalation,
                     warm,
                     cache.as_ref(),
+                    store,
                 );
                 ClassOutcome {
                     key: class.key.clone(),
@@ -564,11 +752,21 @@ pub fn run_macro_path_with_faults(
                     solver: outcome.solver,
                 }
             })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+            .collect();
+        if let Some(d) = &dispatch {
+            d.complete(ci, &outcomes);
+        }
+        outcomes
+    });
+
+    if let Some(d) = &dispatch {
+        if d.aborted() {
+            return Err(PathError::Aborted {
+                completed: d.delivered(),
+            });
+        }
+    }
+    let outcomes: Vec<ClassOutcome> = outcomes.into_iter().flatten().collect();
 
     Ok(MacroReport {
         name: harness.name().to_string(),
@@ -620,9 +818,12 @@ fn cache_key(digest: u128, rung: u8) -> u128 {
 }
 
 /// Runs one `(netlist, rung)` measurement, through the memoization cache
-/// when one is active. On a hit the cached solver-stats delta is replayed
-/// into `solver`, so accounting is identical whether the measurement was
-/// computed or replayed.
+/// and the persistent store when either is active. Consulted in order:
+/// in-memory cache, then persistent store, then the solver. On any hit
+/// the stored solver-stats delta is replayed into `solver`, so accounting
+/// is identical whether the measurement was computed or replayed — and a
+/// store hit back-fills the in-memory cache, so the cache's occupancy
+/// counters are the same whether an entry was solved or loaded.
 #[allow(clippy::too_many_arguments)]
 fn measure_rung(
     harness: &dyn MacroHarness,
@@ -631,22 +832,39 @@ fn measure_rung(
     solver: &mut SimStats,
     warm: Option<&WarmStart>,
     cache: Option<&MeasureCache>,
+    store: Option<&dyn MeasurementStore>,
     digest: Option<u128>,
     rung: u8,
 ) -> Result<Vec<f64>, SimError> {
     let w = warm.map_or(Warm::Cold, Warm::Seed);
-    let (cache, digest) = match (cache, digest) {
-        (Some(c), Some(d)) => (c, d),
-        _ => return harness.measure_with(nl, opts, solver, w),
+    let digest = match digest {
+        Some(d) => d,
+        None => return harness.measure_with(nl, opts, solver, w),
     };
     let key = cache_key(digest, rung);
-    if let Some((result, delta)) = cache.get(key) {
-        solver.merge(&delta);
-        return result;
+    if let Some(c) = cache {
+        if let Some((result, delta)) = c.get(key) {
+            solver.merge(&delta);
+            return result;
+        }
+    }
+    if let Some(s) = store {
+        if let Some((result, delta)) = s.load(key) {
+            if let Some(c) = cache {
+                c.insert(key, (result.clone(), delta));
+            }
+            solver.merge(&delta);
+            return result;
+        }
     }
     let mut delta = SimStats::default();
     let result = harness.measure_with(nl, opts, &mut delta, w);
-    cache.insert(key, (result.clone(), delta));
+    if let Some(c) = cache {
+        c.insert(key, (result.clone(), delta));
+    }
+    if let Some(s) = store {
+        s.store(key, &(result.clone(), delta));
+    }
     solver.merge(&delta);
     result
 }
@@ -664,12 +882,13 @@ fn measure_escalated(
     solver: &mut SimStats,
     warm: Option<&WarmStart>,
     cache: Option<&MeasureCache>,
+    store: Option<&dyn MeasurementStore>,
 ) -> Option<(Vec<f64>, u8)> {
     // One digest per injected netlist, shared by every rung's cache key.
-    let digest = cache.map(|_| nl.content_digest());
+    let digest = (cache.is_some() || store.is_some()).then(|| nl.content_digest());
     for rung in 0..=ladder.max_rung {
         let opts = EscalationLadder::options_at(base_opts, rung);
-        match measure_rung(harness, nl, &opts, solver, warm, cache, digest, rung) {
+        match measure_rung(harness, nl, &opts, solver, warm, cache, store, digest, rung) {
             Ok(meas) => return Some((meas, rung)),
             Err(e) if e.is_retryable() => continue,
             Err(_) => return None,
@@ -694,6 +913,7 @@ fn evaluate_class(
     ladder: EscalationLadder,
     warm: Option<&WarmStart>,
     cache: Option<&MeasureCache>,
+    store: Option<&dyn MeasurementStore>,
 ) -> Evaluated {
     let n_variants = injector.variant_count(effect);
     let base_opts = harness.sim_options();
@@ -714,59 +934,67 @@ fn evaluate_class(
                 continue;
             }
         }
-        let candidate =
-            match measure_escalated(harness, &nl, &base_opts, ladder, &mut solver, warm, cache) {
-                Some((meas, used_rung)) => {
-                    let voltage = harness.classify_voltage(&good.nominal, &meas);
-                    let currents = good.current_flags(harness, &meas, shared);
-                    let flagged = good.flagged_indices(harness, &meas, shared);
-                    let detection = DetectionSet {
-                        missing_code: voltage.causes_missing_code(),
-                        currents,
-                    };
-                    VariantEval {
-                        voltage,
-                        currents,
-                        detection,
-                        flagged,
-                        sim_failed: false,
-                        rung: Some(used_rung),
-                    }
+        let candidate = match measure_escalated(
+            harness,
+            &nl,
+            &base_opts,
+            ladder,
+            &mut solver,
+            warm,
+            cache,
+            store,
+        ) {
+            Some((meas, used_rung)) => {
+                let voltage = harness.classify_voltage(&good.nominal, &meas);
+                let currents = good.current_flags(harness, &meas, shared);
+                let flagged = good.flagged_indices(harness, &meas, shared);
+                let detection = DetectionSet {
+                    missing_code: voltage.causes_missing_code(),
+                    currents,
+                };
+                VariantEval {
+                    voltage,
+                    currents,
+                    detection,
+                    flagged,
+                    sim_failed: false,
+                    rung: Some(used_rung),
                 }
-                None => match policy {
-                    // The paper's reading: a faulty circuit without a stable
-                    // solution behaves erratically on the tester — garbage
-                    // codes, so the missing-code test flags it.
-                    SimFailurePolicy::AssumeDetected => VariantEval {
-                        voltage: VoltageSignature::Mixed,
+            }
+            None => match policy {
+                // The paper's reading: a faulty circuit without a stable
+                // solution behaves erratically on the tester — garbage
+                // codes, so the missing-code test flags it.
+                SimFailurePolicy::AssumeDetected => VariantEval {
+                    voltage: VoltageSignature::Mixed,
+                    currents: CurrentFlags::default(),
+                    detection: DetectionSet {
+                        missing_code: true,
                         currents: CurrentFlags::default(),
-                        detection: DetectionSet {
-                            missing_code: true,
-                            currents: CurrentFlags::default(),
-                        },
-                        flagged: Vec::new(),
-                        sim_failed: true,
-                        rung: None,
                     },
-                    // Pessimistic: the solver's failure earns no detection
-                    // credit, so the variant scores 0 and is always the
-                    // worst case.
-                    SimFailurePolicy::AssumeUndetected => VariantEval {
-                        voltage: VoltageSignature::Mixed,
-                        currents: CurrentFlags::default(),
-                        detection: DetectionSet {
-                            missing_code: false,
-                            currents: CurrentFlags::default(),
-                        },
-                        flagged: Vec::new(),
-                        sim_failed: true,
-                        rung: None,
-                    },
-                    // Excluded variants do not compete; if every variant is
-                    // excluded the whole class drops from the statistics.
-                    SimFailurePolicy::Exclude => continue,
+                    flagged: Vec::new(),
+                    sim_failed: true,
+                    rung: None,
                 },
-            };
+                // Pessimistic: the solver's failure earns no detection
+                // credit, so the variant scores 0 and is always the
+                // worst case.
+                SimFailurePolicy::AssumeUndetected => VariantEval {
+                    voltage: VoltageSignature::Mixed,
+                    currents: CurrentFlags::default(),
+                    detection: DetectionSet {
+                        missing_code: false,
+                        currents: CurrentFlags::default(),
+                    },
+                    flagged: Vec::new(),
+                    sim_failed: true,
+                    rung: None,
+                },
+                // Excluded variants do not compete; if every variant is
+                // excluded the whole class drops from the statistics.
+                SimFailurePolicy::Exclude => continue,
+            },
+        };
         let score = (candidate.detection.missing_code as u32)
             + (candidate.currents.ivdd as u32)
             + (candidate.currents.iddq as u32)

@@ -1,0 +1,131 @@
+//! Golden test vectors for [`Netlist::content_digest`].
+//!
+//! The digest is the address of every persisted measurement in the
+//! `dotm-store` on-disk store: if its value drifts — a hashing change, a
+//! field reordering, a new device parameter — every existing store
+//! silently turns cold *and*, worse, a buggy change could alias distinct
+//! circuits. These vectors pin the exact u128 for a handful of fixed
+//! netlists so any change to the digest function is a deliberate,
+//! test-visible event (and must come with a bump of the store's
+//! `FORMAT_VERSION`).
+
+use dotm_netlist::{MosType, MosfetParams, Netlist, Waveform};
+
+/// The divider testbench used across the pipeline's unit tests.
+fn divider() -> Netlist {
+    let mut nl = Netlist::new("divider");
+    let vdd = nl.node("vdd");
+    let mid = nl.node("mid");
+    nl.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(5.0))
+        .unwrap();
+    nl.add_resistor("R1", vdd, mid, 10e3).unwrap();
+    nl.add_resistor("R2", mid, Netlist::GROUND, 10e3).unwrap();
+    nl
+}
+
+/// A netlist touching every hashed field family: node names, a MOSFET
+/// with full parameters, a capacitor, and a non-DC waveform.
+fn mixed() -> Netlist {
+    let mut nl = Netlist::new("mixed");
+    let inp = nl.node("in");
+    let out = nl.node("out");
+    let gate = nl.node("gate");
+    nl.add_vsource(
+        "VCK",
+        gate,
+        Netlist::GROUND,
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: 5.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 5e-9,
+            period: 10e-9,
+        },
+    )
+    .unwrap();
+    nl.add_mosfet(
+        "M1",
+        out,
+        gate,
+        inp,
+        Netlist::GROUND,
+        MosType::Nmos,
+        MosfetParams::nmos_default(),
+    )
+    .unwrap();
+    nl.add_capacitor("C1", out, Netlist::GROUND, 1e-12).unwrap();
+    nl.add_resistor("RL", out, Netlist::GROUND, 50e3).unwrap();
+    nl
+}
+
+#[test]
+fn golden_divider_digest() {
+    assert_eq!(
+        format!("{:032x}", divider().content_digest()),
+        "c7dd818b64cd503b417999ec7d1cd0ea",
+        "content_digest changed for a fixed netlist — if intentional, \
+         re-pin this vector AND bump dotm-store's FORMAT_VERSION"
+    );
+}
+
+#[test]
+fn golden_mixed_digest() {
+    assert_eq!(
+        format!("{:032x}", mixed().content_digest()),
+        "298fce3b4cfafbe5c0febd270eb6b2f7",
+        "content_digest changed for a fixed netlist — if intentional, \
+         re-pin this vector AND bump dotm-store's FORMAT_VERSION"
+    );
+}
+
+#[test]
+fn golden_empty_digest() {
+    // Ground node only; the FNV-1a offset basis mixed with "0"'s name
+    // and a zero device count.
+    assert_eq!(
+        format!("{:032x}", Netlist::new("empty").content_digest()),
+        "8570f72478a56dc75103dfa8d5e40b54"
+    );
+}
+
+#[test]
+fn digest_ignores_the_netlist_name() {
+    let mut renamed = Netlist::new("fault_variant_17");
+    let vdd = renamed.node("vdd");
+    let mid = renamed.node("mid");
+    renamed
+        .add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(5.0))
+        .unwrap();
+    renamed.add_resistor("R1", vdd, mid, 10e3).unwrap();
+    renamed
+        .add_resistor("R2", mid, Netlist::GROUND, 10e3)
+        .unwrap();
+    assert_eq!(renamed.content_digest(), divider().content_digest());
+}
+
+#[test]
+fn digest_tracks_electrical_content() {
+    let base = divider().content_digest();
+    // A parameter nudge by one ULP moves the digest.
+    let mut nl = Netlist::new("divider");
+    let vdd = nl.node("vdd");
+    let mid = nl.node("mid");
+    nl.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(5.0))
+        .unwrap();
+    nl.add_resistor("R1", vdd, mid, f64::from_bits(10e3f64.to_bits() + 1))
+        .unwrap();
+    nl.add_resistor("R2", mid, Netlist::GROUND, 10e3).unwrap();
+    assert_ne!(nl.content_digest(), base);
+    // Signed zeros are distinct bit patterns, hence distinct digests.
+    let mut pos = Netlist::new("z");
+    let n = pos.node("n");
+    pos.add_vsource("V", n, Netlist::GROUND, Waveform::dc(0.0))
+        .unwrap();
+    let mut neg = Netlist::new("z");
+    let n = neg.node("n");
+    neg.add_vsource("V", n, Netlist::GROUND, Waveform::dc(-0.0))
+        .unwrap();
+    assert_ne!(pos.content_digest(), neg.content_digest());
+}

@@ -1,0 +1,450 @@
+//! Binary codecs for the two persisted payloads: a cached measurement
+//! (store entries) and a list of class outcomes (journal records).
+//!
+//! Encodings are canonical — one byte sequence per value — which is what
+//! lets serial and multi-threaded runs write byte-identical stores and
+//! journals. Decoding is total: any unknown tag, truncation or trailing
+//! garbage yields `None` and the caller treats the record as absent.
+
+use crate::wire::{Reader, Writer};
+use dotm_core::{CachedMeasurement, ClassOutcome, CurrentFlags, DetectionSet, VoltageSignature};
+use dotm_defects::FaultMechanism;
+use dotm_faults::Severity;
+use dotm_sim::{SimError, SimStats};
+
+/// The `&'static str` analysis names a [`SimError`] can carry. An entry
+/// naming an analysis outside this set decodes as corrupt (a miss) —
+/// the strings must come from the binary, not the disk.
+const ANALYSES: [&str; 3] = ["dc", "transient", "ac"];
+
+fn encode_analysis(w: &mut Writer, analysis: &str) {
+    let tag = ANALYSES.iter().position(|a| *a == analysis);
+    // An unknown analysis name still encodes (as the reserved tag), so
+    // encoding is total; such entries simply never decode.
+    w.u8(tag.map_or(u8::MAX, |t| t as u8));
+}
+
+fn decode_analysis(r: &mut Reader) -> Option<&'static str> {
+    ANALYSES.get(r.u8()? as usize).copied()
+}
+
+fn encode_sim_error(w: &mut Writer, e: &SimError) {
+    match e {
+        SimError::Singular { analysis } => {
+            w.u8(0);
+            encode_analysis(w, analysis);
+        }
+        SimError::NoConvergence {
+            analysis,
+            time,
+            iterations,
+        } => {
+            w.u8(1);
+            encode_analysis(w, analysis);
+            match time {
+                Some(t) => {
+                    w.u8(1);
+                    w.f64(*t);
+                }
+                None => w.u8(0),
+            }
+            w.u64(*iterations as u64);
+        }
+        SimError::InvalidRequest(s) => {
+            w.u8(2);
+            w.str(s);
+        }
+        SimError::BadSource(s) => {
+            w.u8(3);
+            w.str(s);
+        }
+    }
+}
+
+fn decode_sim_error(r: &mut Reader) -> Option<SimError> {
+    match r.u8()? {
+        0 => Some(SimError::Singular {
+            analysis: decode_analysis(r)?,
+        }),
+        1 => {
+            let analysis = decode_analysis(r)?;
+            let time = match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                _ => return None,
+            };
+            let iterations = usize::try_from(r.u64()?).ok()?;
+            Some(SimError::NoConvergence {
+                analysis,
+                time,
+                iterations,
+            })
+        }
+        2 => Some(SimError::InvalidRequest(r.str()?)),
+        3 => Some(SimError::BadSource(r.str()?)),
+        _ => None,
+    }
+}
+
+fn encode_stats(w: &mut Writer, s: &SimStats) {
+    for word in s.to_words() {
+        w.u64(word);
+    }
+}
+
+fn decode_stats(r: &mut Reader) -> Option<SimStats> {
+    let mut s = SimStats::default();
+    let fields: [&mut u64; 13] = [
+        &mut s.nr_solves,
+        &mut s.nr_iterations,
+        &mut s.converged_plain,
+        &mut s.converged_gmin,
+        &mut s.converged_source,
+        &mut s.dc_failures,
+        &mut s.singular_pivots,
+        &mut s.maxiter_exhausted,
+        &mut s.tran_steps,
+        &mut s.rejected_steps,
+        &mut s.step_halvings,
+        &mut s.warm_hits,
+        &mut s.warm_misses,
+    ];
+    for f in fields {
+        *f = r.u64()?;
+    }
+    Some(s)
+}
+
+/// Encodes one cached measurement: the `Result` and the solver-stats
+/// delta that replaying it must merge.
+pub fn encode_measurement(m: &CachedMeasurement) -> Vec<u8> {
+    let mut w = Writer::new();
+    match &m.0 {
+        Ok(values) => {
+            w.u8(0);
+            w.u64(values.len() as u64);
+            for v in values {
+                w.f64(*v);
+            }
+        }
+        Err(e) => {
+            w.u8(1);
+            encode_sim_error(&mut w, e);
+        }
+    }
+    encode_stats(&mut w, &m.1);
+    w.into_bytes()
+}
+
+/// Decodes one cached measurement; `None` on any corruption, including
+/// trailing bytes.
+pub fn decode_measurement(bytes: &[u8]) -> Option<CachedMeasurement> {
+    let mut r = Reader::new(bytes);
+    let result = match r.u8()? {
+        0 => {
+            let n = r.seq_len(8)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.f64()?);
+            }
+            Ok(values)
+        }
+        1 => Err(decode_sim_error(&mut r)?),
+        _ => return None,
+    };
+    let stats = decode_stats(&mut r)?;
+    if !r.is_empty() {
+        return None;
+    }
+    Some((result, stats))
+}
+
+fn mechanism_tag(m: FaultMechanism) -> u8 {
+    FaultMechanism::ALL
+        .iter()
+        .position(|x| *x == m)
+        .expect("every mechanism is in ALL") as u8
+}
+
+fn voltage_tag(v: VoltageSignature) -> u8 {
+    VoltageSignature::ALL
+        .iter()
+        .position(|x| *x == v)
+        .expect("every signature is in ALL") as u8
+}
+
+fn encode_outcome(w: &mut Writer, o: &ClassOutcome) {
+    w.str(&o.key);
+    w.u8(mechanism_tag(o.mechanism));
+    w.u64(o.count as u64);
+    w.u8(match o.severity {
+        Severity::Catastrophic => 0,
+        Severity::NonCatastrophic => 1,
+    });
+    w.u8(o.shared as u8);
+    w.u8(voltage_tag(o.voltage));
+    w.u8(o.currents.ivdd as u8);
+    w.u8(o.currents.iddq as u8);
+    w.u8(o.currents.iinput as u8);
+    w.u8(o.detection.missing_code as u8);
+    w.u8(o.detection.currents.ivdd as u8);
+    w.u8(o.detection.currents.iddq as u8);
+    w.u8(o.detection.currents.iinput as u8);
+    w.u64(o.flagged.len() as u64);
+    for &i in &o.flagged {
+        w.u64(i as u64);
+    }
+    w.u8(o.sim_failed as u8);
+    w.u8(o.inject_failed as u8);
+    w.u8(o.rung.unwrap_or(u8::MAX));
+    w.u64(o.inject_errors as u64);
+    w.u8(o.excluded as u8);
+    encode_stats(w, &o.solver);
+}
+
+fn decode_bool(r: &mut Reader) -> Option<bool> {
+    match r.u8()? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn decode_outcome(r: &mut Reader) -> Option<ClassOutcome> {
+    let key = r.str()?;
+    let mechanism = *FaultMechanism::ALL.get(r.u8()? as usize)?;
+    let count = usize::try_from(r.u64()?).ok()?;
+    let severity = match r.u8()? {
+        0 => Severity::Catastrophic,
+        1 => Severity::NonCatastrophic,
+        _ => return None,
+    };
+    let shared = decode_bool(r)?;
+    let voltage = *VoltageSignature::ALL.get(r.u8()? as usize)?;
+    let currents = CurrentFlags {
+        ivdd: decode_bool(r)?,
+        iddq: decode_bool(r)?,
+        iinput: decode_bool(r)?,
+    };
+    let detection = DetectionSet {
+        missing_code: decode_bool(r)?,
+        currents: CurrentFlags {
+            ivdd: decode_bool(r)?,
+            iddq: decode_bool(r)?,
+            iinput: decode_bool(r)?,
+        },
+    };
+    let n_flagged = r.seq_len(8)?;
+    let mut flagged = Vec::with_capacity(n_flagged);
+    for _ in 0..n_flagged {
+        flagged.push(usize::try_from(r.u64()?).ok()?);
+    }
+    let sim_failed = decode_bool(r)?;
+    let inject_failed = decode_bool(r)?;
+    let rung = match r.u8()? {
+        u8::MAX => None,
+        r => Some(r),
+    };
+    let inject_errors = usize::try_from(r.u64()?).ok()?;
+    let excluded = decode_bool(r)?;
+    let solver = decode_stats(r)?;
+    Some(ClassOutcome {
+        key,
+        mechanism,
+        count,
+        severity,
+        shared,
+        voltage,
+        currents,
+        detection,
+        flagged,
+        sim_failed,
+        inject_failed,
+        rung,
+        inject_errors,
+        excluded,
+        solver,
+    })
+}
+
+/// Encodes the outcome list of one completed class (a journal record's
+/// payload).
+pub fn encode_outcomes(outcomes: &[ClassOutcome]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(outcomes.len() as u64);
+    for o in outcomes {
+        encode_outcome(&mut w, o);
+    }
+    w.into_bytes()
+}
+
+/// Decodes one class's outcome list; `None` on any corruption.
+pub fn decode_outcomes(bytes: &[u8]) -> Option<Vec<ClassOutcome>> {
+    let mut r = Reader::new(bytes);
+    let n = r.seq_len(1)?;
+    let mut outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        outcomes.push(decode_outcome(&mut r)?);
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            nr_solves: 3,
+            nr_iterations: 41,
+            converged_plain: 2,
+            dc_failures: 1,
+            warm_hits: 2,
+            warm_misses: 1,
+            ..SimStats::default()
+        }
+    }
+
+    fn sample_outcome() -> ClassOutcome {
+        ClassOutcome {
+            key: "short:mid|vdd".into(),
+            mechanism: FaultMechanism::Short,
+            count: 17,
+            severity: Severity::NonCatastrophic,
+            shared: true,
+            voltage: VoltageSignature::Offset,
+            currents: CurrentFlags {
+                ivdd: true,
+                iddq: false,
+                iinput: true,
+            },
+            detection: DetectionSet {
+                missing_code: true,
+                currents: CurrentFlags {
+                    ivdd: true,
+                    iddq: false,
+                    iinput: true,
+                },
+            },
+            flagged: vec![1, 4],
+            sim_failed: false,
+            inject_failed: false,
+            rung: Some(2),
+            inject_errors: 0,
+            excluded: false,
+            solver: sample_stats(),
+        }
+    }
+
+    #[test]
+    fn measurement_ok_roundtrips_bit_exactly() {
+        let m: CachedMeasurement = (
+            Ok(vec![2.5, -0.0, f64::MIN_POSITIVE, 1.0e300]),
+            sample_stats(),
+        );
+        let bytes = encode_measurement(&m);
+        let back = decode_measurement(&bytes).expect("decodes");
+        let (Ok(orig), Ok(dec)) = (&m.0, &back.0) else {
+            panic!("both must be Ok");
+        };
+        assert_eq!(orig.len(), dec.len());
+        for (a, b) in orig.iter().zip(dec) {
+            assert_eq!(a.to_bits(), b.to_bits(), "exact bit pattern");
+        }
+        assert_eq!(m.1, back.1);
+    }
+
+    #[test]
+    fn measurement_errors_roundtrip() {
+        for e in [
+            SimError::Singular { analysis: "dc" },
+            SimError::NoConvergence {
+                analysis: "transient",
+                time: Some(1.5e-9),
+                iterations: 600,
+            },
+            SimError::NoConvergence {
+                analysis: "ac",
+                time: None,
+                iterations: 150,
+            },
+            SimError::InvalidRequest("bad step".into()),
+            SimError::BadSource("R1".into()),
+        ] {
+            let m: CachedMeasurement = (Err(e.clone()), SimStats::default());
+            let back = decode_measurement(&encode_measurement(&m)).expect("decodes");
+            assert_eq!(back.0, Err(e));
+        }
+    }
+
+    #[test]
+    fn unknown_analysis_name_decodes_as_corrupt() {
+        let m: CachedMeasurement = (
+            Err(SimError::Singular { analysis: "noise" }),
+            SimStats::default(),
+        );
+        assert_eq!(decode_measurement(&encode_measurement(&m)), None);
+    }
+
+    #[test]
+    fn flipping_any_byte_is_rejected_or_different() {
+        let m: CachedMeasurement = (Ok(vec![1.0, 2.0]), sample_stats());
+        let bytes = encode_measurement(&m);
+        // Truncations are always rejected.
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_measurement(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_measurement(&padded), None);
+    }
+
+    #[test]
+    fn outcomes_roundtrip() {
+        let outcomes = vec![
+            sample_outcome(),
+            ClassOutcome {
+                severity: Severity::Catastrophic,
+                rung: None,
+                sim_failed: true,
+                excluded: true,
+                flagged: Vec::new(),
+                ..sample_outcome()
+            },
+        ];
+        let bytes = encode_outcomes(&outcomes);
+        let back = decode_outcomes(&bytes).expect("decodes");
+        assert_eq!(back.len(), 2);
+        for (a, b) in outcomes.iter().zip(&back) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.mechanism, b.mechanism);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.severity, b.severity);
+            assert_eq!(a.shared, b.shared);
+            assert_eq!(a.voltage, b.voltage);
+            assert_eq!(a.currents, b.currents);
+            assert_eq!(a.detection, b.detection);
+            assert_eq!(a.flagged, b.flagged);
+            assert_eq!(a.sim_failed, b.sim_failed);
+            assert_eq!(a.inject_failed, b.inject_failed);
+            assert_eq!(a.rung, b.rung);
+            assert_eq!(a.inject_errors, b.inject_errors);
+            assert_eq!(a.excluded, b.excluded);
+            assert_eq!(a.solver, b.solver);
+        }
+        // Canonical: re-encoding the decode gives the same bytes.
+        assert_eq!(encode_outcomes(&back), bytes);
+    }
+
+    #[test]
+    fn outcome_truncations_are_rejected() {
+        let bytes = encode_outcomes(&[sample_outcome()]);
+        for cut in 0..bytes.len() {
+            assert!(decode_outcomes(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! The content-addressed on-disk measurement store.
+
+use crate::entry::{decode_measurement, encode_measurement};
+use crate::fnv::{fnv64, mix};
+use crate::wire::{Reader, Writer};
+use dotm_core::{CachedMeasurement, MeasurementStore};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Entry-file magic: 8 bytes of name + format version. Bumping the
+/// version orphans (never misreads) every existing entry.
+const MAGIC: &[u8; 8] = b"DOTMST01";
+
+/// Shard count of the in-memory write-through overlay (same geometry as
+/// the pipeline's `MeasureCache`).
+const SHARDS: usize = 16;
+
+/// Live counters of one store session. All counts are *events*, so they
+/// depend on how many lookups the run performed — with the in-memory
+/// overlay absorbing repeats, the interesting invariant is
+/// `computed == 0` on a fully warm run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// `load` calls.
+    pub loads: u64,
+    /// Loads answered by the in-memory overlay.
+    pub mem_hits: u64,
+    /// Loads answered by an entry file on disk.
+    pub disk_hits: u64,
+    /// Loads answered by nobody — the pipeline computes the measurement.
+    pub misses: u64,
+    /// `store` calls (one per freshly *computed* measurement).
+    pub computed: u64,
+    /// Entry writes that failed at the filesystem level (absorbed: the
+    /// campaign continues, the entry is simply not persisted).
+    pub write_errors: u64,
+}
+
+impl StoreCounters {
+    /// Loads answered without touching the solver.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Hit rate in percent (100% when there were no loads).
+    pub fn hit_pct(&self) -> f64 {
+        if self.loads == 0 {
+            return 100.0;
+        }
+        100.0 * self.hits() as f64 / self.loads as f64
+    }
+}
+
+/// A persistent measurement store rooted at a directory.
+///
+/// Opened with a campaign *context* fingerprint (see
+/// [`pipeline_context`](crate::pipeline_context)); every pipeline cache
+/// key is folded with the context before touching memory or disk, so
+/// runs under different configurations address disjoint key spaces
+/// inside the same directory. Corrupt, truncated or foreign entry files
+/// read as misses, never as errors.
+///
+/// Layout: `<dir>/meas/<first 2 hex digits>/<32 hex digits>.ent`.
+pub struct DiskStore {
+    meas_dir: PathBuf,
+    context: u128,
+    shards: Vec<Mutex<HashMap<u128, CachedMeasurement>>>,
+    nonce: AtomicU64,
+    loads: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    computed: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating directories as needed) the store under `dir` for
+    /// one campaign context.
+    ///
+    /// # Errors
+    /// Only directory creation can fail; all later I/O degrades to
+    /// misses or dropped writes.
+    pub fn open(dir: impl AsRef<Path>, context: u128) -> io::Result<Self> {
+        let meas_dir = dir.as_ref().join("meas");
+        fs::create_dir_all(&meas_dir)?;
+        Ok(DiskStore {
+            meas_dir,
+            context,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            nonce: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The context fingerprint this store session was opened with.
+    pub fn context(&self) -> u128 {
+        self.context
+    }
+
+    /// A snapshot of the session counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            loads: self.loads.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, mixed: u128) -> &Mutex<HashMap<u128, CachedMeasurement>> {
+        &self.shards[(mixed as usize) % SHARDS]
+    }
+
+    fn entry_path(&self, mixed: u128) -> PathBuf {
+        let hex = format!("{mixed:032x}");
+        self.meas_dir.join(&hex[..2]).join(format!("{hex}.ent"))
+    }
+
+    fn read_entry(&self, mixed: u128) -> Option<CachedMeasurement> {
+        let bytes = fs::read(self.entry_path(mixed)).ok()?;
+        if bytes.len() < MAGIC.len() + 16 + 8 {
+            return None;
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let checksum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if fnv64(body) != checksum {
+            return None;
+        }
+        let mut r = Reader::new(body);
+        if r.raw(MAGIC.len())? != MAGIC {
+            return None;
+        }
+        // An entry renamed or hard-linked to the wrong address must not
+        // answer for it.
+        if r.u128()? != mixed {
+            return None;
+        }
+        let payload = r.raw(body.len() - MAGIC.len() - 16)?;
+        decode_measurement(payload)
+    }
+
+    fn write_entry(&self, mixed: u128, value: &CachedMeasurement) -> io::Result<()> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u128(mixed);
+        w.raw(&encode_measurement(value));
+        let mut bytes = w.into_bytes();
+        let checksum = fnv64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let path = self.entry_path(mixed);
+        let dir = path.parent().expect("entry path has a parent");
+        fs::create_dir_all(dir)?;
+        // Unique temp name per (process, write): concurrent writers of
+        // the same key each stage their own file and the renames settle
+        // on one winner — both wrote identical bytes, so readers can
+        // never observe a torn entry.
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".tmp-{:x}-{nonce:x}-{mixed:032x}",
+            std::process::id()
+        ));
+        fs::write(&tmp, &bytes)?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl MeasurementStore for DiskStore {
+    fn load(&self, key: u128) -> Option<CachedMeasurement> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let mixed = mix(self.context, key);
+        if let Some(hit) = self
+            .shard(mixed)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&mixed)
+            .cloned()
+        {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        if let Some(hit) = self.read_entry(mixed) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.shard(mixed)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(mixed, hit.clone());
+            return Some(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn store(&self, key: u128, value: &CachedMeasurement) {
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        let mixed = mix(self.context, key);
+        self.shard(mixed)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(mixed, value.clone());
+        if self.write_entry(mixed, value).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Deterministically flips one byte of one stored entry — the corruption
+/// probe used by the verify gate and the recovery tests. Entries are
+/// visited in lexicographic path order and the `index`-th one is
+/// damaged in place. Returns the corrupted file's path, or `None` when
+/// fewer than `index + 1` entries exist.
+pub fn corrupt_one_entry(dir: impl AsRef<Path>, index: usize) -> io::Result<Option<PathBuf>> {
+    let meas = dir.as_ref().join("meas");
+    let mut entries = Vec::new();
+    if !meas.is_dir() {
+        return Ok(None);
+    }
+    for shard in fs::read_dir(&meas)? {
+        let shard = shard?.path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in fs::read_dir(&shard)? {
+            let f = f?.path();
+            if f.extension().is_some_and(|e| e == "ent") {
+                entries.push(f);
+            }
+        }
+    }
+    entries.sort();
+    let Some(path) = entries.into_iter().nth(index) else {
+        return Ok(None);
+    };
+    let mut bytes = fs::read(&path)?;
+    // Flip a payload byte (past the magic) so the checksum fails.
+    let at = MAGIC.len().min(bytes.len().saturating_sub(1));
+    bytes[at] ^= 0x5a;
+    fs::write(&path, &bytes)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::to_hex;
+    use dotm_sim::{SimError, SimStats};
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dotm-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    fn sample() -> CachedMeasurement {
+        (
+            Ok(vec![1.25, -3.5e-6]),
+            SimStats {
+                nr_solves: 2,
+                nr_iterations: 17,
+                ..SimStats::default()
+            },
+        )
+    }
+
+    #[test]
+    fn store_then_load_across_sessions() {
+        let dir = tmpdir("roundtrip");
+        let value = sample();
+        {
+            let store = DiskStore::open(&dir, 42).expect("open");
+            store.store(7, &value);
+            // Same session: answered from the overlay.
+            assert_eq!(store.load(7), Some(value.clone()));
+            assert_eq!(store.counters().mem_hits, 1);
+        }
+        // New session (fresh overlay): answered from disk.
+        let store = DiskStore::open(&dir, 42).expect("open");
+        assert_eq!(store.load(7), Some(value));
+        let c = store.counters();
+        assert_eq!(c.disk_hits, 1);
+        assert_eq!(c.misses, 0);
+        assert_eq!(c.computed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn context_partitions_the_key_space() {
+        let dir = tmpdir("context");
+        let store_a = DiskStore::open(&dir, 1).expect("open");
+        store_a.store(7, &sample());
+        let store_b = DiskStore::open(&dir, 2).expect("open");
+        assert_eq!(store_b.load(7), None, "other context must miss");
+        assert_eq!(store_b.counters().misses, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_persist_too() {
+        let dir = tmpdir("errors");
+        let value: CachedMeasurement = (
+            Err(SimError::NoConvergence {
+                analysis: "dc",
+                time: None,
+                iterations: 600,
+            }),
+            SimStats {
+                dc_failures: 1,
+                ..SimStats::default()
+            },
+        );
+        DiskStore::open(&dir, 9).expect("open").store(1, &value);
+        let store = DiskStore::open(&dir, 9).expect("open");
+        assert_eq!(store.load(1), Some(value));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_read_as_misses() {
+        let dir = tmpdir("corrupt");
+        {
+            let store = DiskStore::open(&dir, 5).expect("open");
+            store.store(11, &sample());
+            store.store(12, &sample());
+        }
+        let hit = corrupt_one_entry(&dir, 0).expect("io").expect("an entry");
+        let store = DiskStore::open(&dir, 5).expect("open");
+        let hits = [store.load(11).is_some(), store.load(12).is_some()];
+        assert_eq!(
+            hits.iter().filter(|h| **h).count(),
+            1,
+            "exactly the corrupted entry must miss"
+        );
+        // Truncate the other entry to a torn write.
+        let bytes = fs::read(&hit).expect("read");
+        fs::write(&hit, &bytes[..bytes.len() / 2]).expect("write");
+        let store = DiskStore::open(&dir, 5).expect("open");
+        assert_eq!(store.counters().loads, 0);
+        let _ = store.load(11);
+        let _ = store.load(12);
+        assert_eq!(store.counters().hits(), 1);
+        // Empty file, too.
+        fs::write(&hit, b"").expect("write");
+        let store = DiskStore::open(&dir, 5).expect("open");
+        let _ = store.load(11);
+        let _ = store.load(12);
+        assert_eq!(store.counters().hits(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_addressed_under_wrong_key_misses() {
+        let dir = tmpdir("renamed");
+        let store = DiskStore::open(&dir, 5).expect("open");
+        store.store(11, &sample());
+        let from = store.entry_path(mix(5, 11));
+        let to = store.entry_path(mix(5, 99));
+        fs::create_dir_all(to.parent().expect("parent")).expect("mkdir");
+        fs::rename(&from, &to).expect("rename");
+        let fresh = DiskStore::open(&dir, 5).expect("open");
+        assert_eq!(fresh.load(99), None, "key inside the entry disagrees");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_writers_settle_on_identical_bytes() {
+        let dir = tmpdir("race");
+        let store = DiskStore::open(&dir, 3).expect("open");
+        let value = sample();
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..32u128 {
+                        store.store(k, &value);
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        assert_eq!(store.counters().write_errors, 0);
+        // Every key present, no stray temp files.
+        let fresh = DiskStore::open(&dir, 3).expect("open");
+        for k in 0..32u128 {
+            assert_eq!(fresh.load(k), Some(value.clone()), "key {k}");
+        }
+        let mut stray = Vec::new();
+        for shard in fs::read_dir(dir.join("meas")).expect("read_dir") {
+            let shard = shard.expect("entry").path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for f in fs::read_dir(&shard).expect("read_dir") {
+                let f = f.expect("entry").path();
+                if f.extension().map_or(true, |e| e != "ent") {
+                    stray.push(f);
+                }
+            }
+        }
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hex_store_paths_are_stable() {
+        let dir = tmpdir("paths");
+        let store = DiskStore::open(&dir, 0).expect("open");
+        let mixed = mix(0, 1);
+        let path = store.entry_path(mixed);
+        let hex = format!("{mixed:032x}");
+        assert!(path.ends_with(Path::new("meas").join(&hex[..2]).join(format!("{hex}.ent"))));
+        assert_eq!(to_hex(&[0xab]), "ab");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

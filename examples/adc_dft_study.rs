@@ -14,10 +14,7 @@ use dotm::core::{
 use dotm::faults::Severity;
 
 fn main() {
-    let defects: usize = std::env::var("DOTM_EXAMPLE_DEFECTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8_000);
+    let defects: usize = dotm::core::env::usize_knob("DOTM_EXAMPLE_DEFECTS", 8_000);
     let cfg = PipelineConfig {
         defects,
         seed: 1995,

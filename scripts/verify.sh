@@ -65,4 +65,56 @@ diff <(echo "$fig4_on" | strip_accounting) <(echo "$fig4_off" | strip_accounting
 echo "$fig4_on" | grep -E "warm starts:|measurement cache:" || true
 echo "    reports identical modulo solver accounting"
 
+echo "==> persistence: campaign store cold -> warm -> kill/resume -> corrupt"
+# The persistent-campaign gate, on a small fixed-seed configuration:
+#   1. cold run populates the store;
+#   2. a warm rerun must answer *everything* from the store
+#      (DOTM_EXPECT_WARM makes the binary itself exit non-zero on any
+#      computed measurement), with identical fingerprints and an
+#      identical Fig. 4 report;
+#   3. a run killed via the injected abort and resumed must land on the
+#      same fingerprints;
+#   4. a corrupted store entry must degrade to a recomputed miss — same
+#      fingerprints, clean exit — never a wrong verdict or a crash.
+store_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir"' EXIT
+camp_env=(DOTM_DEFECTS=2000 DOTM_MAX_CLASSES=8 DOTM_GS_COMMON=2 DOTM_GS_MM=2
+    DOTM_STORE_DIR="$store_dir")
+camp_cmd="cargo run --release --locked -p dotm-bench --bin campaign"
+fingerprints() { grep -o 'fingerprint=[0-9a-f]*' || true; }
+# The report body must be identical run to run; only wall-clock and the
+# store counters (which exist to show the effort difference) may move.
+strip_effort() {
+    sed -E -e 's/ +[0-9]+\.[0-9]+s +store: [^ ]+( [a-z_]+=[0-9]+)*//' \
+        -e '/^campaign store accounting:/d'
+}
+
+cold=$(env "${camp_env[@]}" $camp_cmd)
+warm=$(env "${camp_env[@]}" DOTM_EXPECT_WARM=1 $camp_cmd)
+echo "$warm" | grep -q "hit_rate=100.0%" || {
+    echo "FAIL: warm campaign missed the store"; echo "$warm"; exit 1; }
+echo "$warm" | grep -q " computed=0 " || {
+    echo "FAIL: warm campaign ran the solver"; echo "$warm"; exit 1; }
+diff <(echo "$cold" | strip_effort) <(echo "$warm" | strip_effort) || {
+    echo "FAIL: warm campaign changed a reported number"; exit 1; }
+echo "    warm rerun: 100% store hits, zero solver calls, identical report"
+
+env "${camp_env[@]}" DOTM_ABORT_AFTER=5 $camp_cmd | grep -q "aborted on request" || {
+    echo "FAIL: injected abort did not stop the campaign"; exit 1; }
+resumed=$(env "${camp_env[@]}" $camp_cmd -- --resume)
+diff <(echo "$cold" | fingerprints) <(echo "$resumed" | fingerprints) || {
+    echo "FAIL: resumed campaign fingerprints differ"; exit 1; }
+echo "    killed + resumed campaign is fingerprint-identical"
+
+# sed, not head: head exits early and the resulting SIGPIPE trips pipefail.
+entry=$(find "$store_dir/meas" -type f -name '*.ent' | sort | sed -n 1p)
+[ -n "$entry" ] || { echo "FAIL: store has no entries"; exit 1; }
+truncate -s -1 "$entry"
+corrupt=$(env "${camp_env[@]}" $camp_cmd)
+diff <(echo "$cold" | fingerprints) <(echo "$corrupt" | fingerprints) || {
+    echo "FAIL: corrupt store entry changed a fingerprint"; exit 1; }
+echo "$corrupt" | grep -q "write_errors=0" || {
+    echo "FAIL: store rewrite failed"; echo "$corrupt"; exit 1; }
+echo "    corrupt entry: graceful recompute, fingerprints unchanged"
+
 echo "==> verify: all green"

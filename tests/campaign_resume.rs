@@ -1,0 +1,322 @@
+//! The persistent campaign's contracts, end to end on the fixed-seed
+//! comparator fixture:
+//!
+//! * a run killed after N classes (via the injected observer abort — no
+//!   real signal) and resumed from its journal produces a bit-identical
+//!   `MacroReport` fingerprint, and a byte-identical journal, to an
+//!   uninterrupted run;
+//! * a second (warm) run answers every measurement from the store —
+//!   zero computed entries, i.e. zero Newton iterations on stored
+//!   classes — at any thread count, with an identical fingerprint;
+//! * serial and multi-threaded runs write byte-identical store contents;
+//! * a corrupted store entry degrades to a recomputed miss, never a
+//!   wrong verdict, an error, or a crash.
+
+use dotm::core::harnesses::ComparatorHarness;
+use dotm::core::{
+    run_macro_path_with_faults, run_macro_path_with_faults_hooked, ClassObserver, ClassOutcome,
+    ExecConfig, GoodSpaceConfig, MacroHarness, MacroReport, PathError, PipelineConfig,
+    PipelineHooks,
+};
+use dotm::defects::{sprinkle_collapsed, CollapseReport, Sprinkler};
+use dotm_store::{
+    corrupt_one_entry, load_journal, pipeline_context, DiskStore, JournalHeader, JournalWriter,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        defects: 4_000,
+        seed: 1995,
+        goodspace: GoodSpaceConfig {
+            common_samples: 3,
+            mismatch_samples: 2,
+            seed: 1995 ^ 0xD07,
+            exec: ExecConfig::with_threads(threads),
+            ..GoodSpaceConfig::default()
+        },
+        max_classes: Some(12),
+        non_catastrophic: true,
+        exec: ExecConfig::with_threads(threads),
+        // Campaign mode: the store's in-memory overlay replaces the
+        // per-run measurement cache (whose occupancy counters cannot be
+        // reconstructed for journal-replayed classes).
+        measure_cache: false,
+        ..PipelineConfig::default()
+    }
+}
+
+struct Fixture {
+    harness: ComparatorHarness,
+    collapsed: CollapseReport,
+    area: f64,
+}
+
+fn fixture() -> Fixture {
+    let harness = ComparatorHarness::production();
+    let cfg = config(1);
+    let layout = harness.layout();
+    let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
+    let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
+    let area = layout
+        .bbox()
+        .map(|b| b.expanded(cfg.stats.size.xmax / 2))
+        .map(|b| b.area() as f64)
+        .unwrap_or(0.0);
+    Fixture {
+        harness,
+        collapsed,
+        area,
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dotm-campaign-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn classes_of(fx: &Fixture, cfg: &PipelineConfig) -> usize {
+    match cfg.max_classes {
+        Some(n) => fx.collapsed.class_count().min(n),
+        None => fx.collapsed.class_count(),
+    }
+}
+
+fn header(fx: &Fixture, cfg: &PipelineConfig) -> JournalHeader {
+    JournalHeader {
+        context: pipeline_context(&fx.harness, cfg),
+        macro_name: fx.harness.name().to_string(),
+        classes: classes_of(fx, cfg),
+    }
+}
+
+/// Journals completed classes and aborts after `abort_after` of them
+/// (`usize::MAX` = never) — the signal-free stand-in for a kill.
+struct TestObserver {
+    writer: Mutex<Option<JournalWriter>>,
+    seen: AtomicUsize,
+    abort_after: usize,
+}
+
+impl TestObserver {
+    fn new(writer: JournalWriter, abort_after: usize) -> Self {
+        TestObserver {
+            writer: Mutex::new(Some(writer)),
+            seen: AtomicUsize::new(0),
+            abort_after,
+        }
+    }
+
+    fn take_writer(&self) -> JournalWriter {
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("writer present")
+    }
+}
+
+impl ClassObserver for TestObserver {
+    fn on_class(&self, index: usize, outcomes: &[ClassOutcome]) -> bool {
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+            .expect("journal open")
+            .record_class(index, outcomes)
+            .expect("journal write");
+        self.seen.fetch_add(1, Ordering::Relaxed) + 1 < self.abort_after
+    }
+}
+
+/// One journaled, store-backed run. Returns the report (sealing the
+/// journal) or the abort error.
+fn campaign_run(
+    fx: &Fixture,
+    dir: &Path,
+    threads: usize,
+    resume: bool,
+    abort_after: usize,
+) -> Result<(MacroReport, dotm_store::StoreCounters), PathError> {
+    let cfg = config(threads);
+    let head = header(fx, &cfg);
+    let store = DiskStore::open(dir, head.context).expect("open store");
+    let journal_path = dir.join("journal").join("comparator.jnl");
+    let completed = if resume {
+        load_journal(&journal_path, &head).completed
+    } else {
+        Vec::new()
+    };
+    let writer = JournalWriter::create(&journal_path, &head).expect("create journal");
+    let observer = TestObserver::new(writer, abort_after);
+    let hooks = PipelineHooks {
+        store: Some(&store),
+        observer: Some(&observer),
+        completed,
+    };
+    let report =
+        run_macro_path_with_faults_hooked(&fx.harness, &cfg, &fx.collapsed, fx.area, &hooks)?;
+    observer
+        .take_writer()
+        .finish(report.fingerprint())
+        .expect("seal journal");
+    Ok((report, store.counters()))
+}
+
+#[test]
+fn killed_and_resumed_run_is_bit_identical() {
+    let fx = fixture();
+    let cfg = config(2);
+
+    // The reference: a plain, storeless run.
+    let plain =
+        run_macro_path_with_faults(&fx.harness, &cfg, &fx.collapsed, fx.area).expect("plain run");
+
+    // An uninterrupted journaled run.
+    let dir_full = tmpdir("resume-full");
+    let (full, _) = campaign_run(&fx, &dir_full, 2, false, usize::MAX).expect("full run");
+    assert_eq!(
+        full.fingerprint(),
+        plain.fingerprint(),
+        "store+journal hooks must be invisible in the report"
+    );
+
+    // Kill after 5 of the 12 classes, then resume.
+    let dir = tmpdir("resume-killed");
+    let killed = campaign_run(&fx, &dir, 2, false, 5);
+    match killed {
+        Err(PathError::Aborted { completed }) => assert_eq!(completed, 5),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    let head = header(&fx, &config(2));
+    let journal = dir.join("journal").join("comparator.jnl");
+    let state = load_journal(&journal, &head);
+    assert_eq!(state.prefix_len(), 5, "journal holds the completed prefix");
+    assert_eq!(state.fingerprint, None, "unsealed journal");
+
+    let (resumed, counters) = campaign_run(&fx, &dir, 2, true, usize::MAX).expect("resumed run");
+    assert_eq!(
+        resumed.fingerprint(),
+        plain.fingerprint(),
+        "resumed report must be bit-identical to an uninterrupted one"
+    );
+    assert!(
+        counters.loads < full.outcomes.len() as u64 * 8,
+        "replayed classes must not re-measure"
+    );
+
+    // And the journals — not just the reports — are byte-identical.
+    assert_eq!(
+        fs::read(&journal).expect("resumed journal"),
+        fs::read(dir_full.join("journal").join("comparator.jnl")).expect("full journal"),
+    );
+    let sealed = load_journal(&journal, &head);
+    assert_eq!(sealed.fingerprint, Some(plain.fingerprint()));
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir_full);
+}
+
+#[test]
+fn warm_run_answers_everything_from_the_store_at_any_thread_count() {
+    let fx = fixture();
+    let dir = tmpdir("warm");
+    let (cold, cold_counters) = campaign_run(&fx, &dir, 4, false, usize::MAX).expect("cold");
+    assert!(
+        cold_counters.computed > 0,
+        "cold run must populate the store"
+    );
+
+    for threads in [1, 3] {
+        let (warm, counters) =
+            campaign_run(&fx, &dir, threads, true, usize::MAX).expect("warm run");
+        // --resume replays the sealed journal, so the warm run is pure
+        // replay; rerun without resume to exercise the store itself.
+        assert_eq!(warm.fingerprint(), cold.fingerprint(), "threads={threads}");
+        assert_eq!(counters.computed, 0, "threads={threads}");
+        let (warm2, c2) =
+            campaign_run(&fx, &dir, threads, false, usize::MAX).expect("warm non-resume run");
+        assert_eq!(warm2.fingerprint(), cold.fingerprint(), "threads={threads}");
+        assert_eq!(
+            c2.computed, 0,
+            "every measurement must come from the store (threads={threads})"
+        );
+        assert_eq!(c2.misses, 0, "threads={threads}");
+        assert_eq!(c2.loads, cold_counters.loads, "threads={threads}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Recursively lists `dir` as (relative path, file bytes), sorted.
+fn snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, fs::read(&path).expect("read file")));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn serial_and_parallel_runs_write_byte_identical_stores() {
+    let fx = fixture();
+    let dir_serial = tmpdir("bytes-serial");
+    let dir_parallel = tmpdir("bytes-parallel");
+    campaign_run(&fx, &dir_serial, 1, false, usize::MAX).expect("serial");
+    campaign_run(&fx, &dir_parallel, 4, false, usize::MAX).expect("parallel");
+    let a = snapshot(&dir_serial);
+    let b = snapshot(&dir_parallel);
+    assert_eq!(
+        a.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        b.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        "same set of entry and journal files"
+    );
+    for ((path_a, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(bytes_a, bytes_b, "file {path_a} differs");
+    }
+    let _ = fs::remove_dir_all(&dir_serial);
+    let _ = fs::remove_dir_all(&dir_parallel);
+}
+
+#[test]
+fn corrupted_entry_degrades_to_a_recomputed_miss() {
+    let fx = fixture();
+    let dir = tmpdir("corrupt");
+    let (cold, cold_counters) = campaign_run(&fx, &dir, 2, false, usize::MAX).expect("cold");
+    corrupt_one_entry(&dir, 0)
+        .expect("corruption probe")
+        .expect("store has entries");
+    let (rerun, counters) = campaign_run(&fx, &dir, 2, false, usize::MAX).expect("rerun");
+    assert_eq!(
+        rerun.fingerprint(),
+        cold.fingerprint(),
+        "a corrupt entry must never change a verdict"
+    );
+    assert!(counters.computed > 0, "the damaged entry is recomputed");
+    assert!(
+        counters.computed < cold_counters.computed,
+        "only the damaged entry is recomputed, not the whole store"
+    );
+    // The rewrite healed the store: a third run computes nothing.
+    let (_, healed) = campaign_run(&fx, &dir, 2, false, usize::MAX).expect("healed");
+    assert_eq!(healed.computed, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
