@@ -22,6 +22,9 @@
 //! * `DOTM_EXPECT_WARM` — `1` asserts the run never touched the solver:
 //!   every measurement must come from the store (`computed=0`), at any
 //!   `DOTM_THREADS`. Exits non-zero otherwise.
+//! * `DOTM_TRACE` / `DOTM_TRACE_DIR` — per-phase wall-clock profile on
+//!   stderr plus NDJSON and chrome://tracing exports (see the crate
+//!   docs). Stdout and every persisted byte stay identical either way.
 //!
 //! The campaign forces `measure_cache = off` and relies on the store's
 //! own in-memory overlay instead: the cache's occupancy counters are part
@@ -29,7 +32,9 @@
 //! lookups — the cache and the journal cannot both be on without
 //! breaking the resumed-run ≡ uninterrupted-run bit-identity contract.
 
-use dotm_bench::{print_global_accounting, rule, standard_config};
+use dotm_bench::{
+    obs_finish, obs_fold_solver, obs_init, print_global_accounting, rule, standard_config,
+};
 use dotm_core::harnesses::{
     BiasHarness, ClockgenHarness, ComparatorHarness, DecoderHarness, LadderHarness,
 };
@@ -158,6 +163,7 @@ fn run_macro(
 }
 
 fn main() {
+    let trace = obs_init();
     let resume = std::env::args().any(|a| a == "--resume");
     let store_dir = dotm_core::env::store_dir().unwrap_or_else(|| PathBuf::from("dotm-store"));
     let abort_after = match dotm_core::env::u64_knob("DOTM_ABORT_AFTER", 0) {
@@ -189,6 +195,7 @@ fn main() {
         abort_after,
     };
 
+    let campaign_span = dotm_obs::span("campaign", "campaign");
     let mut runs: Vec<MacroRun> = Vec::new();
     let mut aborted = false;
     for harness in &harnesses {
@@ -218,11 +225,14 @@ fn main() {
         }
     }
 
+    drop(campaign_span);
+
     if aborted {
         println!(
             "campaign aborted on request after {} classes — rerun with --resume",
             observer.completed.load(Ordering::Relaxed)
         );
+        obs_finish("campaign");
         return;
     }
 
@@ -262,6 +272,23 @@ fn main() {
     }
     rule(72);
     print_global_accounting(&global);
+
+    if trace {
+        for (name, value) in [
+            ("store.loads", totals.loads),
+            ("store.mem_hits", totals.mem_hits),
+            ("store.disk_hits", totals.disk_hits),
+            ("store.misses", totals.misses),
+            ("store.computed", totals.computed),
+            ("store.write_errors", totals.write_errors),
+        ] {
+            if value > 0 {
+                dotm_obs::counter(name, value);
+            }
+        }
+        obs_fold_solver(&global.solver_totals());
+    }
+    obs_finish("campaign");
 
     if expect_warm && (totals.computed > 0 || totals.misses > 0) {
         eprintln!(

@@ -7,7 +7,9 @@
 //! "a better test method" than voltage; clock generator 93.8 % and ladder
 //! 99.8 % current-detectable.
 
-use dotm_bench::{global_report, print_global_accounting, rule};
+use dotm_bench::{
+    global_report, obs_finish, obs_fold_solver, obs_init, print_global_accounting, rule,
+};
 use dotm_core::GlobalDetectability;
 use dotm_faults::Severity;
 
@@ -23,7 +25,11 @@ fn print_panel(label: &str, d: &GlobalDetectability) {
 }
 
 fn main() {
-    let global = global_report(false);
+    obs_init();
+    let global = {
+        let _span = dotm_obs::span("fig4", "campaign");
+        global_report(false)
+    };
     println!();
     println!("Fig 4: Global detectability of (a) catastrophic and (b) non-catastrophic faults");
     println!();
@@ -52,4 +58,6 @@ fn main() {
     }
     println!("  (paper: clock generator 93.8%, reference ladder 99.8%)");
     print_global_accounting(&global);
+    obs_fold_solver(&global.solver_totals());
+    obs_finish("fig4");
 }

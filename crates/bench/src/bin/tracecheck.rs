@@ -1,0 +1,42 @@
+//! Validates an NDJSON trace file produced by a `DOTM_TRACE=1` run.
+//!
+//! ```text
+//! tracecheck <trace.ndjson>...
+//! ```
+//!
+//! For each file, parses every line with [`dotm_obs::validate_ndjson`]
+//! and checks the structural invariants (unique span ids, parents that
+//! exist on the same thread and contain their children's intervals).
+//! Prints a one-line summary per file; exits non-zero on the first
+//! malformed file, so `scripts/verify.sh` can gate on trace validity
+//! without a JSON tool in the container.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: tracecheck <trace.ndjson>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let input = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tracecheck: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match dotm_obs::validate_ndjson(&input) {
+            Ok(summary) => println!(
+                "{path}: ok — {} spans ({} roots), {} phases, {} counters",
+                summary.spans, summary.roots, summary.phases, summary.counters
+            ),
+            Err(e) => {
+                eprintln!("tracecheck: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -16,7 +16,7 @@
 //! Exits non-zero if a verdict flips or the warm path does not reduce
 //! the NR iteration count, so CI can gate on both claims.
 
-use dotm_bench::{env_u64, env_usize};
+use dotm_bench::{env_u64, env_usize, obs_finish, obs_fold_solver, obs_init};
 use dotm_core::harnesses::LadderHarness;
 use dotm_core::{
     run_macro_path_with_faults, GoodSpaceConfig, MacroHarness, MacroReport, PipelineConfig,
@@ -48,13 +48,17 @@ fn config(warm: bool) -> PipelineConfig {
 
 fn run(warm: bool, collapsed: &CollapseReport, area: f64) -> (MacroReport, f64) {
     let cfg = config(warm);
+    let span = dotm_obs::span(if warm { "warm pass" } else { "cold pass" }, "campaign");
     let t0 = Instant::now();
     let report = run_macro_path_with_faults(&LadderHarness, &cfg, collapsed, area)
         .expect("ladder path must run");
-    (report, t0.elapsed().as_secs_f64())
+    let seconds = t0.elapsed().as_secs_f64();
+    drop(span);
+    (report, seconds)
 }
 
 fn main() {
+    obs_init();
     let cfg = config(false);
     let layout = LadderHarness.layout();
     let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
@@ -116,6 +120,10 @@ fn main() {
         "  verdict flips: {flipped}   NR iterations saved: {saved} ({:.1}%)",
         100.0 * saved as f64 / cs.nr_iterations.max(1) as f64
     );
+    let mut both = cs;
+    both += ws;
+    obs_fold_solver(&both);
+    obs_finish("warm_speedup");
     if flipped > 0 || ws.nr_iterations >= cs.nr_iterations {
         std::process::exit(1);
     }

@@ -31,6 +31,14 @@
 //! identical either way, and the cache replays solver telemetry so
 //! cache-on reports are bit-identical to cache-off at any thread count.
 //!
+//! `DOTM_TRACE` (`1`/`0`, default off) turns on the [`dotm_obs`]
+//! observability recorder: the binary appends a per-phase wall-clock
+//! profile (Newton vs LU vs assembly vs store I/O) to **stderr** and
+//! exports `<bin>.ndjson` + `<bin>.trace.json` (chrome://tracing) into
+//! `DOTM_TRACE_DIR` (default: the current directory). Tracing is a pure
+//! side channel: stdout, report fingerprints, journal bytes and store
+//! trees are bit-identical with the recorder on or off.
+//!
 //! Every binary appends a failure-accounting block after its table: how
 //! many classes rest on failed simulations or injections, how many needed
 //! solver escalation (and to which rung), and the total solver work. On a
@@ -67,6 +75,54 @@ pub fn env_bool(name: &str, default: bool) -> bool {
 /// silently running with the wrong accounting.
 pub fn env_sim_failure_policy() -> SimFailurePolicy {
     dotm_core::env::sim_failure_policy()
+}
+
+/// Enables the [`dotm_obs`] recorder when the `DOTM_TRACE` knob is set.
+/// Call once at the top of a bench binary's `main`; returns whether
+/// tracing is on. When it is off every recorder call collapses to one
+/// relaxed atomic load, so binaries wire the spans unconditionally.
+pub fn obs_init() -> bool {
+    let on = dotm_core::env::trace();
+    dotm_obs::set_enabled(on);
+    on
+}
+
+/// Folds the solver-effort telemetry into the observability counter
+/// registry under `sim.*` names (no-op with the recorder off), so the
+/// exported trace carries the same 13 words that the report fingerprint
+/// covers.
+pub fn obs_fold_solver(solver: &dotm_sim::SimStats) {
+    if !dotm_obs::enabled() {
+        return;
+    }
+    for (name, value) in dotm_sim::SimStats::WORD_NAMES.iter().zip(solver.to_words()) {
+        if value > 0 {
+            dotm_obs::counter(&format!("sim.{name}"), value);
+        }
+    }
+}
+
+/// Finishes a traced run: prints the per-phase profile to **stderr**
+/// (stdout stays byte-identical to an untraced run) and exports
+/// `<label>.ndjson` + `<label>.trace.json` into `DOTM_TRACE_DIR`
+/// (default: the current directory). No-op with the recorder off.
+pub fn obs_finish(label: &str) {
+    if !dotm_obs::enabled() {
+        return;
+    }
+    eprintln!();
+    eprint!("{}", dotm_obs::phase_table());
+    let dir = dotm_core::env::trace_dir().unwrap_or_else(|| std::path::PathBuf::from("."));
+    let ndjson = dir.join(format!("{label}.ndjson"));
+    let chrome = dir.join(format!("{label}.trace.json"));
+    match dotm_obs::export_ndjson(&ndjson) {
+        Ok(()) => eprintln!("[dotm] trace events: {}", ndjson.display()),
+        Err(e) => eprintln!("[dotm] trace export failed ({}): {e}", ndjson.display()),
+    }
+    match dotm_obs::export_chrome(&chrome) {
+        Ok(()) => eprintln!("[dotm] chrome trace:  {}", chrome.display()),
+        Err(e) => eprintln!("[dotm] trace export failed ({}): {e}", chrome.display()),
+    }
 }
 
 /// The standard pipeline configuration, honouring the environment knobs.

@@ -22,6 +22,8 @@
 //! | `DOTM_MEASURE_CACHE` | in-memory measurement memoization | on |
 //! | `DOTM_SIM_FAILURE_POLICY` | accounting for never-converged classes | assume-detected |
 //! | `DOTM_STORE_DIR` | persistent campaign-store directory | unset |
+//! | `DOTM_TRACE` | structured observability (spans/phases/counters) | off |
+//! | `DOTM_TRACE_DIR` | directory for NDJSON + chrome trace exports | `.` |
 
 use crate::pipeline::SimFailurePolicy;
 use std::path::PathBuf;
@@ -137,6 +139,27 @@ pub fn store_dir() -> Option<PathBuf> {
     }
 }
 
+/// The `DOTM_TRACE` knob (default off): enables the `dotm-obs` recorder
+/// in the bench binaries. Tracing is a pure side channel — it may never
+/// change a reported number, a fingerprint, a journal byte or a store
+/// entry (the determinism suite enforces this).
+///
+/// # Panics
+/// On a malformed value.
+pub fn trace() -> bool {
+    bool_knob("DOTM_TRACE", false)
+}
+
+/// The `DOTM_TRACE_DIR` knob: where the bench binaries write their
+/// NDJSON and chrome-trace exports. `None` when unset or set to the
+/// empty string (callers default to the current directory).
+pub fn trace_dir() -> Option<PathBuf> {
+    match std::env::var("DOTM_TRACE_DIR") {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +229,18 @@ mod tests {
         // rule itself is pure, so assert it through the parser.
         assert_eq!(parse_usize("0").ok().filter(|&t| t > 0), None);
         assert_eq!(parse_usize("3").ok().filter(|&t| t > 0), Some(3));
+    }
+
+    #[test]
+    fn trace_dir_empty_means_unset() {
+        // trace_dir() reads DOTM_TRACE_DIR, unset under the harness.
+        if std::env::var("DOTM_TRACE_DIR").is_err() {
+            assert_eq!(trace_dir(), None);
+        }
+        // trace() defaults off when DOTM_TRACE is unset.
+        if std::env::var("DOTM_TRACE").is_err() {
+            assert!(!trace());
+        }
     }
 
     #[test]

@@ -83,8 +83,12 @@ where
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for w in 0..threads {
+            let (next, collected, f) = (&next, &collected, &f);
+            scope.spawn(move || {
+                // A per-worker span shows lifetime and utilisation in the
+                // trace side channel (inert unless DOTM_TRACE is on).
+                let _worker = dotm_obs::span_with("exec", || format!("worker {w}"));
                 // Per-worker batching of results keeps lock traffic low
                 // without changing the index-ordered output.
                 let mut local: Vec<(usize, R)> = Vec::new();

@@ -231,6 +231,7 @@ pub fn with_instrumented_sim<R>(
     f: impl FnOnce(&mut Simulator<'_>) -> Result<R, SimError>,
 ) -> Result<R, SimError> {
     let mut sim = Simulator::with_options(nl, opts.clone());
+    let _span = dotm_obs::span_with("analysis", || format!("analysis[{}]", nl.name()));
     let result = f(&mut sim);
     stats.merge(sim.stats());
     result
@@ -264,7 +265,9 @@ pub fn with_instrumented_sim_warm<R>(
             let _ = sim.seed_dc_from(op);
         }
     }
+    let span = dotm_obs::span_with("analysis", || format!("analysis {slot} [{}]", nl.name()));
     let result = f(&mut sim);
+    drop(span);
     if let Warm::Capture(capture) = warm {
         if let Some(op) = sim.last_dc_op() {
             capture.record(slot, op);

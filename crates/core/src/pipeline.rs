@@ -665,6 +665,7 @@ pub fn run_macro_path_with_faults_hooked(
     sprinkle_area_nm2: f64,
     hooks: &PipelineHooks<'_>,
 ) -> Result<MacroReport, PathError> {
+    let _macro_span = dotm_obs::span_with("macro", || format!("macro {}", harness.name()));
     let mut gs_cfg = cfg.goodspace;
     gs_cfg.warm_start = gs_cfg.warm_start && cfg.warm_start;
     let good = GoodSpace::compile(harness, &cfg.process, gs_cfg).map_err(PathError::GoodCircuit)?;
@@ -709,6 +710,7 @@ pub fn run_macro_path_with_faults_hooked(
             }
             return outcomes;
         }
+        let _class_span = dotm_obs::span_with("class", || format!("class {ci}"));
         let effect = &class.representative.effect;
         let is_shared = effect_nets(effect, &base)
             .iter()
@@ -843,13 +845,21 @@ fn measure_rung(
     };
     let key = cache_key(digest, rung);
     if let Some(c) = cache {
-        if let Some((result, delta)) = c.get(key) {
+        let t_lookup = dotm_obs::start();
+        let hit = c.get(key);
+        dotm_obs::phase(dotm_obs::Phase::CacheLookup, t_lookup);
+        if let Some((result, delta)) = hit {
+            // Honest replay marker: the deterministic artifacts must not
+            // distinguish a replayed measurement from a computed one, so
+            // the distinction lives only in this trace-side counter.
+            dotm_obs::counter("replay.cache_hits", 1);
             solver.merge(&delta);
             return result;
         }
     }
     if let Some(s) = store {
         if let Some((result, delta)) = s.load(key) {
+            dotm_obs::counter("replay.store_hits", 1);
             if let Some(c) = cache {
                 c.insert(key, (result.clone(), delta));
             }
@@ -888,7 +898,13 @@ fn measure_escalated(
     let digest = (cache.is_some() || store.is_some()).then(|| nl.content_digest());
     for rung in 0..=ladder.max_rung {
         let opts = EscalationLadder::options_at(base_opts, rung);
-        match measure_rung(harness, nl, &opts, solver, warm, cache, store, digest, rung) {
+        // Per-rung escalation timing: each retry of the same variant gets
+        // its own span, so the trace shows how much wall-clock the ladder
+        // itself costs (rung 0 is the ordinary first attempt).
+        let rung_span = dotm_obs::span_with("rung", || format!("rung {rung}"));
+        let outcome = measure_rung(harness, nl, &opts, solver, warm, cache, store, digest, rung);
+        drop(rung_span);
+        match outcome {
             Ok(meas) => return Some((meas, rung)),
             Err(e) if e.is_retryable() => continue,
             Err(_) => return None,

@@ -54,11 +54,21 @@ impl Complex {
     }
 
     fn div(self, other: Complex) -> Complex {
-        let d = other.re * other.re + other.im * other.im;
-        Complex::new(
-            (self.re * other.re + self.im * other.im) / d,
-            (self.im * other.re - self.re * other.im) / d,
-        )
+        // Smith's algorithm: the textbook (ac + bd)/(c² + d²) form
+        // under/overflows once |other| strays past ~1e±154, because the
+        // squared denominator leaves f64 range long before the quotient
+        // does. Dividing by the larger component first keeps every
+        // intermediate within a couple of ULP of the operand scale, so
+        // badly-scaled (but well-conditioned) AC systems stay solvable.
+        if other.re.abs() >= other.im.abs() {
+            let r = other.im / other.re;
+            let d = other.re + other.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = other.re / other.im;
+            let d = other.re * r + other.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
     }
 }
 
@@ -96,7 +106,16 @@ impl ComplexMatrix {
                     piv = i;
                 }
             }
-            if max < 1e-300 {
+            // Scale-relative singularity test, mirroring the real
+            // `DenseMatrix::solve_in_place`: the pivot must be meaningful
+            // relative to the largest magnitude in the factored column,
+            // not relative to an absolute floor — badly-scaled but
+            // well-conditioned AC systems (huge R, tiny ωC) must solve.
+            let mut col_max = max;
+            for i in 0..k {
+                col_max = col_max.max(a[i * n + k].abs());
+            }
+            if max.is_nan() || max <= col_max * 1e-14 {
                 return false;
             }
             if piv != k {
@@ -229,6 +248,7 @@ impl<'a> Simulator<'a> {
         let mut solutions = Vec::with_capacity(freqs.len());
         for &f in freqs {
             let w = 2.0 * std::f64::consts::PI * f;
+            let t_asm = dotm_obs::start();
             let mut a = ComplexMatrix::zeros(n);
             let mut b = vec![Complex::default(); n];
             for r in 0..(n_nodes - 1) {
@@ -351,7 +371,11 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
-            if !a.solve_in_place(&mut b) {
+            dotm_obs::phase(dotm_obs::Phase::Assembly, t_asm);
+            let t_lu = dotm_obs::start();
+            let ok = a.solve_in_place(&mut b);
+            dotm_obs::phase(dotm_obs::Phase::Lu, t_lu);
+            if !ok {
                 return Err(SimError::Singular { analysis: "ac" });
             }
             solutions.push(b[..(n_nodes - 1)].to_vec());
@@ -496,6 +520,88 @@ mod tests {
         assert!((f[3] - 1000.0).abs() < 1e-9);
         let f = log_sweep(10.0, 100.0, 10);
         assert_eq!(f.len(), 11);
+    }
+
+    #[test]
+    fn complex_lu_scale_invariant() {
+        // Unit-level mirror of the matrix.rs regression: a well-conditioned
+        // 2×2 complex system scaled to ~1e-302 must solve (the old absolute
+        // 1e-300 floor declared it singular), and exact cancellation must
+        // stay singular at any scale.
+        let s = 1e-302;
+        let mut m = ComplexMatrix::zeros(2);
+        m.add(0, 0, Complex::new(2.0 * s, s));
+        m.add(0, 1, Complex::new(s, 0.0));
+        m.add(1, 0, Complex::new(s, 0.0));
+        m.add(1, 1, Complex::new(3.0 * s, -s));
+        let mut b = vec![Complex::new(3.0 * s, 0.0), Complex::new(5.0 * s, 0.0)];
+        assert!(m.solve_in_place(&mut b), "scaled complex system must solve");
+        // Residual check against the original entries.
+        let a00 = Complex::new(2.0 * s, s);
+        let a01 = Complex::new(s, 0.0);
+        let r0 = a00.mul(b[0]).sub(Complex::new(3.0 * s, 0.0));
+        let r0 = Complex::new(r0.re + a01.mul(b[1]).re, r0.im + a01.mul(b[1]).im);
+        assert!(r0.abs() / s < 1e-10, "residual {:e}", r0.abs() / s);
+
+        for scale in [1e-250, 1.0] {
+            let mut m = ComplexMatrix::zeros(2);
+            m.add(0, 0, Complex::new(scale, scale));
+            m.add(0, 1, Complex::new(2.0 * scale, 2.0 * scale));
+            m.add(1, 0, Complex::new(2.0 * scale, 2.0 * scale));
+            m.add(1, 1, Complex::new(4.0 * scale, 4.0 * scale));
+            let mut b = vec![Complex::new(scale, 0.0), Complex::new(scale, 0.0)];
+            assert!(!m.solve_in_place(&mut b), "cancellation must stay singular");
+        }
+    }
+
+    #[test]
+    fn badly_scaled_rc_ac_solves() {
+        // End-to-end regression for the absolute singularity floor: a huge
+        // resistor (1e305 Ω) into a tiny capacitor, gmin disabled, at the
+        // frequency where R·ωC = 1. Every matrix entry in the output
+        // node's column is far below 1e-300, so the old complex LU bailed
+        // out as Singular; the circuit is a perfectly ordinary RC divider
+        // with gain 1/(1+j) at this frequency.
+        let mut nl = Netlist::new("huge_rc");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.add_vsource("VIN", inp, Netlist::GROUND, Waveform::dc(0.0))
+            .unwrap();
+        nl.add_resistor("R1", inp, out, 1e305).unwrap();
+        nl.add_capacitor("C1", out, Netlist::GROUND, 1e-18).unwrap();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        sim.options_mut().gmin = 0.0;
+        // R·ωC = 1  ⇒  f = 1 / (2π · 1e305 · 1e-18)
+        let f = 1.0 / (2.0 * std::f64::consts::PI * 1e305 * 1e-18);
+        let ac = sim.ac(&op, "VIN", &[f]).expect("well-conditioned AC");
+        let g = ac.voltage(0, out);
+        assert!(
+            (g.abs() - 1.0 / 2.0f64.sqrt()).abs() < 1e-6,
+            "|gain| {} vs 1/√2",
+            g.abs()
+        );
+        let phase = g.arg().to_degrees();
+        assert!((phase + 45.0).abs() < 1e-3, "phase {phase}");
+    }
+
+    #[test]
+    fn truly_singular_ac_still_rejected() {
+        // A genuinely floating node with gmin off must still be reported
+        // as Singular — the relative pivot test may not paper over real
+        // rank deficiency.
+        let mut nl = Netlist::new("float");
+        let inp = nl.node("in");
+        let _orphan = nl.node("float");
+        nl.add_vsource("VIN", inp, Netlist::GROUND, Waveform::dc(0.0))
+            .unwrap();
+        let mut sim = Simulator::new(&nl);
+        let op = sim.dc_op().unwrap();
+        sim.options_mut().gmin = 0.0;
+        assert!(matches!(
+            sim.ac(&op, "VIN", &[1e3]),
+            Err(SimError::Singular { analysis: "ac" })
+        ));
     }
 
     #[test]

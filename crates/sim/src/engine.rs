@@ -576,7 +576,26 @@ impl<'a> Simulator<'a> {
     }
 
     /// Runs Newton–Raphson from guess `x`, leaving the solution in `x`.
+    ///
+    /// Thin observability wrapper: attributes the whole solve (including
+    /// its per-iteration assembly and LU time) to the `newton` phase of
+    /// the trace side channel. Costs one relaxed atomic load when
+    /// tracing is off.
     fn newton(
+        &mut self,
+        x: &mut [f64],
+        t: Option<f64>,
+        tran: Option<&TranCtx<'_>>,
+        gmin: f64,
+        src_scale: f64,
+    ) -> NrOutcome {
+        let t_newton = dotm_obs::start();
+        let outcome = self.newton_inner(x, t, tran, gmin, src_scale);
+        dotm_obs::phase(dotm_obs::Phase::Newton, t_newton);
+        outcome
+    }
+
+    fn newton_inner(
         &mut self,
         x: &mut [f64],
         t: Option<f64>,
@@ -589,17 +608,20 @@ impl<'a> Simulator<'a> {
         self.stats.nr_solves += 1;
         for iter in 0..self.opts.max_iter {
             self.stats.nr_iterations += 1;
+            let t_asm = dotm_obs::start();
             self.assemble(x, t, tran, gmin, src_scale);
+            dotm_obs::phase(dotm_obs::Phase::Assembly, t_asm);
             xnext.copy_from_slice(&self.z);
             let mut mat = std::mem::replace(&mut self.a, DenseMatrix::zeros(0));
+            let t_lu = dotm_obs::start();
             let ok = mat.solve_in_place(&mut xnext);
+            dotm_obs::phase(dotm_obs::Phase::Lu, t_lu);
             self.a = mat;
             if !ok {
                 self.stats.singular_pivots += 1;
                 return NrOutcome::Singular;
             }
             let mut converged = true;
-            let mut limited = false;
             for (i, xn) in xnext.iter_mut().enumerate() {
                 if !xn.is_finite() {
                     self.stats.singular_pivots += 1;
@@ -611,13 +633,24 @@ impl<'a> Simulator<'a> {
                 } else {
                     (self.opts.abstol_i, f64::INFINITY)
                 };
-                let tol = abstol + self.opts.reltol * xn.abs().max(x[i].abs());
-                if dx.abs() > tol {
-                    converged = false;
-                }
-                if dx.abs() > limit {
+                // The v-step clamp is applied *before* the tolerance test:
+                // the point this iteration actually accepts is the clamped
+                // one, so convergence means "the accepted point is within
+                // tolerance of the unclamped Newton target" — i.e. the
+                // residual overshoot beyond the limit, not the raw dx, is
+                // what must shrink below tol. A clamped step that lands
+                // within tolerance of the clamp is done; testing the
+                // unclamped dx first (as before) made that step report
+                // `limited` and burn one extra full assemble+LU iteration.
+                // A genuinely far target (overshoot >> tol) still iterates.
+                let clamped = dx.abs() > limit;
+                if clamped {
                     *xn = x[i] + limit.copysign(dx);
-                    limited = true;
+                }
+                let tol = abstol + self.opts.reltol * xn.abs().max(x[i].abs());
+                let overshoot = if clamped { dx.abs() - limit } else { dx.abs() };
+                if overshoot > tol {
+                    converged = false;
                 }
             }
             x.copy_from_slice(&xnext);
@@ -625,7 +658,7 @@ impl<'a> Simulator<'a> {
             // iteration (the stamps do not depend on `x`), so a converged
             // first iteration needs no confirming re-solve; nonlinear
             // circuits must re-linearise at the new point at least once.
-            if converged && !limited && (iter > 0 || !self.has_nonlinear) {
+            if converged && (iter > 0 || !self.has_nonlinear) {
                 return NrOutcome::Converged;
             }
         }

@@ -62,9 +62,13 @@ impl DenseMatrix {
     /// Factors the matrix in place (LU with partial pivoting) and solves
     /// `A·x = b`, overwriting `b` with `x`.
     ///
-    /// Returns `false` if the matrix is numerically singular (a pivot
-    /// smaller than `1e-300` in magnitude was encountered); the contents of
-    /// `self` and `b` are unspecified in that case.
+    /// Returns `false` if the matrix is numerically singular: the best
+    /// pivot available in a column is vanishingly small *relative to the
+    /// largest magnitude in that factored column* (ratio below `1e-14`),
+    /// so uniformly rescaling the system never changes the verdict — a
+    /// well-conditioned matrix that happens to live near `1e-300` still
+    /// solves, while exact cancellation is still caught at any scale. The
+    /// contents of `self` and `b` are unspecified in that case.
     ///
     /// # Panics
     /// Panics if `b.len() != self.dim()`.
@@ -83,7 +87,16 @@ impl DenseMatrix {
                     piv = i;
                 }
             }
-            if max < 1e-300 {
+            // Scale-relative singularity test: compare the pivot against
+            // the largest magnitude anywhere in the factored column,
+            // including the already-eliminated U part above the diagonal.
+            // An all-zero column (col_max == 0) and a NaN pivot both land
+            // in the singular branch.
+            let mut col_max = max;
+            for i in 0..k {
+                col_max = col_max.max(a[i * n + k].abs());
+            }
+            if max.is_nan() || max <= col_max * 1e-14 {
                 return false;
             }
             if piv != k {
@@ -166,6 +179,59 @@ mod tests {
         m.set(1, 0, 2.0);
         m.set(1, 1, 4.0);
         let mut b = vec![1.0, 2.0];
+        assert!(!m.solve_in_place(&mut b));
+    }
+
+    #[test]
+    fn solves_badly_scaled_but_well_conditioned() {
+        // The same well-conditioned system as `solves_general_system`,
+        // scaled down to ~1e-302. The old absolute pivot floor (1e-300)
+        // called this singular even though the solution is unchanged by
+        // uniform scaling.
+        let s = 1e-302;
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 2.0 * s);
+        m.set(0, 1, 1.0 * s);
+        m.set(1, 0, 1.0 * s);
+        m.set(1, 1, 3.0 * s);
+        let mut b = vec![3.0 * s, 5.0 * s];
+        assert!(m.solve_in_place(&mut b), "scaled system must solve");
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_singular_still_detected() {
+        // Exact cancellation is singular at any scale — the relative test
+        // may not weaken detection for small matrices.
+        for s in [1e-250, 1.0, 1e250] {
+            let mut m = DenseMatrix::zeros(2);
+            m.set(0, 0, 1.0 * s);
+            m.set(0, 1, 2.0 * s);
+            m.set(1, 0, 2.0 * s);
+            m.set(1, 1, 4.0 * s);
+            let mut b = vec![s, 2.0 * s];
+            assert!(!m.solve_in_place(&mut b), "scale {s:e} must stay singular");
+        }
+    }
+
+    #[test]
+    fn wide_dynamic_range_diagonal_solves() {
+        // Rows at wildly different scales are fine as long as each column
+        // has a healthy pivot relative to its own magnitude.
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1e300);
+        m.set(1, 1, 1e-300);
+        let mut b = vec![2e300, 3e-300];
+        assert!(m.solve_in_place(&mut b));
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_is_singular() {
+        let mut m = DenseMatrix::zeros(3);
+        let mut b = vec![1.0, 1.0, 1.0];
         assert!(!m.solve_in_place(&mut b));
     }
 

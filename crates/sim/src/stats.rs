@@ -50,6 +50,25 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Counter names, index-aligned with [`SimStats::to_words`] — the
+    /// stable naming used when the telemetry is folded into the
+    /// observability counter registry.
+    pub const WORD_NAMES: [&'static str; 13] = [
+        "nr_solves",
+        "nr_iterations",
+        "converged_plain",
+        "converged_gmin",
+        "converged_source",
+        "dc_failures",
+        "singular_pivots",
+        "maxiter_exhausted",
+        "tran_steps",
+        "rejected_steps",
+        "step_halvings",
+        "warm_hits",
+        "warm_misses",
+    ];
+
     /// Adds every counter of `other` into `self`.
     pub fn merge(&mut self, other: &SimStats) {
         *self += *other;
@@ -141,5 +160,6 @@ mod tests {
             warm_misses: 13,
         };
         assert_eq!(s.to_words(), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(SimStats::WORD_NAMES.len(), s.to_words().len());
     }
 }

@@ -333,3 +333,48 @@ fn warm_seed_remaps_appended_unknowns_and_rejects_reindexed_sources() {
     assert_eq!(other.stats().warm_hits, 0);
     assert_eq!(other.stats().warm_misses, 0);
 }
+
+#[test]
+fn clamped_step_within_tolerance_converges_without_extra_iteration() {
+    // The divider is linear, so the first Newton iteration computes the
+    // exact solution. The guess is exact except v(mid), which sits
+    // 1.0000001 V below it: just over the default 1.0 V step limit, with
+    // an overshoot of 1e-7 — far inside tolerance. The clamp must be
+    // applied before the tolerance test so this counts as converged in
+    // one iteration; the old order (tolerance on the unclamped step,
+    // then clamp) reported `limited` and burned a second full
+    // assemble + LU pass on a point that was already accepted.
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::new(&nl);
+    // Unknown order: node voltages (in, mid), then the V1 branch current
+    // (−1 mA: the supply sources current, SPICE convention).
+    let op = sim
+        .dc_op_from(&[2.0, 1.0 - 1.000_000_1, -1e-3])
+        .expect("divider dc");
+    assert!((op.voltage(mid) - 1.0).abs() < 1e-6);
+    let s = sim.stats();
+    assert_eq!(s.nr_solves, 1);
+    assert_eq!(
+        s.nr_iterations, 1,
+        "a clamped step within tolerance of the clamp must not cost an extra iteration"
+    );
+}
+
+#[test]
+fn clamped_step_far_from_target_still_iterates() {
+    // Guard against false convergence from the restructure: when the
+    // unclamped Newton target is far beyond the step limit, the limiter
+    // walks ~1 V per iteration and convergence must wait until the
+    // overshoot beyond the clamp shrinks below tolerance.
+    let nl = divider();
+    let mid = nl.find_node("mid").unwrap();
+    let mut sim = Simulator::new(&nl);
+    let op = sim.dc_op_from(&[2.0, -10.0, -1e-3]).expect("divider dc");
+    assert!((op.voltage(mid) - 1.0).abs() < 1e-6);
+    let iters = sim.stats().nr_iterations;
+    assert!(
+        (11..=13).contains(&iters),
+        "an 11 V walk at a 1 V step limit must take ~12 iterations, got {iters}"
+    );
+}

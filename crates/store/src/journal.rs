@@ -192,6 +192,7 @@ impl JournalWriter {
                 format!("class {index} out of order (expected {})", self.written),
             ));
         }
+        let t_journal = dotm_obs::start();
         let payload = encode_outcomes(outcomes);
         writeln!(
             self.out,
@@ -200,6 +201,7 @@ impl JournalWriter {
             to_hex(&payload)
         )?;
         self.out.flush()?;
+        dotm_obs::phase(dotm_obs::Phase::Journal, t_journal);
         self.written += 1;
         Ok(())
     }

@@ -185,6 +185,23 @@ impl DiskStore {
 
 impl MeasurementStore for DiskStore {
     fn load(&self, key: u128) -> Option<CachedMeasurement> {
+        // Hit/miss latency goes to the trace side channel only; the
+        // AtomicU64 counters below stay the deterministic accounting.
+        let t_load = dotm_obs::start();
+        let out = self.load_inner(key);
+        dotm_obs::phase(dotm_obs::Phase::StoreLoad, t_load);
+        out
+    }
+
+    fn store(&self, key: u128, value: &CachedMeasurement) {
+        let t_write = dotm_obs::start();
+        self.store_inner(key, value);
+        dotm_obs::phase(dotm_obs::Phase::StoreWrite, t_write);
+    }
+}
+
+impl DiskStore {
+    fn load_inner(&self, key: u128) -> Option<CachedMeasurement> {
         self.loads.fetch_add(1, Ordering::Relaxed);
         let mixed = mix(self.context, key);
         if let Some(hit) = self
@@ -209,7 +226,7 @@ impl MeasurementStore for DiskStore {
         None
     }
 
-    fn store(&self, key: u128, value: &CachedMeasurement) {
+    fn store_inner(&self, key: u128, value: &CachedMeasurement) {
         self.computed.fetch_add(1, Ordering::Relaxed);
         let mixed = mix(self.context, key);
         self.shard(mixed)

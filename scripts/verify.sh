@@ -117,4 +117,25 @@ echo "$corrupt" | grep -q "write_errors=0" || {
     echo "FAIL: store rewrite failed"; echo "$corrupt"; exit 1; }
 echo "    corrupt entry: graceful recompute, fingerprints unchanged"
 
+echo "==> observability: traced fig4 is a pure side channel"
+# DOTM_TRACE=1 must leave stdout byte-identical (the per-phase profile
+# goes to stderr, the events to DOTM_TRACE_DIR) and the exported NDJSON
+# must pass the structural validator (unique ids, parents on the same
+# thread containing their children).
+trace_dir="$store_dir/trace"
+mkdir -p "$trace_dir"
+fig4_traced=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+    DOTM_TRACE=1 DOTM_TRACE_DIR="$trace_dir" \
+    cargo run --release --locked -p dotm-bench --bin fig4)
+diff <(echo "$fig4_on") <(echo "$fig4_traced") || {
+    echo "FAIL: DOTM_TRACE=1 changed fig4's stdout"; exit 1; }
+[ -s "$trace_dir/fig4.ndjson" ] || {
+    echo "FAIL: traced run exported no NDJSON"; exit 1; }
+[ -s "$trace_dir/fig4.trace.json" ] || {
+    echo "FAIL: traced run exported no chrome trace"; exit 1; }
+cargo run --release --locked -p dotm-bench --bin tracecheck -- \
+    "$trace_dir/fig4.ndjson" || {
+    echo "FAIL: exported NDJSON is structurally invalid"; exit 1; }
+echo "    traced stdout identical, NDJSON validates"
+
 echo "==> verify: all green"
