@@ -1,0 +1,226 @@
+//! Factor-reuse / rank-update validation: runs the fixed-seed ladder
+//! anchor (the same population `tests/determinism.rs` pins to 645 faults
+//! in 417 classes) once with both factorisation knobs off and once with
+//! the bitwise factor cache plus Sherman–Morrison–Woodbury rank updates
+//! on, then
+//!
+//! * asserts the **detection verdict of every class is identical** — the
+//!   rank-update path changes round-off, so verdict preservation is a
+//!   measured property, gated here before the knob is enabled anywhere,
+//! * measures the LU-phase wall-clock both ways through the `dotm-obs`
+//!   accumulators (enabled internally; the exported trace still honours
+//!   `DOTM_TRACE`), and
+//! * prints the factor-reuse occupancy (hits per linear solve), so the
+//!   claimed speedup is an auditable counter, not a wall-clock race.
+//!
+//! Knobs: `DOTM_DEFECTS` (sprinkle size, default 20000), `DOTM_SEED`
+//! (default 2026), `DOTM_GS_COMMON`/`DOTM_GS_MM` (good-space sizes,
+//! default 3×2), `DOTM_MAX_CLASSES` (0 = full population, the default),
+//! `DOTM_LU_MIN_SPEEDUP` (gate on the LU-phase ratio, default 2),
+//! `DOTM_LU_MIN_HIT_PCT` (gate on the reuse hit rate, default 80),
+//! `DOTM_BENCH_JSON` (write the machine-readable summary to this path).
+//!
+//! Exits non-zero if a verdict flips, the LU-phase reduction falls below
+//! the speedup gate, or the reuse hit rate falls below the hit-rate gate.
+
+use dotm_bench::{env_u64, env_usize, obs_finish, obs_fold_solver};
+use dotm_core::harnesses::LadderHarness;
+use dotm_core::{
+    run_macro_path_with_faults, GoodSpaceConfig, MacroHarness, MacroReport, PipelineConfig,
+};
+use dotm_defects::{sprinkle_collapsed, CollapseReport, Sprinkler};
+use std::time::Instant;
+
+fn config(fast: bool) -> PipelineConfig {
+    let max_classes = match env_usize("DOTM_MAX_CLASSES", 0) {
+        0 => None,
+        n => Some(n),
+    };
+    PipelineConfig {
+        defects: env_usize("DOTM_DEFECTS", 20_000),
+        seed: env_u64("DOTM_SEED", 2026),
+        goodspace: GoodSpaceConfig {
+            common_samples: env_usize("DOTM_GS_COMMON", 3),
+            mismatch_samples: env_usize("DOTM_GS_MM", 2),
+            seed: 5,
+            ..GoodSpaceConfig::default()
+        },
+        max_classes,
+        non_catastrophic: true,
+        // Warm starts stay on in both passes (rank updates ride the
+        // warm-start seed plumbing); the measurement cache stays off in
+        // both so every class performs its solves and the phase profile
+        // measures factorisation work, not cache replay.
+        warm_start: true,
+        measure_cache: false,
+        factor_reuse: fast,
+        rank_update: fast,
+        ..PipelineConfig::default()
+    }
+}
+
+struct Pass {
+    report: MacroReport,
+    seconds: f64,
+    lu_ns: u64,
+    rank_update_ns: u64,
+}
+
+fn phase_ns(name: &str) -> u64 {
+    dotm_obs::phase_totals()
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, _, ns)| *ns)
+        .unwrap_or(0)
+}
+
+fn run(fast: bool, collapsed: &CollapseReport, area: f64) -> Pass {
+    let cfg = config(fast);
+    let span = dotm_obs::span(if fast { "fast pass" } else { "baseline pass" }, "campaign");
+    let lu0 = phase_ns("lu");
+    let ru0 = phase_ns("rank_update");
+    let t0 = Instant::now();
+    let report = run_macro_path_with_faults(&LadderHarness, &cfg, collapsed, area)
+        .expect("ladder path must run");
+    let seconds = t0.elapsed().as_secs_f64();
+    drop(span);
+    Pass {
+        report,
+        seconds,
+        lu_ns: phase_ns("lu") - lu0,
+        rank_update_ns: phase_ns("rank_update") - ru0,
+    }
+}
+
+fn write_json(path: &str, fields: &[(&str, String)]) {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[dotm] bench summary: {path}"),
+        Err(e) => {
+            eprintln!("[dotm] bench summary write failed ({path}): {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    // The phase accumulators are the measurement instrument here, so the
+    // recorder is always on; `DOTM_TRACE` additionally exports the trace
+    // files via `obs_finish` as usual.
+    let trace = dotm_core::env::trace();
+    dotm_obs::set_enabled(true);
+    let cfg = config(false);
+    let layout = LadderHarness.layout();
+    let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
+    let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
+    let area = layout
+        .bbox()
+        .map(|b| b.expanded(cfg.stats.size.xmax / 2))
+        .map(|b| b.area() as f64)
+        .unwrap_or(0.0);
+    println!(
+        "ladder anchor, full refactorisation vs factor reuse + rank updates \
+         ({} defects, seed {})",
+        cfg.defects, cfg.seed
+    );
+
+    let base = run(false, &collapsed, area);
+    let bs = base.report.solver_totals();
+    println!(
+        "  baseline: {:.2}s  {} NR solves, {} iterations, LU phase {:.3}s ({} classes)",
+        base.seconds,
+        bs.nr_solves,
+        bs.nr_iterations,
+        base.lu_ns as f64 / 1e9,
+        base.report.outcomes.len()
+    );
+    let fast = run(true, &collapsed, area);
+    let fs = fast.report.solver_totals();
+    let factor_ns = fast.lu_ns + fast.rank_update_ns;
+    println!(
+        "  fast:     {:.2}s  {} NR solves, {} iterations, LU phase {:.3}s \
+         + rank-update {:.3}s ({} classes)",
+        fast.seconds,
+        fs.nr_solves,
+        fs.nr_iterations,
+        fast.lu_ns as f64 / 1e9,
+        fast.rank_update_ns as f64 / 1e9,
+        fast.report.outcomes.len()
+    );
+    let hit_pct = 100.0 * fs.factor_reuse_hits as f64 / fs.nr_iterations.max(1) as f64;
+    println!(
+        "  factor reuse: {} hits / {} linear solves ({hit_pct:.1}%), {} refactor fallbacks",
+        fs.factor_reuse_hits, fs.nr_iterations, fs.factor_refactor_fallbacks
+    );
+
+    // The verdicts — not the solver effort — must be identical per class.
+    let mut flipped = 0usize;
+    assert_eq!(
+        base.report.outcomes.len(),
+        fast.report.outcomes.len(),
+        "class lists diverged"
+    );
+    for (a, b) in base.report.outcomes.iter().zip(&fast.report.outcomes) {
+        assert_eq!(a.key, b.key, "class order diverged");
+        if a.detection != b.detection || a.voltage != b.voltage || a.currents != b.currents {
+            eprintln!("  VERDICT FLIP in class {}", a.key);
+            flipped += 1;
+        }
+    }
+    let speedup = base.lu_ns as f64 / factor_ns.max(1) as f64;
+    println!("  verdict flips: {flipped}   LU-phase speedup: {speedup:.2}x");
+
+    if let Ok(path) = std::env::var("DOTM_BENCH_JSON") {
+        write_json(
+            &path,
+            &[
+                ("bench", "\"lu_speedup\"".into()),
+                ("defects", cfg.defects.to_string()),
+                ("seed", cfg.seed.to_string()),
+                ("classes", base.report.outcomes.len().to_string()),
+                ("base_nr_solves", bs.nr_solves.to_string()),
+                ("base_nr_iterations", bs.nr_iterations.to_string()),
+                ("fast_nr_solves", fs.nr_solves.to_string()),
+                ("fast_nr_iterations", fs.nr_iterations.to_string()),
+                ("factor_reuse_hits", fs.factor_reuse_hits.to_string()),
+                (
+                    "factor_refactor_fallbacks",
+                    fs.factor_refactor_fallbacks.to_string(),
+                ),
+                ("verdict_flips", flipped.to_string()),
+                ("hit_pct", format!("{hit_pct:.2}")),
+                ("base_lu_ns", base.lu_ns.to_string()),
+                ("fast_lu_ns", fast.lu_ns.to_string()),
+                ("fast_rank_update_ns", fast.rank_update_ns.to_string()),
+                ("lu_speedup", format!("{speedup:.3}")),
+                ("base_wall_ms", format!("{:.1}", base.seconds * 1e3)),
+                ("fast_wall_ms", format!("{:.1}", fast.seconds * 1e3)),
+            ],
+        );
+    }
+
+    dotm_obs::set_enabled(trace);
+    let mut both = bs;
+    both += fs;
+    obs_fold_solver(&both);
+    obs_finish("lu_speedup");
+
+    let min_speedup = env_u64("DOTM_LU_MIN_SPEEDUP", 2) as f64;
+    let min_hit_pct = env_u64("DOTM_LU_MIN_HIT_PCT", 80) as f64;
+    if flipped > 0 {
+        eprintln!("[dotm] FAIL: {flipped} verdict flips");
+        std::process::exit(1);
+    }
+    if speedup < min_speedup {
+        eprintln!("[dotm] FAIL: LU-phase speedup {speedup:.2}x < {min_speedup}x");
+        std::process::exit(1);
+    }
+    if hit_pct < min_hit_pct {
+        eprintln!("[dotm] FAIL: factor-reuse hit rate {hit_pct:.1}% < {min_hit_pct}%");
+        std::process::exit(1);
+    }
+}

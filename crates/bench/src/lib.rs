@@ -30,6 +30,12 @@
 //! netlists). Both are pure solver-effort knobs — detection verdicts are
 //! identical either way, and the cache replays solver telemetry so
 //! cache-on reports are bit-identical to cache-off at any thread count.
+//! `DOTM_FACTOR_REUSE` (`1`/`0`, default on: bitwise-exact LU factor
+//! cache — only the occupancy counters in the accounting move) and
+//! `DOTM_RANK_UPDATE` (`1`/`0`, default off: Sherman–Morrison–Woodbury
+//! rank-k updates of the nominal factorisation; changes round-off, so the
+//! `lu_speedup` bench gates verdict preservation before it is enabled
+//! anywhere).
 //!
 //! `DOTM_TRACE` (`1`/`0`, default off) turns on the [`dotm_obs`]
 //! observability recorder: the binary appends a per-phase wall-clock
@@ -144,6 +150,8 @@ pub fn standard_config() -> PipelineConfig {
         sim_failure_policy: env_sim_failure_policy(),
         warm_start: dotm_core::env::warm_start(),
         measure_cache: dotm_core::env::measure_cache(),
+        factor_reuse: dotm_core::env::factor_reuse(),
+        rank_update: dotm_core::env::rank_update(),
         ..PipelineConfig::default()
     }
 }
@@ -252,6 +260,12 @@ fn print_accounting(
             solver.warm_hits,
             solver.warm_misses,
             100.0 * solver.warm_hits as f64 / (solver.warm_hits + solver.warm_misses) as f64,
+        );
+    }
+    if solver.factor_reuse_hits + solver.factor_refactor_fallbacks > 0 {
+        println!(
+            "  factor reuse: {} hits, {} refactor fallbacks",
+            solver.factor_reuse_hits, solver.factor_refactor_fallbacks,
         );
     }
     if cache_lookups > 0 {

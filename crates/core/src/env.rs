@@ -20,6 +20,8 @@
 //! | `DOTM_THREADS` | executor worker threads (`0` = auto) | auto |
 //! | `DOTM_WARM_START` | seed Newton from nominal operating points | on |
 //! | `DOTM_MEASURE_CACHE` | in-memory measurement memoization | on |
+//! | `DOTM_FACTOR_REUSE` | bitwise-exact LU factor cache in the solver | on |
+//! | `DOTM_RANK_UPDATE` | rank-k nominal-factor updates (SMW) | off |
 //! | `DOTM_SIM_FAILURE_POLICY` | accounting for never-converged classes | assume-detected |
 //! | `DOTM_STORE_DIR` | persistent campaign-store directory | unset |
 //! | `DOTM_TRACE` | structured observability (spans/phases/counters) | off |
@@ -119,6 +121,28 @@ pub fn warm_start() -> bool {
 /// On a malformed value.
 pub fn measure_cache() -> bool {
     bool_knob("DOTM_MEASURE_CACHE", true)
+}
+
+/// The `DOTM_FACTOR_REUSE` knob (default on): the bitwise-exact LU
+/// factor cache inside the solver. Toggling it may never change a
+/// reported number (the determinism suite enforces this) — the knob
+/// exists for A/B benchmarking and as an escape hatch.
+///
+/// # Panics
+/// On a malformed value.
+pub fn factor_reuse() -> bool {
+    bool_knob("DOTM_FACTOR_REUSE", true)
+}
+
+/// The `DOTM_RANK_UPDATE` knob (default off): Sherman–Morrison–Woodbury
+/// rank-k updates of the nominal factorisation for fault variants.
+/// Changes floating-point round-off (verdict preservation is gated
+/// empirically by the `lu_speedup` bench), hence off by default.
+///
+/// # Panics
+/// On a malformed value.
+pub fn rank_update() -> bool {
+    bool_knob("DOTM_RANK_UPDATE", false)
 }
 
 /// The `DOTM_SIM_FAILURE_POLICY` knob (default: the paper-parity

@@ -15,7 +15,7 @@ use crate::measure::MeasureKind;
 use crate::processvar::ProcessModel;
 use crate::signature::{CurrentFlags, CurrentKind};
 use dotm_rng::rngs::StdRng;
-use dotm_sim::{SimError, SimStats};
+use dotm_sim::{SimError, SimOptions, SimStats};
 
 /// Monte-Carlo sizes for good-space compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,13 @@ pub struct GoodSpaceConfig {
     /// homotopy chain, so this only changes solver effort, never whether
     /// a corner converges from the methodology's point of view.
     pub warm_start: bool,
+    /// Bitwise-exact LU factor reuse inside the solver (overrides the
+    /// harness's base [`SimOptions`]). May never change a reported bit.
+    pub factor_reuse: bool,
+    /// Sherman–Morrison–Woodbury rank-k updates of the nominal
+    /// factorisation (overrides the harness's base [`SimOptions`]).
+    /// Changes floating-point round-off; off by default.
+    pub rank_update: bool,
 }
 
 impl Default for GoodSpaceConfig {
@@ -46,8 +53,20 @@ impl Default for GoodSpaceConfig {
             seed: 1995,
             exec: ExecConfig::default(),
             warm_start: true,
+            factor_reuse: true,
+            rank_update: false,
         }
     }
+}
+
+/// The harness's base options with the config's factorisation knobs
+/// applied — every simulator the compilation spins up goes through this,
+/// so the knobs govern the nominal capture run and all corners alike.
+fn sim_options_for(harness: &dyn MacroHarness, cfg: &GoodSpaceConfig) -> SimOptions {
+    let mut opts = harness.sim_options();
+    opts.factor_reuse = cfg.factor_reuse;
+    opts.rank_update = cfg.rank_update;
+    opts
 }
 
 /// Draws common sample `si` — and its `m` mismatch measurements — from
@@ -63,7 +82,7 @@ fn compile_common_sample(
     si: u64,
     warm: Option<&WarmStart>,
 ) -> Result<(Vec<Vec<f64>>, SimStats, u64), SimError> {
-    let opts = harness.sim_options();
+    let opts = sim_options_for(harness, cfg);
     let mut rng = StdRng::seed_from_stream(cfg.seed, si);
     let mut stats = SimStats::default();
     let mut retries: u64 = 0;
@@ -145,7 +164,7 @@ impl GoodSpace {
         };
         let nominal = harness.measure_with(
             &harness.testbench(),
-            &harness.sim_options(),
+            &sim_options_for(harness, &cfg),
             &mut solver,
             nominal_warm,
         )?;

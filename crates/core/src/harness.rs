@@ -14,8 +14,17 @@ use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
 use dotm_rng::rngs::StdRng;
-use dotm_sim::{OpPoint, SimError, SimOptions, SimStats, Simulator};
-use std::sync::Mutex;
+use dotm_sim::{NominalFactors, OpPoint, SimError, SimOptions, SimStats, Simulator};
+use std::sync::{Arc, Mutex};
+
+/// One captured analysis slot: the nominal operating point plus (when the
+/// rank-update path is enabled) the nominal system's LU factorisation,
+/// shared across every fault variant of the same slot via `Arc`.
+#[derive(Debug, Clone)]
+struct SlotSeed {
+    op: OpPoint,
+    factors: Option<Arc<NominalFactors>>,
+}
 
 /// Collects the good-circuit operating point of every DC-rooted analysis a
 /// harness runs, indexed by *analysis slot* — the position of the analysis
@@ -24,7 +33,7 @@ use std::sync::Mutex;
 /// measurement, then frozen into a read-only [`WarmStart`].
 #[derive(Debug, Default)]
 pub struct WarmCapture {
-    slots: Mutex<Vec<Option<OpPoint>>>,
+    slots: Mutex<Vec<Option<SlotSeed>>>,
 }
 
 impl WarmCapture {
@@ -33,13 +42,15 @@ impl WarmCapture {
         Self::default()
     }
 
-    /// Records the operating point solved for analysis slot `slot`.
-    pub fn record(&self, slot: usize, op: OpPoint) {
+    /// Records the operating point solved for analysis slot `slot`,
+    /// together with the nominal LU factors when the capture run holds
+    /// them (rank-update mode only).
+    pub fn record(&self, slot: usize, op: OpPoint, factors: Option<Arc<NominalFactors>>) {
         let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         if slots.len() <= slot {
             slots.resize(slot + 1, None);
         }
-        slots[slot] = Some(op);
+        slots[slot] = Some(SlotSeed { op, factors });
     }
 
     /// Freezes the captured points into an immutable seed table.
@@ -59,13 +70,22 @@ impl WarmCapture {
 /// chain whenever the seed does not converge.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStart {
-    seeds: Vec<Option<OpPoint>>,
+    seeds: Vec<Option<SlotSeed>>,
 }
 
 impl WarmStart {
     /// The captured nominal operating point for analysis slot `slot`.
     pub fn seed(&self, slot: usize) -> Option<&OpPoint> {
-        self.seeds.get(slot).and_then(|s| s.as_ref())
+        self.seeds.get(slot).and_then(|s| s.as_ref()).map(|s| &s.op)
+    }
+
+    /// The captured nominal LU factorisation for analysis slot `slot`
+    /// (present only when the capture run had rank updates enabled).
+    pub fn factors(&self, slot: usize) -> Option<&Arc<NominalFactors>> {
+        self.seeds
+            .get(slot)
+            .and_then(|s| s.as_ref())
+            .and_then(|s| s.factors.as_ref())
     }
 
     /// Number of analysis slots that captured a point.
@@ -261,8 +281,15 @@ pub fn with_instrumented_sim_warm<R>(
     if let Warm::Seed(start) = warm {
         if let Some(op) = start.seed(slot) {
             // seed_dc_from rejects seeds that violate the append-only
-            // invariant; a rejected seed just means a cold start.
-            let _ = sim.seed_dc_from(op);
+            // invariant; a rejected seed just means a cold start — and
+            // the nominal factors only embed into circuits that satisfy
+            // the same invariant, so they are installed only when the
+            // seed was accepted.
+            if sim.seed_dc_from(op) {
+                if let Some(factors) = start.factors(slot) {
+                    sim.install_nominal_factors(factors.clone());
+                }
+            }
         }
     }
     let span = dotm_obs::span_with("analysis", || format!("analysis {slot} [{}]", nl.name()));
@@ -270,7 +297,15 @@ pub fn with_instrumented_sim_warm<R>(
     drop(span);
     if let Warm::Capture(capture) = warm {
         if let Some(op) = sim.last_dc_op() {
-            capture.record(slot, op);
+            // Factorising the nominal system costs one extra assembly +
+            // LU per analysis slot; only pay it when the rank-update
+            // path that consumes the factors is enabled.
+            let factors = if opts.rank_update {
+                sim.capture_nominal_factors()
+            } else {
+                None
+            };
+            capture.record(slot, op, factors);
         }
     }
     stats.merge(sim.stats());

@@ -157,6 +157,18 @@ pub struct PipelineConfig {
     /// circuits are solved once per run. Replays the cached solver-stats
     /// delta on a hit, keeping reports bit-identical to a cache-off run.
     pub measure_cache: bool,
+    /// Bitwise-exact LU factor reuse inside the solver: identical system
+    /// matrices within one simulator reuse the previous factorisation.
+    /// Toggling it may never change a reported bit (only the occupancy
+    /// counters in the solver telemetry move).
+    pub factor_reuse: bool,
+    /// Sherman–Morrison–Woodbury rank-k updates: factor the nominal
+    /// circuit once per analysis slot, apply each fault variant's
+    /// append-only delta as a low-rank update, and fall back to a full
+    /// refactorisation when the delta is not low-rank or the update is
+    /// ill-conditioned. Changes floating-point round-off, so it is off by
+    /// default; the `lu_speedup` bench gates verdict preservation.
+    pub rank_update: bool,
 }
 
 impl Default for PipelineConfig {
@@ -174,6 +186,8 @@ impl Default for PipelineConfig {
             escalation: EscalationLadder::default(),
             warm_start: true,
             measure_cache: true,
+            factor_reuse: true,
+            rank_update: false,
         }
     }
 }
@@ -668,6 +682,8 @@ pub fn run_macro_path_with_faults_hooked(
     let _macro_span = dotm_obs::span_with("macro", || format!("macro {}", harness.name()));
     let mut gs_cfg = cfg.goodspace;
     gs_cfg.warm_start = gs_cfg.warm_start && cfg.warm_start;
+    gs_cfg.factor_reuse = cfg.factor_reuse;
+    gs_cfg.rank_update = cfg.rank_update;
     let good = GoodSpace::compile(harness, &cfg.process, gs_cfg).map_err(PathError::GoodCircuit)?;
     let injector = Injector::default();
     let shared: HashSet<&str> = harness.shared_nets().into_iter().collect();
@@ -730,8 +746,7 @@ pub fn run_macro_path_with_faults_hooked(
                     effect,
                     severity,
                     is_shared,
-                    cfg.sim_failure_policy,
-                    cfg.escalation,
+                    cfg,
                     warm,
                     cache.as_ref(),
                     store,
@@ -925,14 +940,17 @@ fn evaluate_class(
     effect: &FaultEffect,
     severity: Severity,
     shared: bool,
-    policy: SimFailurePolicy,
-    ladder: EscalationLadder,
+    cfg: &PipelineConfig,
     warm: Option<&WarmStart>,
     cache: Option<&MeasureCache>,
     store: Option<&dyn MeasurementStore>,
 ) -> Evaluated {
+    let policy = cfg.sim_failure_policy;
+    let ladder = cfg.escalation;
     let n_variants = injector.variant_count(effect);
-    let base_opts = harness.sim_options();
+    let mut base_opts = harness.sim_options();
+    base_opts.factor_reuse = cfg.factor_reuse;
+    base_opts.rank_update = cfg.rank_update;
     let mut best: Option<(u32, VariantEval)> = None;
     let mut any_injected = false;
     let mut inject_errors = 0usize;

@@ -13,7 +13,7 @@
 //!   with the [`start`]/[`phase`] pattern that costs a single relaxed
 //!   atomic load when tracing is off.
 //! - **Counters** — a name → value registry that unifies the solver's
-//!   13-word `SimStats`, the measurement-cache and the persistent-store
+//!   15-word `SimStats`, the measurement-cache and the persistent-store
 //!   counters into one export.
 //! - **Exporters** — an NDJSON event log ([`export_ndjson`]) and a
 //!   `chrome://tracing`-compatible trace file ([`export_chrome`]), plus a
@@ -44,15 +44,19 @@ use std::time::Instant;
 /// Fixed hot-path phases, each backed by one `(calls, ns)` accumulator.
 ///
 /// `Newton` times whole Newton–Raphson solves and therefore *includes*
-/// the `Assembly` and `Lu` time spent inside them; [`phase_table`] prints
-/// the exclusive remainder as `newton (other)`.
+/// the `Assembly`, `Lu` and `RankUpdate` time spent inside them;
+/// [`phase_table`] prints the exclusive remainder as `newton (other)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// MNA matrix + RHS assembly (stamping), once per Newton iteration.
     Assembly,
     /// Dense LU factor + solve, real (DC/transient) and complex (AC).
     Lu,
-    /// A whole Newton–Raphson solve (includes Assembly and Lu).
+    /// Sherman–Morrison–Woodbury rank-update solve attempts (delta scan,
+    /// triangular solves, residual check) — hits, misses and fallbacks
+    /// alike. Exact factor-cache hits still run through `Lu`.
+    RankUpdate,
+    /// A whole Newton–Raphson solve (includes Assembly, Lu, RankUpdate).
     Newton,
     /// In-memory measurement-cache lookup.
     CacheLookup,
@@ -65,10 +69,11 @@ pub enum Phase {
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 7] = [
+pub const PHASES: [Phase; 8] = [
     Phase::Newton,
     Phase::Assembly,
     Phase::Lu,
+    Phase::RankUpdate,
     Phase::CacheLookup,
     Phase::StoreLoad,
     Phase::StoreWrite,
@@ -81,6 +86,7 @@ impl Phase {
         match self {
             Phase::Assembly => "assembly",
             Phase::Lu => "lu",
+            Phase::RankUpdate => "rank_update",
             Phase::Newton => "newton",
             Phase::CacheLookup => "cache_lookup",
             Phase::StoreLoad => "store_load",
@@ -93,16 +99,17 @@ impl Phase {
         match self {
             Phase::Assembly => 0,
             Phase::Lu => 1,
-            Phase::Newton => 2,
-            Phase::CacheLookup => 3,
-            Phase::StoreLoad => 4,
-            Phase::StoreWrite => 5,
-            Phase::Journal => 6,
+            Phase::RankUpdate => 2,
+            Phase::Newton => 3,
+            Phase::CacheLookup => 4,
+            Phase::StoreLoad => 5,
+            Phase::StoreWrite => 6,
+            Phase::Journal => 7,
         }
     }
 }
 
-const N_PHASES: usize = 7;
+const N_PHASES: usize = 8;
 
 #[derive(Default)]
 struct PhaseSlot {
@@ -336,8 +343,8 @@ fn fmt_secs(ns: u64) -> String {
 }
 
 /// Renders the per-phase summary table (calls, total, mean per call).
-/// `Newton` includes its `Assembly`/`Lu` children, so the exclusive
-/// remainder is shown as `newton (other)`.
+/// `Newton` includes its `Assembly`/`Lu`/`RankUpdate` children, so the
+/// exclusive remainder is shown as `newton (other)`.
 pub fn phase_table() -> String {
     let totals = phase_totals();
     let mut out = String::new();
@@ -355,7 +362,7 @@ pub fn phase_table() -> String {
         }
         match *name {
             "newton" => newton = (*calls, *ns),
-            "assembly" | "lu" => inner += ns,
+            "assembly" | "lu" | "rank_update" => inner += ns,
             _ => {}
         }
         let mean = *ns as f64 / (*calls).max(1) as f64 / 1e9;

@@ -8,6 +8,7 @@
 
 use crate::engine::{OpPoint, Simulator};
 use crate::error::SimError;
+use crate::matrix::SingularInfo;
 use crate::models::{diode_eval, mosfet_eval, switch_eval};
 use dotm_netlist::{DeviceKind, DiodeParams, NodeId};
 
@@ -93,7 +94,7 @@ impl ComplexMatrix {
         e.im += v.im;
     }
 
-    fn solve_in_place(&mut self, b: &mut [Complex]) -> bool {
+    fn solve_in_place(&mut self, b: &mut [Complex]) -> Result<(), SingularInfo> {
         let n = self.n;
         let a = &mut self.data;
         for k in 0..n {
@@ -116,7 +117,10 @@ impl ComplexMatrix {
                 col_max = col_max.max(a[i * n + k].abs());
             }
             if max.is_nan() || max <= col_max * 1e-14 {
-                return false;
+                return Err(SingularInfo {
+                    col: k,
+                    pivot_mag: max,
+                });
             }
             if piv != k {
                 for j in 0..n {
@@ -145,7 +149,7 @@ impl ComplexMatrix {
             }
             b[k] = acc.div(a[k * n + k]);
         }
-        true
+        Ok(())
     }
 }
 
@@ -375,7 +379,7 @@ impl<'a> Simulator<'a> {
             let t_lu = dotm_obs::start();
             let ok = a.solve_in_place(&mut b);
             dotm_obs::phase(dotm_obs::Phase::Lu, t_lu);
-            if !ok {
+            if ok.is_err() {
                 return Err(SimError::Singular { analysis: "ac" });
             }
             solutions.push(b[..(n_nodes - 1)].to_vec());
@@ -535,7 +539,10 @@ mod tests {
         m.add(1, 0, Complex::new(s, 0.0));
         m.add(1, 1, Complex::new(3.0 * s, -s));
         let mut b = vec![Complex::new(3.0 * s, 0.0), Complex::new(5.0 * s, 0.0)];
-        assert!(m.solve_in_place(&mut b), "scaled complex system must solve");
+        assert!(
+            m.solve_in_place(&mut b).is_ok(),
+            "scaled complex system must solve"
+        );
         // Residual check against the original entries.
         let a00 = Complex::new(2.0 * s, s);
         let a01 = Complex::new(s, 0.0);
@@ -550,7 +557,10 @@ mod tests {
             m.add(1, 0, Complex::new(2.0 * scale, 2.0 * scale));
             m.add(1, 1, Complex::new(4.0 * scale, 4.0 * scale));
             let mut b = vec![Complex::new(scale, 0.0), Complex::new(scale, 0.0)];
-            assert!(!m.solve_in_place(&mut b), "cancellation must stay singular");
+            let info = m
+                .solve_in_place(&mut b)
+                .expect_err("cancellation must stay singular");
+            assert_eq!(info.col, 1, "cancellation shows at the second column");
         }
     }
 

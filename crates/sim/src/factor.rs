@@ -1,0 +1,648 @@
+//! Nominal-factor reuse: solve fault-variant systems as low-rank updates
+//! of the factored nominal circuit (Sherman–Morrison–Woodbury).
+//!
+//! The defect-oriented flow evaluates thousands of circuits that are the
+//! *nominal* netlist plus a tiny electrical delta — fault injection only
+//! ever appends nodes and devices. [`NominalFactors`] captures the
+//! nominal MNA matrix and its LU factorisation once per analysis slot;
+//! [`NominalFactors::smw_solve`] then solves each variant system with a
+//! handful of triangular solves instead of a fresh `O(n³)`
+//! factorisation, as long as the variant differs from the (embedded)
+//! nominal matrix in at most a few columns.
+//!
+//! Correctness is defended in depth rather than assumed: the delta scan
+//! is exact (bitwise column comparison), the small capacitance matrix is
+//! solved with the same scale-relative pivot test as every other solve
+//! (ill-conditioned updates are refused), and every accepted solution
+//! must pass a backward-error residual check against the *actual*
+//! variant system. Any refusal falls back to a full refactorisation in
+//! the engine — the update path is a speed-up, never a correctness
+//! dependency.
+
+use crate::matrix::{DenseMatrix, LuFactors};
+
+/// Why a rank-update attempt did not produce a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmwOutcome {
+    /// The update solved the variant system; the solution passed the
+    /// residual check.
+    Solved,
+    /// The variant differs from the embedded nominal matrix in more
+    /// columns than the rank budget — a plain miss (typical for a
+    /// nonlinear circuit re-linearised away from the nominal point).
+    NotLowRank,
+    /// The capacitance matrix `I + Vᵀ·A₀⁻¹·U` was numerically singular:
+    /// the update is ill-conditioned and must be refused.
+    IllConditioned,
+    /// The candidate solution failed the backward-error residual check
+    /// (or was non-finite) — verdict-affecting divergence is possible,
+    /// so the engine must refactor in full.
+    Inaccurate,
+}
+
+/// Maximum number of changed columns the update path accepts. Beyond
+/// this the triangular-solve bill approaches the refactorisation it is
+/// supposed to avoid, and typical fault deltas (one short, one open, one
+/// appended device) touch only 2–6 columns.
+pub const SMW_MAX_RANK: usize = 8;
+
+/// Relative backward-error bound an accepted solution must satisfy:
+/// `‖A_v·x − z‖∞ ≤ SMW_RESIDUAL_RTOL · (‖A_v‖∞·‖x‖∞ + ‖z‖∞)`.
+pub const SMW_RESIDUAL_RTOL: f64 = 1e-9;
+
+/// The nominal circuit's assembled MNA matrix and its LU factorisation,
+/// captured once per (macro, analysis-slot) at the converged nominal
+/// operating point and shared read-only across all fault variants and
+/// escalation rungs with a matching `gmin`.
+#[derive(Debug)]
+pub struct NominalFactors {
+    /// Nominal node count (including ground).
+    n_nodes: usize,
+    /// Nominal voltage-source count.
+    n_vsrc: usize,
+    /// The `gmin` the matrix was assembled with; a variant solve at a
+    /// different `gmin` perturbs every node diagonal, so the engine only
+    /// attempts the update when its `gmin` matches bit-for-bit.
+    gmin: f64,
+    /// The assembled nominal matrix (needed to compute update columns).
+    a0: DenseMatrix,
+    /// Its LU factorisation.
+    lu: LuFactors,
+}
+
+impl NominalFactors {
+    /// Captures `a0` (already assembled at the nominal operating point)
+    /// and its factorisation. Returns `None` if the nominal matrix is
+    /// singular — there is nothing worth reusing then.
+    pub fn capture(a0: DenseMatrix, n_nodes: usize, n_vsrc: usize, gmin: f64) -> Option<Self> {
+        let mut lu = LuFactors::new();
+        lu.refactor(&a0).ok()?;
+        Some(NominalFactors {
+            n_nodes,
+            n_vsrc,
+            gmin,
+            a0,
+            lu,
+        })
+    }
+
+    /// The `gmin` the nominal matrix was assembled with.
+    #[inline]
+    pub fn gmin(&self) -> f64 {
+        self.gmin
+    }
+
+    /// Dimension of the nominal system.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.a0.dim()
+    }
+
+    /// Maps variant unknown `i` to the corresponding nominal unknown,
+    /// or `None` for an appended (fault-added) node or branch.
+    ///
+    /// Fault injection appends: variant node voltages keep the nominal
+    /// prefix, and the branch block starts at the *variant* node count,
+    /// with nominal branches as its prefix. (The engine verifies the
+    /// source id-prefix invariant in `seed_dc_from`; the same
+    /// append-only structure is what makes this mapping total.)
+    #[inline]
+    fn map_to_nominal(&self, i: usize, v_n_nodes: usize) -> Option<usize> {
+        let n0_v = self.n_nodes - 1;
+        if i < v_n_nodes - 1 {
+            if i < n0_v {
+                Some(i)
+            } else {
+                None
+            }
+        } else {
+            let k = i - (v_n_nodes - 1);
+            if k < self.n_vsrc {
+                Some(n0_v + k)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Applies `A₀ₑ⁻¹` in place, where `A₀ₑ` is the nominal matrix
+    /// embedded into the variant's unknown ordering with an identity on
+    /// the appended slots (so appended entries pass through unchanged).
+    /// When the variant appends nothing the embedding is the identity
+    /// and the gather/scatter through `n2v` is skipped entirely.
+    fn solve_embedded(&self, v: &mut [f64], n2v: &[usize], b0: &mut [f64], identity: bool) {
+        if identity {
+            debug_assert_eq!(v.len(), n2v.len());
+            self.lu.solve(v);
+            return;
+        }
+        for (j, &vi) in n2v.iter().enumerate() {
+            b0[j] = v[vi];
+        }
+        self.lu.solve(b0);
+        for (j, &vi) in n2v.iter().enumerate() {
+            v[vi] = b0[j];
+        }
+    }
+
+    /// Attempts to solve `A_v·x = z` as a rank-k update of the embedded
+    /// nominal matrix, writing the solution into `x` on success.
+    ///
+    /// Convenience single-shot form of [`NominalFactors::prepare`] +
+    /// [`NominalFactors::solve_with`]; callers that solve the same
+    /// variant matrix repeatedly (every measurement of a linear variant
+    /// re-assembles it bit-identically) should cache the
+    /// [`SmwPlan`] instead and skip the scan and update solves.
+    pub fn smw_solve(
+        &self,
+        a_v: &DenseMatrix,
+        z: &[f64],
+        v_n_nodes: usize,
+        x: &mut [f64],
+    ) -> SmwOutcome {
+        match self.prepare(a_v, v_n_nodes) {
+            Ok(plan) => self.solve_with(&plan, a_v, z, x),
+            Err(out) => out,
+        }
+    }
+
+    /// Scans the variant matrix against the embedded nominal one and, if
+    /// the delta is low-rank and well-conditioned, builds the reusable
+    /// part of the Sherman–Morrison–Woodbury update: the changed-column
+    /// set, the update solves `W = A₀ₑ⁻¹·U`, and the factored capacitance
+    /// matrix. The plan depends only on the matrix *entries* (and the
+    /// nominal factors it was built against), so a caller may reuse it
+    /// for every right-hand side as long as the assembled matrix bytes
+    /// are unchanged — replaying a plan is arithmetic-identical to
+    /// rebuilding it.
+    ///
+    /// `v_n_nodes` is the variant circuit's node count (including
+    /// ground), which fixes the embedding of nominal unknowns into the
+    /// variant ordering. The delta scan and conditioning test are
+    /// described on [`SmwOutcome`].
+    pub fn prepare(&self, a_v: &DenseMatrix, v_n_nodes: usize) -> Result<SmwPlan, SmwOutcome> {
+        let n_v = a_v.dim();
+        let n0 = self.a0.dim();
+        if n_v < n0 || v_n_nodes < self.n_nodes || (v_n_nodes - 1) + self.n_vsrc > n_v {
+            // Not an append-only variant of this nominal circuit.
+            return Err(SmwOutcome::NotLowRank);
+        }
+
+        // Variant-index → nominal-index map and its inverse. The map is
+        // block-structured (the nominal node unknowns are a contiguous
+        // prefix of the variant node block, the nominal branch unknowns
+        // a contiguous prefix of the variant branch block), which the
+        // delta scan below exploits to compare whole slices instead of
+        // mapping every cell.
+        let map: Vec<Option<usize>> = (0..n_v)
+            .map(|i| self.map_to_nominal(i, v_n_nodes))
+            .collect();
+        let mut n2v = vec![0usize; n0];
+        for (i, m) in map.iter().enumerate() {
+            if let Some(j) = *m {
+                n2v[j] = i;
+            }
+        }
+        // With nothing appended the embedding is the identity.
+        let identity = n_v == n0 && v_n_nodes == self.n_nodes;
+
+        // Exact delta scan: find the columns where A_v differs from the
+        // embedded nominal matrix, aborting as soon as the count exceeds
+        // the rank budget. Unfaulted stamps are literal re-runs of the
+        // nominal assembly (same devices, same order), so unchanged
+        // cells compare equal exactly; NaN cells always register as
+        // changed (`NaN != x` for every x) and are caught by the
+        // residual check downstream.
+        let n0_v = self.n_nodes - 1; // nominal node unknowns
+        let v_nv = v_n_nodes - 1; // variant node unknowns
+        let nb = self.n_vsrc; // nominal branch unknowns
+        let a0e = self.a0.entries();
+        let rows = a_v.entries();
+        let mut changed_mask = vec![false; n_v];
+        let mut n_changed = 0usize;
+        // Mark column `c` as changed; abort once over the rank budget.
+        macro_rules! mark {
+            ($c:expr) => {
+                let c = $c;
+                if !changed_mask[c] {
+                    changed_mask[c] = true;
+                    n_changed += 1;
+                    if n_changed > SMW_MAX_RANK {
+                        return Err(SmwOutcome::NotLowRank);
+                    }
+                }
+            };
+        }
+        // ‖A_v‖∞ for the residual bound rides along with the scan: the
+        // row is L1-hot right after its comparison pass, so the extra
+        // absolute-value sweep costs arithmetic only, not memory
+        // traffic. Fixed 4-way association keeps it deterministic while
+        // breaking the add latency chain.
+        let mut a_inf: f64 = 0.0;
+        for r in 0..n_v {
+            let row = &rows[r * n_v..(r + 1) * n_v];
+            match map[r] {
+                Some(rn) => {
+                    // Nominal row: per-block slice comparison against the
+                    // corresponding nominal row; appended slots are zero
+                    // in the embedding.
+                    let a0row = &a0e[rn * n0..(rn + 1) * n0];
+                    for (c, (&av, &a0v)) in row[..n0_v].iter().zip(&a0row[..n0_v]).enumerate() {
+                        if av != a0v {
+                            mark!(c);
+                        }
+                    }
+                    for (i, &av) in row[n0_v..v_nv].iter().enumerate() {
+                        if av != 0.0 {
+                            mark!(n0_v + i);
+                        }
+                    }
+                    for (i, (&av, &a0v)) in
+                        row[v_nv..v_nv + nb].iter().zip(&a0row[n0_v..]).enumerate()
+                    {
+                        if av != a0v {
+                            mark!(v_nv + i);
+                        }
+                    }
+                    for (i, &av) in row[v_nv + nb..].iter().enumerate() {
+                        if av != 0.0 {
+                            mark!(v_nv + nb + i);
+                        }
+                    }
+                }
+                None => {
+                    // Appended row: the embedding holds an identity row.
+                    for (c, &av) in row.iter().enumerate() {
+                        let a0v = if c == r { 1.0 } else { 0.0 };
+                        if av != a0v {
+                            mark!(c);
+                        }
+                    }
+                }
+            }
+            let mut acc = [0.0f64; 4];
+            for q in row.chunks_exact(4) {
+                acc[0] += q[0].abs();
+                acc[1] += q[1].abs();
+                acc[2] += q[2].abs();
+                acc[3] += q[3].abs();
+            }
+            let mut rowsum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            for &v in row.chunks_exact(4).remainder() {
+                rowsum += v.abs();
+            }
+            a_inf = a_inf.max(rowsum);
+        }
+        let changed: Vec<usize> = (0..n_v).filter(|&c| changed_mask[c]).collect();
+        let k = changed.len();
+
+        // W = A₀ₑ⁻¹·U; U's columns are the changed columns of
+        // (A_v − A₀ₑ). All columns are materialised first, then solved
+        // in one blocked sweep so the factor array streams through the
+        // cache once instead of once per column.
+        let mut w = vec![0.0; n_v * k];
+        for (j, &c) in changed.iter().enumerate() {
+            let col = &mut w[j * n_v..(j + 1) * n_v];
+            match map[c] {
+                Some(cn) => {
+                    for (r, slot) in col.iter_mut().enumerate() {
+                        let a0v = match map[r] {
+                            Some(rn) => a0e[rn * n0 + cn],
+                            None => 0.0,
+                        };
+                        *slot = rows[r * n_v + c] - a0v;
+                    }
+                }
+                None => {
+                    for (r, slot) in col.iter_mut().enumerate() {
+                        let a0v = if r == c { 1.0 } else { 0.0 };
+                        *slot = rows[r * n_v + c] - a0v;
+                    }
+                }
+            }
+        }
+        if identity {
+            self.lu.solve_block(&mut w);
+        } else {
+            // Embedded form: gather the nominal-mapped entries of every
+            // column into a dense block, solve, and scatter back.
+            let mut block = vec![0.0; n0 * k];
+            for j in 0..k {
+                let col = &w[j * n_v..(j + 1) * n_v];
+                let b0 = &mut block[j * n0..(j + 1) * n0];
+                for (bj, &vi) in b0.iter_mut().zip(&n2v) {
+                    *bj = col[vi];
+                }
+            }
+            self.lu.solve_block(&mut block);
+            for j in 0..k {
+                let col = &mut w[j * n_v..(j + 1) * n_v];
+                let b0 = &block[j * n0..(j + 1) * n0];
+                for (&bj, &vi) in b0.iter().zip(&n2v) {
+                    col[vi] = bj;
+                }
+            }
+        }
+        // Capacitance system factors: (I_k + Vᵀ·W), where Vᵀ picks the
+        // changed rows. Its scale-relative pivot test doubles as the
+        // conditioning gate for the whole update.
+        let mut m_lu = LuFactors::new();
+        if k > 0 {
+            let mut m = DenseMatrix::zeros(k);
+            for (i, &ci) in changed.iter().enumerate() {
+                for j in 0..k {
+                    let v = w[j * n_v + ci] + if i == j { 1.0 } else { 0.0 };
+                    m.set(i, j, v);
+                }
+            }
+            if m_lu.refactor(&m).is_err() {
+                return Err(SmwOutcome::IllConditioned);
+            }
+        }
+
+        Ok(SmwPlan {
+            n_v,
+            n2v,
+            identity,
+            changed,
+            w,
+            m_lu,
+            a_inf,
+        })
+    }
+
+    /// Solves `A_v·x = z` by replaying a prepared update plan, writing
+    /// the solution into `x` on success. `a_v` must hold the same
+    /// entries the plan was [`prepare`](NominalFactors::prepare)d from
+    /// (it is used by the backward-error check, which guards the actual
+    /// variant system). Any outcome other than [`SmwOutcome::Solved`]
+    /// leaves `x` unspecified and the caller refactors in full.
+    pub fn solve_with(
+        &self,
+        plan: &SmwPlan,
+        a_v: &DenseMatrix,
+        z: &[f64],
+        x: &mut [f64],
+    ) -> SmwOutcome {
+        let n_v = plan.n_v;
+        let n0 = self.a0.dim();
+        debug_assert_eq!(a_v.dim(), n_v);
+        debug_assert_eq!(z.len(), n_v);
+        debug_assert_eq!(x.len(), n_v);
+        let k = plan.changed.len();
+        let mut b0 = vec![0.0; n0];
+
+        // y = A₀ₑ⁻¹·z.
+        x.copy_from_slice(z);
+        self.solve_embedded(x, &plan.n2v, &mut b0, plan.identity);
+        if k > 0 {
+            // s = (I_k + Vᵀ·W)⁻¹·Vᵀ·y, then x = y − W·s.
+            let mut s: Vec<f64> = plan.changed.iter().map(|&c| x[c]).collect();
+            plan.m_lu.solve(&mut s);
+            for (j, &sj) in s.iter().enumerate() {
+                if sj == 0.0 {
+                    continue;
+                }
+                let col = &plan.w[j * n_v..(j + 1) * n_v];
+                for (xi, &wi) in x.iter_mut().zip(col) {
+                    *xi -= wi * sj;
+                }
+            }
+        }
+
+        // Backward-error check against the actual variant system.
+        let mut x_inf: f64 = 0.0;
+        for &xi in x.iter() {
+            if !xi.is_finite() {
+                return SmwOutcome::Inaccurate;
+            }
+            x_inf = x_inf.max(xi.abs());
+        }
+        let rows = a_v.entries();
+        let mut r_inf: f64 = 0.0;
+        let mut z_inf: f64 = 0.0;
+        for r in 0..n_v {
+            let row = &rows[r * n_v..(r + 1) * n_v];
+            // Fixed 4-way association: deterministic, and four times the
+            // throughput of a single fused multiply-add latency chain.
+            let mut acc = [0.0f64; 4];
+            let quads = row.chunks_exact(4).zip(x.chunks_exact(4));
+            for (q, xs) in quads {
+                acc[0] += q[0] * xs[0];
+                acc[1] += q[1] * xs[1];
+                acc[2] += q[2] * xs[2];
+                acc[3] += q[3] * xs[3];
+            }
+            let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            let n4 = n_v & !3;
+            for (&arc, &xc) in row[n4..].iter().zip(&x[n4..]) {
+                dot += arc * xc;
+            }
+            r_inf = r_inf.max((dot - z[r]).abs());
+            z_inf = z_inf.max(z[r].abs());
+        }
+        let bound = SMW_RESIDUAL_RTOL * (plan.a_inf * x_inf + z_inf);
+        // A NaN bound (pathological matrix entries) must also count as
+        // inaccurate, hence partial_cmp rather than a plain `>`.
+        let within = matches!(
+            r_inf.partial_cmp(&bound),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        );
+        if !within {
+            return SmwOutcome::Inaccurate;
+        }
+        SmwOutcome::Solved
+    }
+}
+
+/// The reusable, matrix-dependent part of a Sherman–Morrison–Woodbury
+/// update, built by [`NominalFactors::prepare`]: the changed-column set,
+/// the update solves `W = A₀ₑ⁻¹·U`, the factored capacitance matrix and
+/// the variant matrix norm for the residual bound. Valid for any
+/// right-hand side as long as the variant matrix entries (and the
+/// nominal factors the plan was built against) are unchanged.
+#[derive(Debug)]
+pub struct SmwPlan {
+    /// Variant system dimension.
+    n_v: usize,
+    /// Nominal-index → variant-index embedding.
+    n2v: Vec<usize>,
+    /// Whether the embedding is the identity (nothing appended).
+    identity: bool,
+    /// Changed-column indices (at most [`SMW_MAX_RANK`]).
+    changed: Vec<usize>,
+    /// `W = A₀ₑ⁻¹·U`, column-major, one column per changed column.
+    w: Vec<f64>,
+    /// LU factors of the capacitance matrix `I_k + Vᵀ·W` (empty if the
+    /// delta is empty).
+    m_lu: LuFactors,
+    /// `‖A_v‖∞` of the variant matrix the plan was prepared from.
+    a_inf: f64,
+}
+
+impl SmwPlan {
+    /// Variant system dimension the plan applies to.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n_v
+    }
+
+    /// Number of changed columns (the update rank).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.changed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic diagonally dominant test matrix.
+    fn random_system(n: usize, seed0: u64) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n);
+        let mut seed = seed0;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        for r in 0..n {
+            let mut rowsum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v = next();
+                    m.set(r, c, v);
+                    rowsum += v.abs();
+                }
+            }
+            m.set(r, r, rowsum + 1.0);
+        }
+        m
+    }
+
+    /// Same-size variant (no appended unknowns): n_nodes = n+1, no vsrc.
+    fn capture(a0: DenseMatrix) -> NominalFactors {
+        let n = a0.dim();
+        NominalFactors::capture(a0, n + 1, 0, 1e-12).expect("nominal factors")
+    }
+
+    #[test]
+    fn unchanged_matrix_solves_via_nominal_path() {
+        let n = 10;
+        let a0 = random_system(n, 11);
+        let nf = capture(a0.clone());
+        let z: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
+        let mut x = vec![0.0; n];
+        assert_eq!(nf.smw_solve(&a0, &z, n + 1, &mut x), SmwOutcome::Solved);
+        let mut fresh = a0.clone();
+        let mut b = z.clone();
+        fresh.solve_in_place(&mut b).expect("solves");
+        for (a, b) in x.iter().zip(&b) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn rank_deltas_match_fresh_factorisation() {
+        let n = 24;
+        for (rank, seed) in [(1usize, 101u64), (2, 202), (3, 303)] {
+            let a0 = random_system(n, seed);
+            let nf = capture(a0.clone());
+            let mut av = a0.clone();
+            // Perturb `rank` columns.
+            for j in 0..rank {
+                let c = (5 + 7 * j) % n;
+                for r in 0..n {
+                    av.add(r, c, ((r + c) % 3) as f64 * 0.05);
+                }
+                av.add(c, c, 1.5);
+            }
+            let z: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 2.0).collect();
+            let mut x = vec![0.0; n];
+            assert_eq!(
+                nf.smw_solve(&av, &z, n + 1, &mut x),
+                SmwOutcome::Solved,
+                "rank {rank}"
+            );
+            let mut fresh = av.clone();
+            let mut b = z.clone();
+            fresh.solve_in_place(&mut b).expect("variant solves");
+            for (xs, xf) in x.iter().zip(&b) {
+                let tol = 1e-10 * xf.abs().max(1.0);
+                assert!((xs - xf).abs() <= tol, "rank {rank}: {xs} vs {xf}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_changed_columns_is_a_plain_miss() {
+        let n = 20;
+        let a0 = random_system(n, 5);
+        let nf = capture(a0.clone());
+        let mut av = a0.clone();
+        for c in 0..(SMW_MAX_RANK + 1) {
+            av.add(0, c, 0.25);
+        }
+        let z = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        assert_eq!(nf.smw_solve(&av, &z, n + 1, &mut x), SmwOutcome::NotLowRank);
+    }
+
+    #[test]
+    fn singular_update_is_refused() {
+        // A rank-1 update that exactly cancels the (0,0) pivot structure:
+        // A_v is singular, so the capacitance matrix (or the residual)
+        // must refuse the update rather than return garbage.
+        let mut a0 = DenseMatrix::zeros(2);
+        a0.set(0, 0, 1.0);
+        a0.set(1, 1, 1.0);
+        let nf = capture(a0.clone());
+        let mut av = a0.clone();
+        // Zero out column 0 entirely: singular variant.
+        av.add(0, 0, -1.0);
+        let z = vec![1.0, 1.0];
+        let mut x = vec![0.0; 2];
+        let out = nf.smw_solve(&av, &z, 3, &mut x);
+        assert!(
+            matches!(out, SmwOutcome::IllConditioned | SmwOutcome::Inaccurate),
+            "singular variant must be refused, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn appended_unknowns_embed_with_identity() {
+        // Nominal 3×3; variant appends one node (index 3 in the unknown
+        // vector) coupled weakly to node 0.
+        let n0 = 3;
+        let a0 = random_system(n0, 77);
+        let nf = NominalFactors::capture(a0.clone(), n0 + 1, 0, 1e-12).expect("factors");
+        let n_v = n0 + 1;
+        let mut av = DenseMatrix::zeros(n_v);
+        for r in 0..n0 {
+            for c in 0..n0 {
+                av.set(r, c, a0.get(r, c));
+            }
+        }
+        // Appended node: g to ground plus coupling to node 0 — changes
+        // column 3 and column 0.
+        av.set(3, 3, 2.0);
+        av.set(3, 0, -1.0);
+        av.set(0, 3, -1.0);
+        av.add(0, 0, 1.0);
+        let z = vec![1.0, -2.0, 0.5, 0.25];
+        let mut x = vec![0.0; n_v];
+        assert_eq!(
+            nf.smw_solve(&av, &z, n_v + 1, &mut x),
+            SmwOutcome::Solved,
+            "appended-node delta is rank-2"
+        );
+        let mut fresh = av.clone();
+        let mut b = z.clone();
+        fresh.solve_in_place(&mut b).expect("variant solves");
+        for (xs, xf) in x.iter().zip(&b) {
+            assert!((xs - xf).abs() <= 1e-10 * xf.abs().max(1.0));
+        }
+    }
+}

@@ -49,6 +49,7 @@
 mod ac;
 mod engine;
 mod error;
+mod factor;
 mod matrix;
 mod models;
 mod stats;
@@ -56,6 +57,7 @@ mod stats;
 pub use ac::{log_sweep, AcResult, Complex};
 pub use engine::{Integration, OpPoint, SimOptions, Simulator, TranResult};
 pub use error::SimError;
-pub use matrix::DenseMatrix;
+pub use factor::{NominalFactors, SmwOutcome, SmwPlan, SMW_MAX_RANK, SMW_RESIDUAL_RTOL};
+pub use matrix::{DenseMatrix, LuFactors, SingularInfo};
 pub use models::{diode_eval, mosfet_eval, switch_eval, MosChannel, VT_THERMAL};
 pub use stats::SimStats;

@@ -4,6 +4,33 @@
 //! unknowns, where a cache-friendly dense LU with partial pivoting beats a
 //! sparse solver both in code complexity and in wall-clock time. (The
 //! `dense_lu` criterion bench quantifies this.)
+//!
+//! Factorisation and solution are split: [`LuFactors`] holds the packed
+//! `L`/`U` triangles plus the pivot permutation, so one factorisation can
+//! back a run of solves — the foundation of the engine's factor-reuse
+//! layer, and the routine *every* production solve uses whether the
+//! caches are on or off (which is what keeps the caches bit-invisible).
+//! [`DenseMatrix::solve_in_place`] remains as the fused one-shot path for
+//! small systems and as an independent reference in tests; the split
+//! solve reassociates its triangular-sweep dot products four ways for
+//! pipeline throughput, so the two paths agree to round-off (asserted by
+//! the `factor_solve_matches_fused*` property tests), not bit-for-bit.
+
+/// Why a factorisation was refused: the best pivot available in `col` had
+/// magnitude `pivot_mag`, vanishingly small relative to the largest
+/// magnitude in that factored column.
+///
+/// Carried by every solve/factor failure so callers — the rank-update
+/// fallback, the escalation ladder — can report *why* a matrix was deemed
+/// singular instead of collapsing the cause into a bare `bool`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingularInfo {
+    /// Elimination column at which no acceptable pivot existed.
+    pub col: usize,
+    /// Magnitude of the best pivot found in that column (0.0 for an
+    /// all-zero column; NaN pivots report as NaN).
+    pub pivot_mag: f64,
+}
 
 /// A dense, row-major `n × n` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +77,14 @@ impl DenseMatrix {
         self.data[row * self.n + col] += value;
     }
 
+    /// The raw row-major entries (read-only). Used by the factor-reuse
+    /// layer to compare assembled matrices byte-for-byte and by the
+    /// rank-update delta scan.
+    #[inline]
+    pub fn entries(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Computes `self · x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
@@ -62,17 +97,21 @@ impl DenseMatrix {
     /// Factors the matrix in place (LU with partial pivoting) and solves
     /// `A·x = b`, overwriting `b` with `x`.
     ///
-    /// Returns `false` if the matrix is numerically singular: the best
-    /// pivot available in a column is vanishingly small *relative to the
-    /// largest magnitude in that factored column* (ratio below `1e-14`),
-    /// so uniformly rescaling the system never changes the verdict — a
-    /// well-conditioned matrix that happens to live near `1e-300` still
-    /// solves, while exact cancellation is still caught at any scale. The
-    /// contents of `self` and `b` are unspecified in that case.
+    /// Returns `Err(SingularInfo)` if the matrix is numerically singular:
+    /// the best pivot available in a column is vanishingly small *relative
+    /// to the largest magnitude in that factored column* (ratio below
+    /// `1e-14`), so uniformly rescaling the system never changes the
+    /// verdict — a well-conditioned matrix that happens to live near
+    /// `1e-300` still solves, while exact cancellation is still caught at
+    /// any scale. The contents of `self` and `b` are unspecified in that
+    /// case.
+    ///
+    /// # Errors
+    /// [`SingularInfo`] naming the offending column and its best pivot.
     ///
     /// # Panics
     /// Panics if `b.len() != self.dim()`.
-    pub fn solve_in_place(&mut self, b: &mut [f64]) -> bool {
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SingularInfo> {
         assert_eq!(b.len(), self.n);
         let n = self.n;
         let a = &mut self.data;
@@ -97,7 +136,10 @@ impl DenseMatrix {
                 col_max = col_max.max(a[i * n + k].abs());
             }
             if max.is_nan() || max <= col_max * 1e-14 {
-                return false;
+                return Err(SingularInfo {
+                    col: k,
+                    pivot_mag: max,
+                });
             }
             if piv != k {
                 for j in 0..n {
@@ -126,8 +168,233 @@ impl DenseMatrix {
             }
             b[k] = acc / a[k * n + k];
         }
-        true
+        Ok(())
     }
+}
+
+/// A completed LU factorisation with partial pivoting: `U` on and above
+/// the diagonal, the elimination multipliers of `L` (unit diagonal
+/// implied) below it, and the row-interchange sequence.
+///
+/// Factor once with [`LuFactors::refactor`], then run any number of
+/// [`LuFactors::solve`] calls. The factorisation arithmetic (pivot
+/// choices, multipliers, singularity test) is identical — operation for
+/// operation — to [`DenseMatrix::solve_in_place`]. The solve replay is
+/// the single routine behind every production solve, cached or not,
+/// which is what lets the engine's factor cache be invisible in every
+/// deterministic artifact: a cache hit replays the same factors through
+/// the same arithmetic.
+///
+/// Buffers are retained across `refactor` calls, so a long-lived
+/// `LuFactors` allocates only when the dimension grows.
+#[derive(Debug, Clone, Default)]
+pub struct LuFactors {
+    n: usize,
+    /// Packed factors, row-major: `U` on/above the diagonal, `L`
+    /// multipliers strictly below.
+    lu: Vec<f64>,
+    /// `piv[k]` is the row swapped with `k` at elimination step `k`
+    /// (`piv[k] == k` when no interchange happened).
+    piv: Vec<usize>,
+}
+
+impl LuFactors {
+    /// An empty factorisation (dimension 0); fill via
+    /// [`LuFactors::refactor`].
+    pub fn new() -> Self {
+        LuFactors::default()
+    }
+
+    /// Factored dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Factors `a` into `self`, reusing the existing buffers. `a` itself
+    /// is untouched (the engine keeps the assembled matrix for delta
+    /// scans and residual checks).
+    ///
+    /// The singularity test is the same scale-relative pivot test as
+    /// [`DenseMatrix::solve_in_place`]; on failure the factor contents
+    /// are unspecified and the previous factorisation is lost.
+    ///
+    /// # Errors
+    /// [`SingularInfo`] naming the offending column and its best pivot.
+    pub fn refactor(&mut self, a: &DenseMatrix) -> Result<(), SingularInfo> {
+        let n = a.n;
+        self.n = n;
+        self.lu.clear();
+        self.lu.extend_from_slice(&a.data);
+        self.piv.clear();
+        self.piv.resize(n, 0);
+        let lu = &mut self.lu;
+        for k in 0..n {
+            let mut piv = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    piv = i;
+                }
+            }
+            let mut col_max = max;
+            for i in 0..k {
+                col_max = col_max.max(lu[i * n + k].abs());
+            }
+            if max.is_nan() || max <= col_max * 1e-14 {
+                return Err(SingularInfo {
+                    col: k,
+                    pivot_mag: max,
+                });
+            }
+            self.piv[k] = piv;
+            if piv != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, piv * n + j);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                // `factor == 0.0` rows are skipped exactly as in the fused
+                // path (an underflowed multiplier must not turn a later
+                // `inf · 0` into NaN); the zero multiplier stored here
+                // makes `solve` skip the same rows.
+                lu[i * n + k] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the stored factors, overwriting `b` with
+    /// `x`.
+    ///
+    /// Every production solve — with the factor caches on *or* off —
+    /// goes through this routine, so its arithmetic only has to be
+    /// deterministic, not bit-matched to the fused
+    /// [`DenseMatrix::solve_in_place`] (which survives for one-shot
+    /// small systems and as an independent reference in tests). That
+    /// freedom is spent on speed: both triangular sweeps run their dot
+    /// products with a fixed four-way association, which breaks the
+    /// fused-multiply-add latency chain a sequential accumulation is
+    /// pinned to and roughly triples solve throughput at circuit sizes.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()` or nothing has been factored.
+    pub fn solve(&self, b: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        let lu = &self.lu;
+        // The stored multipliers are the *final* packed `L`: every row
+        // interchange of the factorisation — including ones later than
+        // the multiplier's own elimination step — has been applied to
+        // them. So `b` must be fully permuted *first*, then eliminated;
+        // interleaving the swaps with the elimination would pair
+        // multipliers with pre-swap `b` entries.
+        for k in 0..n {
+            let piv = self.piv[k];
+            if piv != k {
+                b.swap(k, piv);
+            }
+        }
+        // Forward elimination, traversed row by row so the packed `L` is
+        // read in storage order (the column-by-column formulation strides
+        // by `n` and thrashes the cache): b[i] -= L[i,·]·b[..i].
+        for i in 1..n {
+            let row = &lu[i * n..i * n + i];
+            b[i] -= dot4(row, &b[..i]);
+        }
+        // Back substitution: b[k] = (b[k] − U[k,k+1..]·b[k+1..]) / U[k,k].
+        for k in (0..n).rev() {
+            let row = &lu[k * n..(k + 1) * n];
+            let acc = b[k] - dot4(&row[k + 1..], &b[k + 1..]);
+            b[k] = acc / row[k];
+        }
+    }
+
+    /// Solves `A·X = B` for `k` right-hand sides stored column-major and
+    /// contiguous in `b` (`b.len() == k·dim`), overwriting them with the
+    /// solutions. Per column this performs exactly the arithmetic of
+    /// [`LuFactors::solve`] — the batching only shares each pass over
+    /// the packed factors across all columns, which matters because one
+    /// sweep streams the whole factor array through the cache whether it
+    /// serves one right-hand side or eight.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` is not a multiple of `self.dim()`.
+    pub fn solve_block(&self, b: &mut [f64]) {
+        let n = self.n;
+        if n == 0 {
+            assert!(b.is_empty());
+            return;
+        }
+        assert_eq!(b.len() % n, 0);
+        let k = b.len() / n;
+        if k == 1 {
+            return self.solve(b);
+        }
+        let lu = &self.lu;
+        for j in 0..k {
+            let col = &mut b[j * n..(j + 1) * n];
+            for i in 0..n {
+                let piv = self.piv[i];
+                if piv != i {
+                    col.swap(i, piv);
+                }
+            }
+        }
+        for i in 1..n {
+            let row = &lu[i * n..i * n + i];
+            for j in 0..k {
+                let col = &mut b[j * n..(j + 1) * n];
+                col[i] -= dot4(row, &col[..i]);
+            }
+        }
+        for i in (0..n).rev() {
+            let row = &lu[i * n..(i + 1) * n];
+            for j in 0..k {
+                let col = &mut b[j * n..(j + 1) * n];
+                let acc = col[i] - dot4(&row[i + 1..], &col[i + 1..]);
+                col[i] = acc / row[i];
+            }
+        }
+    }
+}
+
+/// Dot product with a fixed four-way association:
+/// `(Σ₀ + Σ₁) + (Σ₂ + Σ₃)` over the interleaved quarters, then the
+/// remainder folded in sequentially. Deterministic for a given input,
+/// and four independent accumulators keep the multiply-add pipeline full
+/// instead of serialising on one. Quads of `a` that are entirely zero
+/// are skipped — factored circuit matrices stay sparse even after
+/// fill-in, so most quads of a packed `L`/`U` row contribute nothing.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    for (qa, qb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        if qa[0] == 0.0 && qa[1] == 0.0 && qa[2] == 0.0 && qa[3] == 0.0 {
+            continue;
+        }
+        acc[0] += qa[0] * qb[0];
+        acc[1] += qa[1] * qb[1];
+        acc[2] += qa[2] * qb[2];
+        acc[3] += qa[3] * qb[3];
+    }
+    let mut dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let n4 = a.len() & !3;
+    for (&xa, &xb) in a[n4..].iter().zip(&b[n4..]) {
+        dot += xa * xb;
+    }
+    dot
 }
 
 #[cfg(test)]
@@ -141,7 +408,7 @@ mod tests {
             m.set(i, i, 1.0);
         }
         let mut b = vec![1.0, 2.0, 3.0];
-        assert!(m.solve_in_place(&mut b));
+        assert!(m.solve_in_place(&mut b).is_ok());
         assert_eq!(b, vec![1.0, 2.0, 3.0]);
     }
 
@@ -154,7 +421,7 @@ mod tests {
         m.set(1, 0, 1.0);
         m.set(1, 1, 3.0);
         let mut b = vec![3.0, 5.0];
-        assert!(m.solve_in_place(&mut b));
+        assert!(m.solve_in_place(&mut b).is_ok());
         assert!((b[0] - 0.8).abs() < 1e-12);
         assert!((b[1] - 1.4).abs() < 1e-12);
     }
@@ -166,20 +433,23 @@ mod tests {
         m.set(0, 1, 1.0);
         m.set(1, 0, 1.0);
         let mut b = vec![2.0, 3.0];
-        assert!(m.solve_in_place(&mut b));
+        assert!(m.solve_in_place(&mut b).is_ok());
         assert!((b[0] - 3.0).abs() < 1e-12);
         assert!((b[1] - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    fn detects_singular() {
+    fn detects_singular_with_location() {
         let mut m = DenseMatrix::zeros(2);
         m.set(0, 0, 1.0);
         m.set(0, 1, 2.0);
         m.set(1, 0, 2.0);
         m.set(1, 1, 4.0);
         let mut b = vec![1.0, 2.0];
-        assert!(!m.solve_in_place(&mut b));
+        let info = m.solve_in_place(&mut b).expect_err("rank-1 is singular");
+        // Column 0 eliminates fine; the cancellation shows at column 1.
+        assert_eq!(info.col, 1);
+        assert!(info.pivot_mag.abs() < 4.0 * 1e-14 * 1.001);
     }
 
     #[test]
@@ -195,7 +465,7 @@ mod tests {
         m.set(1, 0, 1.0 * s);
         m.set(1, 1, 3.0 * s);
         let mut b = vec![3.0 * s, 5.0 * s];
-        assert!(m.solve_in_place(&mut b), "scaled system must solve");
+        assert!(m.solve_in_place(&mut b).is_ok(), "scaled system must solve");
         assert!((b[0] - 0.8).abs() < 1e-12);
         assert!((b[1] - 1.4).abs() < 1e-12);
     }
@@ -211,7 +481,10 @@ mod tests {
             m.set(1, 0, 2.0 * s);
             m.set(1, 1, 4.0 * s);
             let mut b = vec![s, 2.0 * s];
-            assert!(!m.solve_in_place(&mut b), "scale {s:e} must stay singular");
+            assert!(
+                m.solve_in_place(&mut b).is_err(),
+                "scale {s:e} must stay singular"
+            );
         }
     }
 
@@ -223,7 +496,7 @@ mod tests {
         m.set(0, 0, 1e300);
         m.set(1, 1, 1e-300);
         let mut b = vec![2e300, 3e-300];
-        assert!(m.solve_in_place(&mut b));
+        assert!(m.solve_in_place(&mut b).is_ok());
         assert!((b[0] - 2.0).abs() < 1e-12);
         assert!((b[1] - 3.0).abs() < 1e-12);
     }
@@ -232,7 +505,9 @@ mod tests {
     fn zero_matrix_is_singular() {
         let mut m = DenseMatrix::zeros(3);
         let mut b = vec![1.0, 1.0, 1.0];
-        assert!(!m.solve_in_place(&mut b));
+        let info = m.solve_in_place(&mut b).expect_err("zero is singular");
+        assert_eq!(info.col, 0);
+        assert_eq!(info.pivot_mag, 0.0);
     }
 
     #[test]
@@ -253,19 +528,17 @@ mod tests {
         let a = m.clone();
         let mut b = vec![1.0, 2.0, 3.0];
         let b0 = b.clone();
-        assert!(m.solve_in_place(&mut b));
+        assert!(m.solve_in_place(&mut b).is_ok());
         let back = a.mul_vec(&b);
         for (x, y) in back.iter().zip(&b0) {
             assert!((x - y).abs() < 1e-10);
         }
     }
 
-    #[test]
-    fn larger_random_like_system_roundtrips() {
-        // Deterministic pseudo-random diagonally dominant system.
-        let n = 40;
+    /// Deterministic pseudo-random diagonally dominant system.
+    fn random_system(n: usize, seed0: u64) -> DenseMatrix {
         let mut m = DenseMatrix::zeros(n);
-        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut seed = seed0;
         let mut next = || {
             seed ^= seed << 13;
             seed ^= seed >> 7;
@@ -283,12 +556,155 @@ mod tests {
             }
             m.set(r, r, rowsum + 1.0);
         }
+        m
+    }
+
+    #[test]
+    fn larger_random_like_system_roundtrips() {
+        let n = 40;
+        let m = random_system(n, 0x9e3779b97f4a7c15u64);
         let a = m.clone();
         let xtrue: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 3.0).collect();
         let mut b = a.mul_vec(&xtrue);
-        assert!(m.solve_in_place(&mut b));
+        let mut fused = m.clone();
+        assert!(fused.solve_in_place(&mut b).is_ok());
         for (x, y) in b.iter().zip(&xtrue) {
             assert!((x - y).abs() < 1e-8);
         }
+    }
+
+    /// Asserts the split solve agrees with the fused reference to
+    /// round-off. The two paths intentionally associate their dot
+    /// products differently (the split path runs four accumulators for
+    /// pipeline throughput), so agreement is to a tight relative
+    /// tolerance, not bit-for-bit; a permutation-handling bug produces
+    /// errors many orders of magnitude beyond this bound.
+    fn assert_close(reference: &[f64], split: &[f64], ctx: &str) {
+        for (a, b) in reference.iter().zip(split) {
+            let tol = 1e-11 * a.abs().max(1.0);
+            assert!((a - b).abs() <= tol, "{ctx}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn factor_solve_matches_fused() {
+        for (i, seed) in [0x9e3779b97f4a7c15u64, 1995, 0xD07, 42, u64::MAX / 7]
+            .into_iter()
+            .enumerate()
+        {
+            let n = 3 + i * 17;
+            let m = random_system(n, seed);
+            let rhs: Vec<f64> = (0..n).map(|k| ((k * 7 % 13) as f64) - 6.0).collect();
+
+            let mut fused = m.clone();
+            let mut b_fused = rhs.clone();
+            fused
+                .solve_in_place(&mut b_fused)
+                .expect("well-conditioned");
+
+            let mut lu = LuFactors::new();
+            lu.refactor(&m).expect("well-conditioned");
+            let mut b_split = rhs.clone();
+            lu.solve(&mut b_split);
+
+            assert_close(&b_fused, &b_split, &format!("seed {seed} n {n}"));
+        }
+    }
+
+    #[test]
+    fn factor_solve_matches_fused_under_heavy_pivoting() {
+        // Cyclically rotating the rows of a diagonally dominant system
+        // moves every dominant entry off the diagonal, so elimination
+        // must interchange rows at (nearly) every step — the regime the
+        // interleaved-swap replay bug lived in. MNA matrices sit here:
+        // voltage-source branch rows have structurally zero diagonals.
+        for (i, seed) in [3u64, 0x5eed, 77, 0x9e3779b97f4a7c15]
+            .into_iter()
+            .enumerate()
+        {
+            let n = 4 + i * 13;
+            let base = random_system(n, seed);
+            let mut m = DenseMatrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    m.set((r + 1) % n, c, base.get(r, c));
+                }
+            }
+            let rhs: Vec<f64> = (0..n).map(|k| ((k * 11 % 17) as f64) - 8.0).collect();
+
+            let mut fused = m.clone();
+            let mut b_fused = rhs.clone();
+            fused
+                .solve_in_place(&mut b_fused)
+                .expect("well-conditioned");
+
+            let mut lu = LuFactors::new();
+            lu.refactor(&m).expect("well-conditioned");
+            let mut b_split = rhs.clone();
+            lu.solve(&mut b_split);
+
+            assert_close(&b_fused, &b_split, &format!("seed {seed} n {n}"));
+        }
+    }
+
+    #[test]
+    fn repeated_solves_are_bit_deterministic() {
+        // What the factor caches actually rely on: replaying the same
+        // factors against the same right-hand side is bit-deterministic.
+        let n = 29;
+        let m = random_system(n, 0xCAFE);
+        let mut lu = LuFactors::new();
+        lu.refactor(&m).expect("factors");
+        let rhs: Vec<f64> = (0..n).map(|k| ((k * 5 % 11) as f64) - 5.0).collect();
+        let mut first = rhs.clone();
+        lu.solve(&mut first);
+        for _ in 0..3 {
+            let mut again = rhs.clone();
+            lu.solve(&mut again);
+            for (a, b) in first.iter().zip(&again) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_buffers_and_repeats_solves() {
+        let n = 12;
+        let m1 = random_system(n, 7);
+        let m2 = random_system(n, 8);
+        let mut lu = LuFactors::new();
+        lu.refactor(&m1).expect("m1 factors");
+        // Many solves off one factorisation agree with fresh fused solves.
+        for s in 0..4 {
+            let rhs: Vec<f64> = (0..n).map(|k| (k as f64) * 0.5 - s as f64).collect();
+            let mut b = rhs.clone();
+            lu.solve(&mut b);
+            let mut fresh = m1.clone();
+            let mut bf = rhs.clone();
+            fresh.solve_in_place(&mut bf).expect("m1 solves");
+            assert_close(&bf, &b, "m1");
+        }
+        // Refactoring with a different matrix switches cleanly.
+        lu.refactor(&m2).expect("m2 factors");
+        let rhs: Vec<f64> = (0..n).map(|k| 1.0 - (k as f64)).collect();
+        let mut b = rhs.clone();
+        lu.solve(&mut b);
+        let mut fresh = m2.clone();
+        let mut bf = rhs.clone();
+        fresh.solve_in_place(&mut bf).expect("m2 solves");
+        assert_close(&bf, &b, "m2");
+    }
+
+    #[test]
+    fn refactor_reports_singular_column() {
+        let mut m = DenseMatrix::zeros(3);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        m.set(2, 2, 1.0);
+        let mut lu = LuFactors::new();
+        let info = lu.refactor(&m).expect_err("rank-deficient");
+        assert_eq!(info.col, 1);
     }
 }

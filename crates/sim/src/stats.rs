@@ -47,13 +47,22 @@ pub struct SimStats {
     /// DC solves where a warm-start seed failed and the cold homotopy
     /// chain ran instead.
     pub warm_misses: u64,
+    /// Newton linear solves served by a reused factorisation — either an
+    /// exact factor-cache hit (identical matrix) or a successful rank-k
+    /// update against the nominal factors — instead of a fresh `O(n³)`
+    /// factorisation.
+    pub factor_reuse_hits: u64,
+    /// Rank-update attempts abandoned for an ill-conditioned or
+    /// inaccurate update, falling back to a full refactorisation. (Deltas
+    /// that are simply not low-rank are plain misses, not fallbacks.)
+    pub factor_refactor_fallbacks: u64,
 }
 
 impl SimStats {
     /// Counter names, index-aligned with [`SimStats::to_words`] — the
     /// stable naming used when the telemetry is folded into the
     /// observability counter registry.
-    pub const WORD_NAMES: [&'static str; 13] = [
+    pub const WORD_NAMES: [&'static str; 15] = [
         "nr_solves",
         "nr_iterations",
         "converged_plain",
@@ -67,6 +76,8 @@ impl SimStats {
         "step_halvings",
         "warm_hits",
         "warm_misses",
+        "factor_reuse_hits",
+        "factor_refactor_fallbacks",
     ];
 
     /// Adds every counter of `other` into `self`.
@@ -81,7 +92,7 @@ impl SimStats {
 
     /// The counters as a fixed word vector, in declaration order — the
     /// stable serialisation used by report fingerprints.
-    pub fn to_words(&self) -> [u64; 13] {
+    pub fn to_words(&self) -> [u64; 15] {
         [
             self.nr_solves,
             self.nr_iterations,
@@ -96,6 +107,8 @@ impl SimStats {
             self.step_halvings,
             self.warm_hits,
             self.warm_misses,
+            self.factor_reuse_hits,
+            self.factor_refactor_fallbacks,
         ]
     }
 }
@@ -115,6 +128,8 @@ impl AddAssign for SimStats {
         self.step_halvings += o.step_halvings;
         self.warm_hits += o.warm_hits;
         self.warm_misses += o.warm_misses;
+        self.factor_reuse_hits += o.factor_reuse_hits;
+        self.factor_refactor_fallbacks += o.factor_refactor_fallbacks;
     }
 }
 
@@ -158,8 +173,13 @@ mod tests {
             step_halvings: 11,
             warm_hits: 12,
             warm_misses: 13,
+            factor_reuse_hits: 14,
+            factor_refactor_fallbacks: 15,
         };
-        assert_eq!(s.to_words(), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(
+            s.to_words(),
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
         assert_eq!(SimStats::WORD_NAMES.len(), s.to_words().len());
     }
 }

@@ -8,7 +8,7 @@ use dotm_sim::Integration;
 
 /// Bumped whenever any persisted encoding changes shape, so old stores
 /// and journals age out as misses instead of decoding wrongly.
-pub const FORMAT_VERSION: u64 = 1;
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Computes the context fingerprint of one `(harness, config)` pair.
 ///
@@ -17,8 +17,9 @@ pub const FORMAT_VERSION: u64 = 1;
 /// current floors); the defect population inputs (sprinkle size, seed,
 /// defect statistics); the process-variation sigmas; the good-space
 /// Monte-Carlo sizes and seed; the escalation ladder; the sim-failure
-/// policy; and the solver-effort knobs (`warm_start`, `measure_cache`)
-/// whose telemetry lands in persisted solver-stats deltas.
+/// policy; and the solver-effort knobs (`warm_start`, `measure_cache`,
+/// `factor_reuse`, `rank_update`) whose telemetry lands in persisted
+/// solver-stats deltas.
 ///
 /// Deliberately *excluded*:
 ///
@@ -97,6 +98,8 @@ pub fn pipeline_context(harness: &dyn MacroHarness, cfg: &PipelineConfig) -> u12
     });
     h.bool(cfg.warm_start);
     h.bool(cfg.measure_cache);
+    h.bool(cfg.factor_reuse);
+    h.bool(cfg.rank_update);
 
     h.finish()
 }
@@ -148,6 +151,14 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.warm_start = false;
         assert_ne!(pipeline_context(&h, &cfg), base, "warm start");
+
+        let mut cfg = base_cfg();
+        cfg.factor_reuse = false;
+        assert_ne!(pipeline_context(&h, &cfg), base, "factor reuse");
+
+        let mut cfg = base_cfg();
+        cfg.rank_update = true;
+        assert_ne!(pipeline_context(&h, &cfg), base, "rank update");
 
         let mut cfg = base_cfg();
         cfg.defects += 1;

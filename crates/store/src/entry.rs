@@ -94,7 +94,7 @@ fn encode_stats(w: &mut Writer, s: &SimStats) {
 
 fn decode_stats(r: &mut Reader) -> Option<SimStats> {
     let mut s = SimStats::default();
-    let fields: [&mut u64; 13] = [
+    let fields: [&mut u64; 15] = [
         &mut s.nr_solves,
         &mut s.nr_iterations,
         &mut s.converged_plain,
@@ -108,6 +108,8 @@ fn decode_stats(r: &mut Reader) -> Option<SimStats> {
         &mut s.step_halvings,
         &mut s.warm_hits,
         &mut s.warm_misses,
+        &mut s.factor_reuse_hits,
+        &mut s.factor_refactor_fallbacks,
     ];
     for f in fields {
         *f = r.u64()?;
@@ -304,6 +306,8 @@ mod tests {
             dc_failures: 1,
             warm_hits: 2,
             warm_misses: 1,
+            factor_reuse_hits: 5,
+            factor_refactor_fallbacks: 1,
             ..SimStats::default()
         }
     }

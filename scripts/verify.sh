@@ -52,7 +52,7 @@ echo "==> equivalence: fig4 identical with and without warm start + cache"
 # must be identical modulo the solver-accounting lines (which exist to
 # show exactly that effort).
 strip_accounting() {
-    grep -vE '^(solver accounting|  (sim-failed|inject-failed|escalated|excluded) classes:|  ladder-rung histogram:|  solver totals:|  warm starts:|  measurement cache:)' || true
+    grep -vE '^(solver accounting|  (sim-failed|inject-failed|escalated|excluded) classes:|  ladder-rung histogram:|  solver totals:|  warm starts:|  factor reuse:|  measurement cache:)' || true
 }
 fig4_on=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
     DOTM_WARM_START=1 DOTM_MEASURE_CACHE=1 \
@@ -64,6 +64,39 @@ diff <(echo "$fig4_on" | strip_accounting) <(echo "$fig4_off" | strip_accounting
     echo "FAIL: warm start / measurement cache changed a reported number"; exit 1; }
 echo "$fig4_on" | grep -E "warm starts:|measurement cache:" || true
 echo "    reports identical modulo solver accounting"
+
+echo "==> equivalence: factor reuse is bitwise-invisible (fig4, 1 and 4 threads)"
+# The exact factor cache replays identical solution bytes, so toggling
+# DOTM_FACTOR_REUSE may change nothing but the reuse-occupancy
+# accounting line, at any thread count. (Rank updates are a separate,
+# default-off knob gated by lu_speedup below — they change round-off
+# and are deliberately NOT part of this bitwise gate.)
+for threads in 1 4; do
+    reuse_on=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+        DOTM_THREADS=$threads DOTM_FACTOR_REUSE=1 \
+        cargo run --release --locked -p dotm-bench --bin fig4)
+    reuse_off=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+        DOTM_THREADS=$threads DOTM_FACTOR_REUSE=0 \
+        cargo run --release --locked -p dotm-bench --bin fig4)
+    diff <(echo "$reuse_on" | strip_accounting) <(echo "$reuse_off" | strip_accounting) || {
+        echo "FAIL: DOTM_FACTOR_REUSE changed a reported number ($threads threads)"; exit 1; }
+done
+echo "    reports identical modulo the reuse-occupancy accounting"
+
+echo "==> equivalence + perf: rank updates never flip a verdict (ladder anchor)"
+# Factors the nominal circuit once per analysis slot and applies each
+# fault variant as a rank-k update; asserts every class verdict matches
+# the full-refactorisation baseline, gates the LU-phase reduction and
+# the reuse hit rate, and writes the counter summary for the
+# perf-trajectory comparison. The speedup gate is relaxed here (the
+# dedicated perf job tracks the trajectory); counters stay exact.
+bench_json="${DOTM_BENCH_JSON:-$(mktemp)}"
+DOTM_BENCH_JSON="$bench_json" DOTM_LU_MIN_SPEEDUP="${DOTM_LU_MIN_SPEEDUP:-1}" \
+    cargo run --release --locked -p dotm-bench --bin lu_speedup
+
+echo "==> perf trajectory: counter metrics vs committed baseline (soft)"
+cargo run --release --locked -p dotm-bench --bin bench_compare -- \
+    scripts/bench_baseline_6.json "$bench_json"
 
 echo "==> persistence: campaign store cold -> warm -> kill/resume -> corrupt"
 # The persistent-campaign gate, on a small fixed-seed configuration:

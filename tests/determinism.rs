@@ -33,8 +33,11 @@ fn comparator_config(threads: usize, measure_cache: bool) -> PipelineConfig {
 /// Runs the comparator evaluation on a shared pre-sprinkled population,
 /// so the two runs differ only in thread count (or cache setting).
 fn run_comparator(threads: usize, measure_cache: bool) -> MacroReport {
+    run_comparator_cfg(comparator_config(threads, measure_cache))
+}
+
+fn run_comparator_cfg(cfg: PipelineConfig) -> MacroReport {
     let harness = ComparatorHarness::production();
-    let cfg = comparator_config(threads, measure_cache);
     let layout = harness.layout();
     let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
     let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
@@ -108,6 +111,63 @@ fn measurement_cache_is_invisible_in_the_report() {
     uncached.cache_lookups = 0;
     uncached.cache_entries = 0;
     assert_eq!(cached.fingerprint(), uncached.fingerprint());
+}
+
+#[test]
+fn factor_reuse_is_invisible_in_the_report() {
+    // The bitwise factor cache only fires on *identical* system matrices,
+    // so it replays the exact same solution bytes a fresh factorisation
+    // would produce. Toggling `DOTM_FACTOR_REUSE` must therefore leave
+    // every reported bit unchanged — the only trace is the reuse
+    // occupancy counters, which are zeroed here before fingerprinting
+    // (the counters live in the per-class solver telemetry, unlike the
+    // report-level measurement-cache counters).
+    let scrub = |report: &mut MacroReport| {
+        for o in &mut report.outcomes {
+            o.solver.factor_reuse_hits = 0;
+            o.solver.factor_refactor_fallbacks = 0;
+        }
+        report.goodspace_solver.factor_reuse_hits = 0;
+        report.goodspace_solver.factor_refactor_fallbacks = 0;
+    };
+    let mut on = run_comparator_cfg(PipelineConfig {
+        factor_reuse: true,
+        ..comparator_config(2, true)
+    });
+    let mut off = run_comparator_cfg(PipelineConfig {
+        factor_reuse: false,
+        ..comparator_config(2, true)
+    });
+    assert_eq!(off.solver_totals().factor_reuse_hits, 0);
+    assert_eq!(off.solver_totals().factor_refactor_fallbacks, 0);
+    scrub(&mut on);
+    scrub(&mut off);
+    assert_eq!(on.solver_totals(), off.solver_totals());
+    assert_eq!(on.fingerprint(), off.fingerprint());
+}
+
+#[test]
+fn rank_update_report_is_thread_count_invariant() {
+    // Rank updates change round-off relative to full refactorisation (the
+    // `lu_speedup` bench gates verdict preservation), but within the
+    // rank-update configuration every class is still a pure function of
+    // its inputs — the determinism contract must hold at every thread
+    // count with both factorisation knobs on.
+    let with_knobs = |threads| {
+        run_comparator_cfg(PipelineConfig {
+            factor_reuse: true,
+            rank_update: true,
+            ..comparator_config(threads, true)
+        })
+    };
+    let serial = with_knobs(1);
+    let parallel = with_knobs(4);
+    assert!(
+        serial.solver_totals().factor_reuse_hits > 0,
+        "the factor-reuse path must actually be exercised"
+    );
+    assert_eq!(serial.solver_totals(), parallel.solver_totals());
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
 }
 
 #[test]
