@@ -114,12 +114,19 @@ fn main() {
             }
         }
     }
-    // Timing fields: always shown, never gated.
+    // Timing fields: always shown, never gated. The union of every bench
+    // bin's timing fields — absent ones are simply skipped, so one
+    // comparator serves all the summaries.
     for field in [
         "base_lu_ns",
         "fast_lu_ns",
         "fast_rank_update_ns",
         "lu_speedup",
+        "bitwise_identical",
+        "base_assembly_ns",
+        "fast_assembly_ns",
+        "fast_batch_assembly_ns",
+        "batch_speedup",
     ] {
         if let Some(c) = current.get(field) {
             let b = baseline.get(field).map(String::as_str).unwrap_or("-");

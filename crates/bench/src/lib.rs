@@ -152,6 +152,8 @@ pub fn standard_config() -> PipelineConfig {
         measure_cache: dotm_core::env::measure_cache(),
         factor_reuse: dotm_core::env::factor_reuse(),
         rank_update: dotm_core::env::rank_update(),
+        batch_assembly: dotm_core::env::batch_assembly(),
+        tran_step_carry: dotm_core::env::tran_step_carry(),
         ..PipelineConfig::default()
     }
 }

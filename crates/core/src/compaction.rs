@@ -180,6 +180,7 @@ mod tests {
             _opts: &dotm_sim::SimOptions,
             _stats: &mut dotm_sim::SimStats,
             _warm: crate::harness::Warm<'_>,
+            _batch: crate::harness::Batch<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
             Ok(vec![0.0; 5])
         }

@@ -22,6 +22,8 @@
 //! | `DOTM_MEASURE_CACHE` | in-memory measurement memoization | on |
 //! | `DOTM_FACTOR_REUSE` | bitwise-exact LU factor cache in the solver | on |
 //! | `DOTM_RANK_UPDATE` | rank-k nominal-factor updates (SMW) | off |
+//! | `DOTM_BATCH_ASSEMBLY` | split-plan batched assembly + shared class baselines | on |
+//! | `DOTM_TRAN_STEP_CARRY` | carry accepted transient steps across the grid | off |
 //! | `DOTM_SIM_FAILURE_POLICY` | accounting for never-converged classes | assume-detected |
 //! | `DOTM_STORE_DIR` | persistent campaign-store directory | unset |
 //! | `DOTM_TRACE` | structured observability (spans/phases/counters) | off |
@@ -143,6 +145,30 @@ pub fn factor_reuse() -> bool {
 /// On a malformed value.
 pub fn rank_update() -> bool {
     bool_knob("DOTM_RANK_UPDATE", false)
+}
+
+/// The `DOTM_BATCH_ASSEMBLY` knob (default on): split-plan batched
+/// assembly — static stamps hoisted into a per-gmin baseline, fault
+/// variants of a class embedding the shared nominal baseline plus a
+/// stamp delta. Bitwise-identical to the scalar path by construction
+/// (the determinism suite enforces this), hence on by default.
+///
+/// # Panics
+/// On a malformed value.
+pub fn batch_assembly() -> bool {
+    bool_knob("DOTM_BATCH_ASSEMBLY", true)
+}
+
+/// The `DOTM_TRAN_STEP_CARRY` knob (default off): carry the last
+/// accepted transient step size forward (×2 ramp) instead of restarting
+/// every step from the full remaining interval. Cuts rejected Newton
+/// solves at sharp edges but changes the step sequence and therefore
+/// round-off, hence off by default.
+///
+/// # Panics
+/// On a malformed value.
+pub fn tran_step_carry() -> bool {
+    bool_knob("DOTM_TRAN_STEP_CARRY", false)
 }
 
 /// The `DOTM_SIM_FAILURE_POLICY` knob (default: the paper-parity

@@ -10,7 +10,7 @@
 //! supply pin).
 
 use crate::exec::{self, ExecConfig};
-use crate::harness::{MacroHarness, Warm, WarmCapture, WarmStart};
+use crate::harness::{Batch, MacroHarness, Warm, WarmCapture, WarmStart};
 use crate::measure::MeasureKind;
 use crate::processvar::ProcessModel;
 use crate::signature::{CurrentFlags, CurrentKind};
@@ -43,6 +43,15 @@ pub struct GoodSpaceConfig {
     /// factorisation (overrides the harness's base [`SimOptions`]).
     /// Changes floating-point round-off; off by default.
     pub rank_update: bool,
+    /// Split-plan batched assembly (overrides the harness's base
+    /// [`SimOptions`]). The nominal measurement and every Monte-Carlo
+    /// corner share the testbench's compiled stamp split; corners whose
+    /// perturbed devices break the prefix invariant fall back to a local
+    /// split. Bitwise-invisible; on by default.
+    pub batch_assembly: bool,
+    /// Transient step-carry heuristic (overrides the harness's base
+    /// [`SimOptions`]). Round-off-changing; off by default.
+    pub tran_step_carry: bool,
 }
 
 impl Default for GoodSpaceConfig {
@@ -55,6 +64,8 @@ impl Default for GoodSpaceConfig {
             warm_start: true,
             factor_reuse: true,
             rank_update: false,
+            batch_assembly: true,
+            tran_step_carry: false,
         }
     }
 }
@@ -66,6 +77,8 @@ fn sim_options_for(harness: &dyn MacroHarness, cfg: &GoodSpaceConfig) -> SimOpti
     let mut opts = harness.sim_options();
     opts.factor_reuse = cfg.factor_reuse;
     opts.rank_update = cfg.rank_update;
+    opts.batch_assembly = cfg.batch_assembly;
+    opts.tran_step_carry = cfg.tran_step_carry;
     opts
 }
 
@@ -81,6 +94,7 @@ fn compile_common_sample(
     m: usize,
     si: u64,
     warm: Option<&WarmStart>,
+    batch: Batch<'_>,
 ) -> Result<(Vec<Vec<f64>>, SimStats, u64), SimError> {
     let opts = sim_options_for(harness, cfg);
     let mut rng = StdRng::seed_from_stream(cfg.seed, si);
@@ -95,7 +109,7 @@ fn compile_common_sample(
             let mut nl = harness.testbench();
             harness.perturb(&mut nl, model, &common, &mut rng);
             let w = warm.map_or(Warm::Cold, Warm::Seed);
-            match harness.measure_with(&nl, &opts, &mut stats, w) {
+            match harness.measure_with(&nl, &opts, &mut stats, w, batch) {
                 Ok(v) => per_mm.push(v),
                 Err(e) => {
                     corner_error = Some(e);
@@ -152,6 +166,15 @@ impl GoodSpace {
         cfg: GoodSpaceConfig,
     ) -> Result<GoodSpace, SimError> {
         let mut solver = SimStats::default();
+        // One compiled stamp split for the whole compilation: the nominal
+        // run adopts it exactly (device-prefix-equal with itself) and each
+        // Monte-Carlo corner tries to — perturbed device parameters fail
+        // the prefix check, so corners fall back to their local split.
+        let testbench = harness.testbench();
+        let shared_asm = cfg
+            .batch_assembly
+            .then(|| std::sync::Arc::new(dotm_sim::SharedAssembly::compile(&testbench)));
+        let batch = shared_asm.as_ref();
         // The nominal measurement is single-threaded; in warm-start mode
         // it doubles as the capture run for the per-analysis operating
         // points, frozen into an immutable seed table before any parallel
@@ -163,10 +186,11 @@ impl GoodSpace {
             Warm::Cold
         };
         let nominal = harness.measure_with(
-            &harness.testbench(),
+            &testbench,
             &sim_options_for(harness, &cfg),
             &mut solver,
             nominal_warm,
+            batch,
         )?;
         let warm = cfg.warm_start.then(|| capture.freeze());
         let n = nominal.len();
@@ -181,7 +205,7 @@ impl GoodSpace {
         // retries) rather than failing the whole compilation.
         let per_sample: Vec<(Vec<Vec<f64>>, SimStats, u64)> =
             exec::par_map_indices(&cfg.exec, s, |si| {
-                compile_common_sample(harness, model, &cfg, m, si as u64, warm.as_ref())
+                compile_common_sample(harness, model, &cfg, m, si as u64, warm.as_ref(), batch)
             })
             .into_iter()
             .collect::<Result<_, _>>()?;

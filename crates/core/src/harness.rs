@@ -14,8 +14,18 @@ use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_layout::Layout;
 use dotm_netlist::Netlist;
 use dotm_rng::rngs::StdRng;
-use dotm_sim::{NominalFactors, OpPoint, SimError, SimOptions, SimStats, Simulator};
+use dotm_sim::{
+    NominalFactors, OpPoint, SharedAssembly, SimError, SimOptions, SimStats, Simulator,
+};
 use std::sync::{Arc, Mutex};
+
+/// The class-shared batched-assembly context threaded through
+/// [`MacroHarness::measure_with`]: `Some` hands every simulator the
+/// nominal testbench's compiled stamp split so device-prefix-equal fault
+/// variants assemble as `shared baseline + delta` (see
+/// [`SharedAssembly`]); `None` leaves each simulator to split locally
+/// (still batched when [`SimOptions::batch_assembly`] is on).
+pub type Batch<'b> = Option<&'b Arc<SharedAssembly>>;
 
 /// One captured analysis slot: the nominal operating point plus (when the
 /// rank-update path is enabled) the nominal system's LU factorisation,
@@ -179,6 +189,7 @@ pub trait MacroHarness: Sync {
             &self.sim_options(),
             &mut SimStats::default(),
             Warm::Cold,
+            None,
         )
     }
 
@@ -201,6 +212,7 @@ pub trait MacroHarness: Sync {
         opts: &SimOptions,
         stats: &mut SimStats,
         warm: Warm<'_>,
+        batch: Batch<'_>,
     ) -> Result<Vec<f64>, SimError>;
 
     /// Applies one process Monte-Carlo sample. The default perturbs every
@@ -273,11 +285,15 @@ pub fn with_instrumented_sim_warm<R>(
     opts: &SimOptions,
     stats: &mut SimStats,
     warm: Warm<'_>,
+    batch: Batch<'_>,
     cursor: &mut WarmCursor,
     f: impl FnOnce(&mut Simulator<'_>) -> Result<R, SimError>,
 ) -> Result<R, SimError> {
     let slot = cursor.next_slot();
     let mut sim = Simulator::with_options(nl, opts.clone());
+    if let Some(sh) = batch {
+        sim.install_shared_assembly(Arc::clone(sh));
+    }
     if let Warm::Seed(start) = warm {
         if let Some(op) = start.seed(slot) {
             // seed_dc_from rejects seeds that violate the append-only

@@ -1,6 +1,6 @@
 //! Harness for the bias generator.
 
-use crate::harness::{with_instrumented_sim_warm, MacroHarness, Warm, WarmCursor};
+use crate::harness::{with_instrumented_sim_warm, Batch, MacroHarness, Warm, WarmCursor};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::comparator::{
@@ -67,9 +67,12 @@ impl MacroHarness for BiasHarness {
         opts: &SimOptions,
         stats: &mut SimStats,
         warm: Warm<'_>,
+        batch: Batch<'_>,
     ) -> Result<Vec<f64>, SimError> {
         let mut cursor = WarmCursor::new();
-        let op = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| sim.dc_op())?;
+        let op = with_instrumented_sim_warm(nl, opts, stats, warm, batch, &mut cursor, |sim| {
+            sim.dc_op()
+        })?;
         let mut out = Vec::with_capacity(5);
         for net in ["vbn", "vbnc", "vbp", "vaz"] {
             out.push(match nl.find_node(net) {

@@ -1,7 +1,7 @@
 //! Harness for the clock generator — the digital cell whose quiescent
 //! supply current is the IDDQ measurement.
 
-use crate::harness::{with_instrumented_sim_warm, MacroHarness, Warm, WarmCursor};
+use crate::harness::{with_instrumented_sim_warm, Batch, MacroHarness, Warm, WarmCursor};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::clockgen::clockgen_testbench;
@@ -76,9 +76,10 @@ impl MacroHarness for ClockgenHarness {
         opts: &SimOptions,
         stats: &mut SimStats,
         warm: Warm<'_>,
+        batch: Batch<'_>,
     ) -> Result<Vec<f64>, SimError> {
         let mut cursor = WarmCursor::new();
-        let tr = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| {
+        let tr = with_instrumented_sim_warm(nl, opts, stats, warm, batch, &mut cursor, |sim| {
             sim.transient(CLOCK_PERIOD, self.dt)
         })?;
         let mut out = Vec::new();

@@ -1,7 +1,7 @@
 //! Harness for the comparator macro — the cell the paper analyses in
 //! depth (§3.2).
 
-use crate::harness::{with_instrumented_sim_warm, MacroHarness, Warm, WarmCursor};
+use crate::harness::{with_instrumented_sim_warm, Batch, MacroHarness, Warm, WarmCursor};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::processvar::{CommonSample, ProcessModel};
 use crate::signature::{CurrentKind, VoltageSignature};
@@ -167,25 +167,28 @@ impl MacroHarness for ComparatorHarness {
         opts: &SimOptions,
         stats: &mut SimStats,
         warm: Warm<'_>,
+        batch: Batch<'_>,
     ) -> Result<Vec<f64>, SimError> {
         let mut cursor = WarmCursor::new();
         let mut out = Vec::new();
         // Voltage test: four decisions around the mid reference, plus one
         // pair at each range extreme.
         for dv in DECISION_DVS {
-            let tr = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| {
-                sim.override_source("VIN", VREF_MID + dv)?;
-                sim.transient(decision_sim_time(), self.dt)
-            })?;
+            let tr =
+                with_instrumented_sim_warm(nl, opts, stats, warm, batch, &mut cursor, |sim| {
+                    sim.override_source("VIN", VREF_MID + dv)?;
+                    sim.transient(decision_sim_time(), self.dt)
+                })?;
             out.push(read_decision(nl, &tr));
         }
         for vref in EXTREME_VREFS {
             for dv in [-EXTREME_DV, EXTREME_DV] {
-                let tr = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| {
-                    sim.override_source("VREF", vref)?;
-                    sim.override_source("VIN", vref + dv)?;
-                    sim.transient(decision_sim_time(), self.dt)
-                })?;
+                let tr =
+                    with_instrumented_sim_warm(nl, opts, stats, warm, batch, &mut cursor, |sim| {
+                        sim.override_source("VREF", vref)?;
+                        sim.override_source("VIN", vref + dv)?;
+                        sim.transient(decision_sim_time(), self.dt)
+                    })?;
                 out.push(read_decision(nl, &tr));
             }
         }
@@ -193,10 +196,11 @@ impl MacroHarness for ComparatorHarness {
         // levels ride along on the first condition.
         let mut clock_levels = Vec::new();
         for (ci, vin) in CURRENT_VINS.iter().enumerate() {
-            let tr = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| {
-                sim.override_source("VIN", *vin)?;
-                sim.transient(2.0 * CLOCK_PERIOD, self.dt)
-            })?;
+            let tr =
+                with_instrumented_sim_warm(nl, opts, stats, warm, batch, &mut cursor, |sim| {
+                    sim.override_source("VIN", *vin)?;
+                    sim.transient(2.0 * CLOCK_PERIOD, self.dt)
+                })?;
             for phase in Phase::ALL {
                 let k = tr.index_at(CLOCK_PERIOD + phase.settle_time());
                 let branch = |name: &str| -> f64 {

@@ -1,6 +1,6 @@
 //! Harness for the decoder column section.
 
-use crate::harness::{with_instrumented_sim_warm, MacroHarness, Warm, WarmCursor};
+use crate::harness::{with_instrumented_sim_warm, Batch, MacroHarness, Warm, WarmCursor};
 use crate::measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 use crate::signature::{CurrentKind, VoltageSignature};
 use dotm_adc::decoder::{decoder_slice_testbench, SLICE_CODES, SLICE_INPUTS};
@@ -81,17 +81,19 @@ impl MacroHarness for DecoderHarness {
         opts: &SimOptions,
         stats: &mut SimStats,
         warm: Warm<'_>,
+        batch: Batch<'_>,
     ) -> Result<Vec<f64>, SimError> {
         let mut cursor = WarmCursor::new();
         let mut out = Vec::new();
         for h in HEIGHTS {
-            let tr = with_instrumented_sim_warm(nl, opts, stats, warm, &mut cursor, |sim| {
-                for i in 0..SLICE_INPUTS {
-                    let level = if i < h { 5.0 } else { 0.0 };
-                    sim.override_source(&format!("VT{i}"), level)?;
-                }
-                sim.transient(30e-9, self.dt)
-            })?;
+            let tr =
+                with_instrumented_sim_warm(nl, opts, stats, warm, batch, &mut cursor, |sim| {
+                    for i in 0..SLICE_INPUTS {
+                        let level = if i < h { 5.0 } else { 0.0 };
+                        sim.override_source(&format!("VT{i}"), level)?;
+                    }
+                    sim.transient(30e-9, self.dt)
+                })?;
             let k = tr.index_at(29e-9);
             for bit in 0..8 {
                 out.push(match nl.find_node(&format!("bl{bit}")) {

@@ -54,8 +54,8 @@ pub use exec::{par_map, par_map_indices, ExecConfig};
 pub use global::{GlobalDetectability, GlobalReport};
 pub use goodspace::{GoodSpace, GoodSpaceConfig};
 pub use harness::{
-    with_instrumented_sim, with_instrumented_sim_warm, MacroHarness, Warm, WarmCapture, WarmCursor,
-    WarmStart,
+    with_instrumented_sim, with_instrumented_sim_warm, Batch, MacroHarness, Warm, WarmCapture,
+    WarmCursor, WarmStart,
 };
 pub use measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 pub use memo::{CachedMeasurement, MeasureCache};

@@ -5,7 +5,7 @@
 
 use crate::exec::{self, ExecConfig};
 use crate::goodspace::{GoodSpace, GoodSpaceConfig};
-use crate::harness::{MacroHarness, Warm, WarmStart};
+use crate::harness::{Batch, MacroHarness, Warm, WarmStart};
 use crate::memo::{CachedMeasurement, MeasureCache};
 use crate::signature::{CurrentFlags, DetectionSet, VoltageSignature};
 use dotm_defects::{
@@ -169,6 +169,19 @@ pub struct PipelineConfig {
     /// ill-conditioned. Changes floating-point round-off, so it is off by
     /// default; the `lu_speedup` bench gates verdict preservation.
     pub rank_update: bool,
+    /// Split-plan batched assembly: static stamps are hoisted into a
+    /// per-gmin baseline and each macro's fault variants embed the
+    /// class-shared nominal baseline plus a per-variant stamp delta
+    /// instead of replaying the full plan every Newton iteration.
+    /// Bitwise-identical to the scalar path by construction (the
+    /// determinism suite enforces this), so it is on by default.
+    pub batch_assembly: bool,
+    /// Carry the last accepted transient step size forward (×2 ramp)
+    /// instead of restarting every step from the full remaining output
+    /// interval. Cuts rejected Newton solves on sharp comparator edges
+    /// but changes the step sequence and therefore round-off; off by
+    /// default, verdict-gated like `rank_update`.
+    pub tran_step_carry: bool,
 }
 
 impl Default for PipelineConfig {
@@ -188,6 +201,8 @@ impl Default for PipelineConfig {
             measure_cache: true,
             factor_reuse: true,
             rank_update: false,
+            batch_assembly: true,
+            tran_step_carry: false,
         }
     }
 }
@@ -497,10 +512,20 @@ impl MacroReport {
 
     /// Histogram over the highest ladder rung each measured outcome
     /// needed (index = rung; outcomes that never measured do not appear).
+    ///
+    /// A rung outside `0..ESCALATION_RUNGS` cannot come from the ladder —
+    /// it means a deserialized/foreign outcome disagrees with this
+    /// build's rung count. Debug builds fail fast on that skew; release
+    /// builds saturate into the top bucket rather than panicking over a
+    /// diagnostic counter.
     pub fn rung_histogram(&self) -> [u64; ESCALATION_RUNGS] {
         let mut hist = [0u64; ESCALATION_RUNGS];
         for o in &self.outcomes {
             if let Some(r) = o.rung {
+                debug_assert!(
+                    (r as usize) < ESCALATION_RUNGS,
+                    "outcome rung {r} out of range for a {ESCALATION_RUNGS}-rung ladder"
+                );
                 hist[(r as usize).min(ESCALATION_RUNGS - 1)] += 1;
             }
         }
@@ -684,10 +709,18 @@ pub fn run_macro_path_with_faults_hooked(
     gs_cfg.warm_start = gs_cfg.warm_start && cfg.warm_start;
     gs_cfg.factor_reuse = cfg.factor_reuse;
     gs_cfg.rank_update = cfg.rank_update;
+    gs_cfg.batch_assembly = cfg.batch_assembly;
+    gs_cfg.tran_step_carry = cfg.tran_step_carry;
     let good = GoodSpace::compile(harness, &cfg.process, gs_cfg).map_err(PathError::GoodCircuit)?;
     let injector = Injector::default();
     let shared: HashSet<&str> = harness.shared_nets().into_iter().collect();
     let base = harness.testbench();
+    // One compiled stamp split per macro, shared (read-only, Arc) by every
+    // worker: fault injection appends devices, so almost every variant
+    // adopts the nominal baseline and assembles as `baseline + delta`.
+    let shared_asm = cfg
+        .batch_assembly
+        .then(|| std::sync::Arc::new(dotm_sim::SharedAssembly::compile(&base)));
     // The seed table is frozen before any parallel work: every worker sees
     // the same seeds, so warm-started measurements stay scheduling-free.
     let warm = if cfg.warm_start {
@@ -750,6 +783,7 @@ pub fn run_macro_path_with_faults_hooked(
                     warm,
                     cache.as_ref(),
                     store,
+                    shared_asm.as_ref(),
                 );
                 ClassOutcome {
                     key: class.key.clone(),
@@ -848,6 +882,7 @@ fn measure_rung(
     opts: &SimOptions,
     solver: &mut SimStats,
     warm: Option<&WarmStart>,
+    batch: Batch<'_>,
     cache: Option<&MeasureCache>,
     store: Option<&dyn MeasurementStore>,
     digest: Option<u128>,
@@ -856,7 +891,7 @@ fn measure_rung(
     let w = warm.map_or(Warm::Cold, Warm::Seed);
     let digest = match digest {
         Some(d) => d,
-        None => return harness.measure_with(nl, opts, solver, w),
+        None => return harness.measure_with(nl, opts, solver, w, batch),
     };
     let key = cache_key(digest, rung);
     if let Some(c) = cache {
@@ -883,7 +918,7 @@ fn measure_rung(
         }
     }
     let mut delta = SimStats::default();
-    let result = harness.measure_with(nl, opts, &mut delta, w);
+    let result = harness.measure_with(nl, opts, &mut delta, w, batch);
     if let Some(c) = cache {
         c.insert(key, (result.clone(), delta));
     }
@@ -906,6 +941,7 @@ fn measure_escalated(
     ladder: EscalationLadder,
     solver: &mut SimStats,
     warm: Option<&WarmStart>,
+    batch: Batch<'_>,
     cache: Option<&MeasureCache>,
     store: Option<&dyn MeasurementStore>,
 ) -> Option<(Vec<f64>, u8)> {
@@ -917,7 +953,9 @@ fn measure_escalated(
         // its own span, so the trace shows how much wall-clock the ladder
         // itself costs (rung 0 is the ordinary first attempt).
         let rung_span = dotm_obs::span_with("rung", || format!("rung {rung}"));
-        let outcome = measure_rung(harness, nl, &opts, solver, warm, cache, store, digest, rung);
+        let outcome = measure_rung(
+            harness, nl, &opts, solver, warm, batch, cache, store, digest, rung,
+        );
         drop(rung_span);
         match outcome {
             Ok(meas) => return Some((meas, rung)),
@@ -944,6 +982,7 @@ fn evaluate_class(
     warm: Option<&WarmStart>,
     cache: Option<&MeasureCache>,
     store: Option<&dyn MeasurementStore>,
+    batch: Batch<'_>,
 ) -> Evaluated {
     let policy = cfg.sim_failure_policy;
     let ladder = cfg.escalation;
@@ -951,6 +990,8 @@ fn evaluate_class(
     let mut base_opts = harness.sim_options();
     base_opts.factor_reuse = cfg.factor_reuse;
     base_opts.rank_update = cfg.rank_update;
+    base_opts.batch_assembly = cfg.batch_assembly;
+    base_opts.tran_step_carry = cfg.tran_step_carry;
     let mut best: Option<(u32, VariantEval)> = None;
     let mut any_injected = false;
     let mut inject_errors = 0usize;
@@ -975,6 +1016,7 @@ fn evaluate_class(
             ladder,
             &mut solver,
             warm,
+            batch,
             cache,
             store,
         ) {
@@ -1138,6 +1180,7 @@ mod tests {
             opts: &SimOptions,
             stats: &mut SimStats,
             warm: Warm<'_>,
+            batch: Batch<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
             let mut cursor = crate::harness::WarmCursor::new();
             let op = crate::harness::with_instrumented_sim_warm(
@@ -1145,6 +1188,7 @@ mod tests {
                 opts,
                 stats,
                 warm,
+                batch,
                 &mut cursor,
                 |sim| sim.dc_op(),
             )?;
@@ -1360,6 +1404,7 @@ mod tests {
             opts: &SimOptions,
             stats: &mut SimStats,
             warm: Warm<'_>,
+            batch: Batch<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
             let faulted = nl.devices().any(|(_, d)| d.name.starts_with("flt"));
             if faulted && opts.max_iter < self.needs_iters {
@@ -1371,7 +1416,7 @@ mod tests {
                     iterations: opts.max_iter,
                 });
             }
-            DividerHarness.measure_with(nl, opts, stats, warm)
+            DividerHarness.measure_with(nl, opts, stats, warm, batch)
         }
 
         fn classify_voltage(&self, nominal: &[f64], faulty: &[f64]) -> VoltageSignature {
@@ -1593,6 +1638,7 @@ mod tests {
             opts: &SimOptions,
             stats: &mut SimStats,
             _warm: Warm<'_>,
+            _batch: Batch<'_>,
         ) -> Result<Vec<f64>, dotm_sim::SimError> {
             if nl.device("flt.gd").is_some() && opts.max_iter < 600 {
                 stats.nr_solves += 1;
@@ -1713,5 +1759,71 @@ mod tests {
             run_macro_path_with_faults(&DividerHarness, &cfg, &collapsed, 1e6).expect("path");
         assert_eq!(report.outcomes.len(), 1);
         assert_eq!(report.outcomes[0].count, 3); // the most frequent class
+    }
+
+    /// A synthetic outcome carrying only a rung — the histogram ignores
+    /// every other field.
+    fn outcome_at_rung(rung: Option<u8>) -> ClassOutcome {
+        ClassOutcome {
+            key: "synthetic".into(),
+            mechanism: FaultMechanism::Short,
+            count: 1,
+            severity: Severity::Catastrophic,
+            shared: false,
+            voltage: VoltageSignature::OutputStuckAt,
+            currents: CurrentFlags::default(),
+            detection: DetectionSet {
+                missing_code: true,
+                currents: CurrentFlags::default(),
+            },
+            flagged: Vec::new(),
+            sim_failed: false,
+            inject_failed: false,
+            rung,
+            inject_errors: 0,
+            excluded: false,
+            solver: SimStats::default(),
+        }
+    }
+
+    fn report_with_outcomes(outcomes: Vec<ClassOutcome>) -> MacroReport {
+        MacroReport {
+            name: "synthetic".into(),
+            instances: 1,
+            sprinkle_area_nm2: 1.0,
+            defects: outcomes.len(),
+            total_faults: outcomes.len(),
+            class_count: outcomes.len(),
+            outcomes,
+            goodspace_solver: SimStats::default(),
+            goodspace_corner_retries: 0,
+            cache_lookups: 0,
+            cache_entries: 0,
+        }
+    }
+
+    #[test]
+    fn rung_histogram_counts_in_range_rungs_and_skips_unmeasured() {
+        let report = report_with_outcomes(vec![
+            outcome_at_rung(Some(0)),
+            outcome_at_rung(Some(0)),
+            outcome_at_rung(Some((ESCALATION_RUNGS - 1) as u8)),
+            outcome_at_rung(None), // never measured: not in the histogram
+        ]);
+        let hist = report.rung_histogram();
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[ESCALATION_RUNGS - 1], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rung_histogram_rejects_foreign_rungs_in_debug_builds() {
+        // A rung the ladder can never emit — e.g. an outcome deserialized
+        // from a store written by a build with a taller ladder. Release
+        // builds saturate it into the top bucket instead of panicking.
+        let report = report_with_outcomes(vec![outcome_at_rung(Some(ESCALATION_RUNGS as u8))]);
+        let _ = report.rung_histogram();
     }
 }

@@ -50,6 +50,10 @@ use std::time::Instant;
 pub enum Phase {
     /// MNA matrix + RHS assembly (stamping), once per Newton iteration.
     Assembly,
+    /// Batched-assembly baseline construction (plan split + static-op
+    /// baseline builds). Runs *inside* `Assembly` spans, so `Assembly`
+    /// includes it; the remainder is the per-iteration replay cost.
+    BatchAssembly,
     /// Dense LU factor + solve, real (DC/transient) and complex (AC).
     Lu,
     /// Sherman–Morrison–Woodbury rank-update solve attempts (delta scan,
@@ -69,9 +73,10 @@ pub enum Phase {
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 8] = [
+pub const PHASES: [Phase; 9] = [
     Phase::Newton,
     Phase::Assembly,
+    Phase::BatchAssembly,
     Phase::Lu,
     Phase::RankUpdate,
     Phase::CacheLookup,
@@ -85,6 +90,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Assembly => "assembly",
+            Phase::BatchAssembly => "batch_assembly",
             Phase::Lu => "lu",
             Phase::RankUpdate => "rank_update",
             Phase::Newton => "newton",
@@ -105,11 +111,12 @@ impl Phase {
             Phase::StoreLoad => 5,
             Phase::StoreWrite => 6,
             Phase::Journal => 7,
+            Phase::BatchAssembly => 8,
         }
     }
 }
 
-const N_PHASES: usize = 8;
+const N_PHASES: usize = 9;
 
 #[derive(Default)]
 struct PhaseSlot {

@@ -1,0 +1,498 @@
+//! Split-plan batched assembly: hoists every x-independent stamp out of
+//! the Newton loop.
+//!
+//! The compiled stamp plan ([`crate::engine::PlanOp`]) already folds
+//! constant stamps into `MatAdd` ops, but the interpretive replay still
+//! re-adds every one of them on every Newton iteration. This module
+//! partitions the matrix *cells* into a static set (touched only by
+//! constant stamps) and a dynamic set (touched by any re-linearised
+//! device or by a capacitor companion), sums the static ops once into a
+//! gmin-keyed **baseline** matrix, and reduces the per-iteration assembly
+//! to `baseline copy + dynamic replay`.
+//!
+//! Bitwise identity with the scalar path holds by construction: the
+//! per-cell addition sequence is unchanged. A static cell accumulates
+//! `gmin → constant ops in plan order` exactly as before — just once, in
+//! the baseline, instead of per iteration — and any cell a dynamic op
+//! touches keeps *all* of its ops (constant ones included) in the replay
+//! list, in original plan order. Floating-point addition is deterministic
+//! per sequence, so the assembled matrix is bit-identical, which is why
+//! `DOTM_BATCH_ASSEMBLY` can default on.
+//!
+//! [`SharedAssembly`] extends the split across a *class* of fault
+//! variants: the nominal testbench's static sum is compiled once and
+//! embedded into every device-prefix-equal variant, whose own stamp work
+//! then reduces to a compact delta (the appended fault devices' ops).
+//! Variants that rewire the base circuit (node splits, new parasitic
+//! devices) fail the prefix check and fall back to a locally computed
+//! split — still batched, just not shared.
+
+use crate::engine::PlanOp;
+use crate::matrix::DenseMatrix;
+use dotm_netlist::{DeviceKind, Netlist, NodeId};
+use std::sync::{Arc, Mutex};
+
+/// Dense bitset over matrix cells (`r * n + c`).
+#[derive(Debug, Clone)]
+pub(crate) struct CellSet {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl CellSet {
+    fn new(n: usize) -> Self {
+        CellSet {
+            n,
+            bits: vec![0; (n * n).div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, r: usize, c: usize) {
+        let i = r * self.n + c;
+        self.bits[i >> 6] |= 1 << (i & 63);
+    }
+
+    pub(crate) fn contains(&self, r: usize, c: usize) -> bool {
+        let i = r * self.n + c;
+        self.bits[i >> 6] & (1 << (i & 63)) != 0
+    }
+
+    /// Flattened indices of every set cell, ascending. The set is sparse
+    /// (a handful of cells per re-linearised device), so iterating words
+    /// and popping bits beats scanning all `n²` cells by ~64×.
+    fn set_cells(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push((wi * 64 + w.trailing_zeros() as usize) as u32);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+/// One hoisted constant stamp: `A[r][c] += v`, originally plan op `idx`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StaticOp {
+    pub idx: u32,
+    pub r: u32,
+    pub c: u32,
+    pub v: f64,
+}
+
+fn row(n: NodeId) -> Option<usize> {
+    if n.is_ground() {
+        None
+    } else {
+        Some(n.index() - 1)
+    }
+}
+
+/// Marks the cells `stamp_g(p, q)` touches (symmetric in `p`/`q`).
+fn mark_g(set: &mut CellSet, p: NodeId, q: NodeId) {
+    if let Some(rp) = row(p) {
+        set.insert(rp, rp);
+        if let Some(rq) = row(q) {
+            set.insert(rp, rq);
+            set.insert(rq, rp);
+            set.insert(rq, rq);
+        }
+    } else if let Some(rq) = row(q) {
+        set.insert(rq, rq);
+    }
+}
+
+/// Marks the cells `stamp_vccs(out_p, out_q, ctl_p, ctl_q)` touches.
+fn mark_vccs(set: &mut CellSet, out_p: NodeId, out_q: NodeId, ctl_p: NodeId, ctl_q: NodeId) {
+    for out in [out_p, out_q] {
+        if let Some(ro) = row(out) {
+            for ctl in [ctl_p, ctl_q] {
+                if let Some(rc) = row(ctl) {
+                    set.insert(ro, rc);
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates every cell whose value can change between Newton
+/// iterations or transient steps: the stamp patterns of re-linearised
+/// devices plus the capacitor companion conductances (explicit caps and
+/// MOSFET parasitics, mirroring `Simulator::collect_caps`). Capacitor
+/// cells are marked unconditionally so one split serves both DC and
+/// transient assembly. Dynamic cells only ever involve node rows, never
+/// voltage-source branch rows.
+pub(crate) fn dynamic_cells(nl: &Netlist, n_unknowns: usize) -> CellSet {
+    let mut set = CellSet::new(n_unknowns);
+    for (_, dev) in nl.devices() {
+        match &dev.kind {
+            DeviceKind::Capacitor { a, b, .. } => mark_g(&mut set, *a, *b),
+            DeviceKind::Diode { anode, cathode, .. } => mark_g(&mut set, *anode, *cathode),
+            DeviceKind::Mosfet { d, g, s, b, .. } => {
+                // Channel transconductances.
+                mark_vccs(&mut set, *d, *s, *g, *s);
+                mark_vccs(&mut set, *d, *s, *d, *s);
+                mark_vccs(&mut set, *d, *s, *b, *s);
+                // Bulk junction diodes (the stamp_g pattern is symmetric,
+                // so NMOS and PMOS orientations mark the same cells).
+                mark_g(&mut set, *b, *d);
+                mark_g(&mut set, *b, *s);
+                // Parasitic companion capacitors.
+                mark_g(&mut set, *g, *s);
+                mark_g(&mut set, *g, *d);
+                mark_g(&mut set, *d, *b);
+                mark_g(&mut set, *s, *b);
+            }
+            DeviceKind::Switch { a, b, cp, cn, .. } => {
+                mark_g(&mut set, *a, *b);
+                mark_vccs(&mut set, *a, *b, *cp, *cn);
+            }
+            _ => {}
+        }
+    }
+    set
+}
+
+/// Splits the plan: `MatAdd` ops on purely static cells become hoisted
+/// [`StaticOp`]s; everything else (dynamic-cell constants, RHS ops,
+/// re-linearised devices) stays in the per-iteration replay list.
+pub(crate) fn classify(plan: &[PlanOp<'_>], dynamic: &CellSet) -> (Vec<StaticOp>, Vec<u32>) {
+    let mut static_ops = Vec::new();
+    let mut replay = Vec::new();
+    for (i, op) in plan.iter().enumerate() {
+        match op {
+            PlanOp::MatAdd { r, c, v } if !dynamic.contains(*r, *c) => {
+                static_ops.push(StaticOp {
+                    idx: i as u32,
+                    r: *r as u32,
+                    c: *c as u32,
+                    v: *v,
+                });
+            }
+            _ => replay.push(i as u32),
+        }
+    }
+    (static_ops, replay)
+}
+
+/// Sums gmin plus the hoisted static ops into a flat matrix, reproducing
+/// the scalar path's per-cell addition order (gmin first, then constant
+/// ops ascending by plan index).
+fn build_baseline(
+    n_nodes: usize,
+    n_unknowns: usize,
+    gmin: f64,
+    static_ops: &[StaticOp],
+) -> Vec<f64> {
+    let n = n_unknowns;
+    let mut m = vec![0.0; n * n];
+    for r in 0..(n_nodes - 1) {
+        m[r * n + r] += gmin;
+    }
+    for op in static_ops {
+        m[op.r as usize * n + op.c as usize] += op.v;
+    }
+    m
+}
+
+/// The class-shared half of batched variant assembly: the nominal
+/// testbench's compiled split (dynamic cell set, hoisted static sum,
+/// replay list), plus a gmin-keyed cache of nominal baselines shared
+/// across every variant simulator via `Arc`.
+///
+/// Compiled once per macro (or per good-space compilation) and handed to
+/// each variant's [`crate::Simulator`] through
+/// [`crate::Simulator::install_shared_assembly`].
+pub struct SharedAssembly {
+    base: Netlist,
+    n_nodes: usize,
+    n_unknowns: usize,
+    n_ops: usize,
+    dynamic: CellSet,
+    static_ops: Vec<StaticOp>,
+    baselines: Mutex<Vec<(u64, Arc<Vec<f64>>)>>,
+}
+
+impl std::fmt::Debug for SharedAssembly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedAssembly")
+            .field("base", &self.base.name())
+            .field("n_unknowns", &self.n_unknowns)
+            .field("static_ops", &self.static_ops.len())
+            .finish()
+    }
+}
+
+impl SharedAssembly {
+    /// Compiles the nominal split plan for `base`.
+    pub fn compile(base: &Netlist) -> Self {
+        let mut sim = crate::Simulator::new(base);
+        let parts = sim.split_parts();
+        SharedAssembly {
+            base: base.clone(),
+            n_nodes: parts.n_nodes,
+            n_unknowns: parts.n_unknowns,
+            n_ops: parts.n_ops,
+            dynamic: parts.dynamic,
+            static_ops: parts.static_ops,
+            baselines: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The nominal baseline at `gmin`, computed once per distinct gmin
+    /// (the DC homotopy ladder and escalation rungs revisit the same few
+    /// values) and shared across variant simulators. The value depends
+    /// only on `gmin` bits, so cache-fill order cannot affect results.
+    fn baseline(&self, gmin: f64) -> Arc<Vec<f64>> {
+        let bits = gmin.to_bits();
+        let mut cache = self.baselines.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, b)) = cache.iter().find(|(k, _)| *k == bits) {
+            return Arc::clone(b);
+        }
+        let b = Arc::new(build_baseline(
+            self.n_nodes,
+            self.n_unknowns,
+            gmin,
+            &self.static_ops,
+        ));
+        cache.push((bits, Arc::clone(&b)));
+        b
+    }
+}
+
+/// Pieces of a compiled split plan extracted from a `Simulator`.
+pub(crate) struct SplitParts {
+    pub n_nodes: usize,
+    pub n_unknowns: usize,
+    pub n_ops: usize,
+    pub dynamic: CellSet,
+    pub static_ops: Vec<StaticOp>,
+}
+
+/// Where a variant's baseline values come from.
+enum BaselineSource {
+    /// Locally hoisted static sum (nominal runs, incompatible variants).
+    Local { static_ops: Vec<StaticOp> },
+    /// Embedded from the class-shared nominal baseline plus a per-variant
+    /// stamp delta.
+    Shared {
+        shared: Arc<SharedAssembly>,
+        /// Flattened variant-coordinate cells that are static in the base
+        /// but dynamic in the variant (an appended fault device stamps
+        /// them): their embedded static sums are reset to the gmin seed
+        /// and their ops replay per iteration instead.
+        demoted: Vec<u32>,
+        /// Appended static ops (the variant's stamp delta), in plan order.
+        delta: Vec<StaticOp>,
+    },
+}
+
+/// Per-simulator batched-assembly state: the replay list, the baseline
+/// source, and the dynamic cells split by diagonal/off-diagonal for the
+/// per-iteration reset.
+///
+/// The baseline is never materialised per variant: it is written
+/// straight into the simulator's system matrix once per distinct gmin
+/// (the *install*), and between installs each assembly only resets the
+/// dynamic cells to their baseline values. Those values need no lookup
+/// table — static ops land exclusively on static cells (that is what
+/// [`classify`] means), so a dynamic cell's baseline is always the gmin
+/// seed on a node diagonal and exactly zero everywhere else.
+pub(crate) struct BatchState {
+    replay: Vec<u32>,
+    source: BaselineSource,
+    /// Dynamic cells on a node diagonal (baseline value: gmin).
+    dyn_diag: Vec<u32>,
+    /// Dynamic cells off the diagonal (baseline value: 0).
+    dyn_offdiag: Vec<u32>,
+    /// gmin bits of the baseline currently installed in the simulator's
+    /// matrix; `None` before the first install. Valid because nothing
+    /// outside `assemble` writes the matrix (the LU factorisation copies
+    /// it) and the replay only ever touches dynamic cells.
+    installed: Option<u64>,
+}
+
+impl BatchState {
+    /// Plan indices replayed every iteration, ascending.
+    pub(crate) fn replay(&self) -> &[u32] {
+        &self.replay
+    }
+
+    /// Brings `a` to the baseline state for `gmin`: a full install the
+    /// first time each gmin is seen (charged to the `batch_assembly`
+    /// trace phase), an O(dynamic-cells) reset on every later iteration.
+    pub(crate) fn install_into(
+        &mut self,
+        a: &mut DenseMatrix,
+        n_nodes: usize,
+        n_unknowns: usize,
+        gmin: f64,
+    ) {
+        let bits = gmin.to_bits();
+        if self.installed == Some(bits) {
+            // The static cells still hold the installed baseline bits;
+            // only the cells the replay touches have moved.
+            let data = a.entries_mut();
+            for &i in &self.dyn_offdiag {
+                data[i as usize] = 0.0;
+            }
+            for &i in &self.dyn_diag {
+                data[i as usize] = gmin;
+            }
+            return;
+        }
+        let t0 = dotm_obs::start();
+        let n = n_unknowns;
+        match &self.source {
+            // Sum the static baseline straight into the matrix,
+            // reproducing the scalar path's per-cell addition order (gmin
+            // first, then constant ops ascending by plan index).
+            BaselineSource::Local { static_ops } => {
+                a.clear();
+                for r in 0..(n_nodes - 1) {
+                    a.add(r, r, gmin);
+                }
+                for op in static_ops {
+                    a.add(op.r as usize, op.c as usize, op.v);
+                }
+            }
+            BaselineSource::Shared {
+                shared,
+                demoted,
+                delta,
+            } => {
+                let bb = shared.baseline(gmin);
+                let bn = shared.n_unknowns;
+                let split = shared.n_nodes - 1;
+                // Appended nodes shift the base's branch rows up by `dn`.
+                let dn = n_nodes - shared.n_nodes;
+                if dn == 0 && n == bn {
+                    a.load_entries(&bb);
+                } else {
+                    a.clear();
+                    let data = a.entries_mut();
+                    for br in 0..bn {
+                        let vr = if br < split { br } else { br + dn };
+                        for bc in 0..bn {
+                            let vc = if bc < split { bc } else { bc + dn };
+                            data[vr * n + vc] = bb[br * bn + bc];
+                        }
+                    }
+                    for r in split..(n_nodes - 1) {
+                        data[r * n + r] += gmin;
+                    }
+                }
+                let data = a.entries_mut();
+                for &cell in demoted {
+                    let cell = cell as usize;
+                    data[cell] = if cell / n == cell % n { gmin } else { 0.0 };
+                }
+                for op in delta {
+                    data[op.r as usize * n + op.c as usize] += op.v;
+                }
+            }
+        }
+        self.installed = Some(bits);
+        dotm_obs::phase(dotm_obs::Phase::BatchAssembly, t0);
+    }
+}
+
+/// Builds the per-simulator batch state: classifies the plan against this
+/// netlist's dynamic cells, then tries to adopt the class-shared nominal
+/// baseline (device-prefix-equal, append-only variants), falling back to
+/// a local static sum otherwise.
+pub(crate) fn build_batch(
+    nl: &Netlist,
+    plan: &[PlanOp<'_>],
+    n_nodes: usize,
+    n_unknowns: usize,
+    shared: Option<&Arc<SharedAssembly>>,
+) -> BatchState {
+    let dynamic = dynamic_cells(nl, n_unknowns);
+    let (static_ops, replay) = classify(plan, &dynamic);
+    let mut dyn_diag = Vec::new();
+    let mut dyn_offdiag = Vec::new();
+    for cell in dynamic.set_cells() {
+        let i = cell as usize;
+        if i / n_unknowns == i % n_unknowns {
+            dyn_diag.push(cell);
+        } else {
+            dyn_offdiag.push(cell);
+        }
+    }
+    let source = shared
+        .and_then(|sh| {
+            try_adopt(
+                sh,
+                nl,
+                plan.len(),
+                n_nodes,
+                n_unknowns,
+                &dynamic,
+                &static_ops,
+            )
+        })
+        .unwrap_or(BaselineSource::Local { static_ops });
+    BatchState {
+        replay,
+        source,
+        dyn_diag,
+        dyn_offdiag,
+        installed: None,
+    }
+}
+
+/// Checks the append-only compatibility invariant and, when it holds,
+/// derives the variant's shared baseline source. The variant must extend
+/// the base netlist purely by appending: every base device equal (same
+/// kind, parameters and terminals — `split_node` rewires and fails this),
+/// at least as many nodes, and a plan that starts with the base's ops.
+fn try_adopt(
+    sh: &Arc<SharedAssembly>,
+    nl: &Netlist,
+    plan_len: usize,
+    n_nodes: usize,
+    n_unknowns: usize,
+    dynamic: &CellSet,
+    static_ops: &[StaticOp],
+) -> Option<BaselineSource> {
+    if n_nodes < sh.n_nodes
+        || n_unknowns < sh.n_unknowns
+        || plan_len < sh.n_ops
+        || nl.device_count() < sh.base.device_count()
+    {
+        return None;
+    }
+    if !sh
+        .base
+        .devices()
+        .zip(nl.devices())
+        .all(|((_, base_dev), (_, var_dev))| base_dev == var_dev)
+    {
+        return None;
+    }
+    // Dynamic cells only involve node rows, which append-only variants
+    // leave in place, so base and variant coordinates agree here. Demoted
+    // cells are by definition dynamic in the variant, so scanning the
+    // variant's sparse dynamic set beats a dense base-block sweep.
+    let split = sh.n_nodes - 1;
+    let mut demoted = Vec::new();
+    for cell in dynamic.set_cells() {
+        let (r, c) = (cell as usize / n_unknowns, cell as usize % n_unknowns);
+        if r < split && c < split && !sh.dynamic.contains(r, c) {
+            demoted.push(cell);
+        }
+    }
+    let delta = static_ops
+        .iter()
+        .filter(|op| op.idx as usize >= sh.n_ops)
+        .copied()
+        .collect();
+    Some(BaselineSource::Shared {
+        shared: Arc::clone(sh),
+        demoted,
+        delta,
+    })
+}

@@ -1,6 +1,7 @@
 //! The simulation engine: MNA assembly and the Newton–Raphson solver with
 //! gmin- and source-stepping homotopies.
 
+use crate::batch::{self, BatchState, SharedAssembly};
 use crate::error::SimError;
 use crate::factor::{NominalFactors, SmwOutcome, SmwPlan};
 use crate::matrix::{DenseMatrix, LuFactors};
@@ -54,6 +55,18 @@ pub struct SimOptions {
     /// ULPs relative to a fresh factorisation, so it defaults off and is
     /// gated end-to-end by verdict-equality checks in the bench harness.
     pub rank_update: bool,
+    /// Assemble through the split stamp plan: constant stamps are summed
+    /// once into a gmin-keyed baseline and every iteration replays only
+    /// the x-dependent ops (see [`crate::SharedAssembly`]). The per-cell
+    /// addition order is preserved exactly, so the assembled matrix is
+    /// bit-identical to the interpretive walk and this defaults on.
+    pub batch_assembly: bool,
+    /// Carry the accepted transient step size across the step loop with a
+    /// ×2 ramp-up instead of restarting every step at the full remaining
+    /// interval. Avoids paying repeated rejected Newton solves on sharp
+    /// edges, but takes different (smaller) steps — round-off-changing,
+    /// so it defaults off and is verdict-gated like `rank_update`.
+    pub tran_step_carry: bool,
 }
 
 impl Default for SimOptions {
@@ -69,6 +82,8 @@ impl Default for SimOptions {
             max_step_halvings: 10,
             factor_reuse: true,
             rank_update: false,
+            batch_assembly: true,
+            tran_step_carry: false,
         }
     }
 }
@@ -234,7 +249,7 @@ enum NrOutcome {
 /// performed, so a replayed assembly is bit-identical to the original;
 /// only the per-device dispatch, row lookups and constant arithmetic are
 /// hoisted out of the Newton loop.
-enum PlanOp<'a> {
+pub(crate) enum PlanOp<'a> {
     /// A constant matrix stamp: `A[r][c] += v`.
     MatAdd { r: usize, c: usize, v: f64 },
     /// Voltage-source RHS assignment: `z[row] = value(id) · src_scale`.
@@ -317,6 +332,14 @@ pub struct Simulator<'a> {
     smw_plan: Option<SmwPlan>,
     smw_key: Vec<f64>,
     smw_fresh: bool,
+    /// Split-plan batched-assembly state (replay list plus gmin-keyed
+    /// baselines), built lazily on the first assembly when
+    /// [`SimOptions::batch_assembly`] is set.
+    batch: Option<BatchState>,
+    /// Class-shared nominal assembly installed by the harness plumbing;
+    /// compatible variants embed its baseline instead of re-summing their
+    /// own static stamps.
+    shared_assembly: Option<Arc<SharedAssembly>>,
 }
 
 impl<'a> std::fmt::Debug for Simulator<'a> {
@@ -375,6 +398,8 @@ impl<'a> Simulator<'a> {
             smw_plan: None,
             smw_key: Vec::new(),
             smw_fresh: false,
+            batch: None,
+            shared_assembly: None,
         }
     }
 
@@ -551,8 +576,18 @@ impl<'a> Simulator<'a> {
         if self.plan.is_none() {
             self.plan = Some(self.build_plan());
         }
-        self.a.clear();
-        self.z.fill(0.0);
+        if self.opts.batch_assembly && self.batch.is_none() {
+            let t0 = dotm_obs::start();
+            let state = batch::build_batch(
+                self.nl,
+                self.plan.as_deref().expect("plan built above"),
+                self.n_nodes,
+                self.n_unknowns,
+                self.shared_assembly.as_ref(),
+            );
+            dotm_obs::phase(dotm_obs::Phase::BatchAssembly, t0);
+            self.batch = Some(state);
+        }
         let volt = |n: NodeId| -> f64 {
             if n.is_ground() {
                 0.0
@@ -560,11 +595,6 @@ impl<'a> Simulator<'a> {
                 x[n.index() - 1]
             }
         };
-
-        // gmin from every node to ground.
-        for r in 0..(self.n_nodes - 1) {
-            self.a.add(r, r, gmin);
-        }
 
         // Borrow-friendly local stamp helpers.
         let overrides = &self.source_override;
@@ -627,16 +657,16 @@ impl<'a> Simulator<'a> {
             }
         };
 
-        let plan = self.plan.as_deref().expect("plan built above");
-        for op in plan {
+        // One plan op, executed identically by both assembly paths below.
+        let run_op = |op: &PlanOp<'_>, a: &mut DenseMatrix, z: &mut [f64]| {
             let dev = match op {
                 PlanOp::MatAdd { r, c, v } => {
                     a.add(*r, *c, *v);
-                    continue;
+                    return;
                 }
                 PlanOp::VsrcZ { row: br, id, wf } => {
                     z[*br] = src_val(*id, wf, t) * src_scale;
-                    continue;
+                    return;
                 }
                 PlanOp::IsrcZ { rp, rq, id, wf } => {
                     let i = src_val(*id, wf, t) * src_scale;
@@ -646,7 +676,7 @@ impl<'a> Simulator<'a> {
                     if let Some(rq) = rq {
                         z[*rq] += i;
                     }
-                    continue;
+                    return;
                 }
                 PlanOp::Nonlinear(dev) => *dev,
             };
@@ -717,6 +747,34 @@ impl<'a> Simulator<'a> {
                 }
                 // Linear kinds never appear as `Nonlinear` plan ops.
                 _ => unreachable!("linear device in nonlinear plan op"),
+            }
+        };
+
+        let plan = self.plan.as_deref().expect("plan built above");
+        match (self.opts.batch_assembly, self.batch.as_mut()) {
+            // Batched split-plan path: install the gmin + static-stamp
+            // baseline (full matrix write once per gmin, O(dynamic cells)
+            // reset afterwards), then replay only the x-dependent ops
+            // (plus constant ops sharing a cell with one, preserving the
+            // per-cell addition order — see `crate::batch`).
+            (true, Some(state)) => {
+                state.install_into(a, self.n_nodes, self.n_unknowns, gmin);
+                z.fill(0.0);
+                for &i in state.replay() {
+                    run_op(&plan[i as usize], a, z);
+                }
+            }
+            // Scalar path: full interpretive replay.
+            _ => {
+                a.clear();
+                z.fill(0.0);
+                // gmin from every node to ground.
+                for r in 0..(self.n_nodes - 1) {
+                    a.add(r, r, gmin);
+                }
+                for op in plan {
+                    run_op(op, a, z);
+                }
             }
         }
 
@@ -960,6 +1018,36 @@ impl<'a> Simulator<'a> {
         self.smw_plan = None;
         self.smw_key.clear();
         self.smw_fresh = false;
+    }
+
+    /// Installs a class-shared assembly compiled from the nominal
+    /// (fault-free) netlist by [`SharedAssembly::compile`]. Variants
+    /// whose device list is a prefix-extension of the shared base adopt
+    /// its static baseline instead of rebuilding their own; anything
+    /// else (Monte-Carlo parameter corners, node splits) falls back to a
+    /// locally split plan. Only consulted when
+    /// [`SimOptions::batch_assembly`] is set.
+    pub fn install_shared_assembly(&mut self, shared: Arc<SharedAssembly>) {
+        self.shared_assembly = Some(shared);
+        self.batch = None;
+    }
+
+    /// Splits this simulator's stamp plan into static (hoistable) and
+    /// dynamic (per-iteration) parts for [`SharedAssembly::compile`].
+    pub(crate) fn split_parts(&mut self) -> batch::SplitParts {
+        if self.plan.is_none() {
+            self.plan = Some(self.build_plan());
+        }
+        let plan = self.plan.as_deref().expect("plan built above");
+        let dynamic = batch::dynamic_cells(self.nl, self.n_unknowns);
+        let (static_ops, _replay) = batch::classify(plan, &dynamic);
+        batch::SplitParts {
+            n_nodes: self.n_nodes,
+            n_unknowns: self.n_unknowns,
+            n_ops: plan.len(),
+            dynamic,
+            static_ops,
+        }
     }
 
     /// Installs `op` — typically the fault-free nominal solution — as a
@@ -1263,8 +1351,14 @@ impl<'a> Simulator<'a> {
         // old `.round()` silently simulated to the wrong end time (e.g.
         // tstop = 1 ns, dt = 0.3 ns stopped at 0.9 ns); now the grid gains
         // a final point clamped to `tstop` itself.
+        // The tolerance must scale with `dt`, not only `tstop`: a pure
+        // `1e-9·tstop` bound grows toward a full step at large step
+        // counts and misclassifies near-divisors, while a pure `1e-9·dt`
+        // bound is tighter than the rounding noise of a divisor computed
+        // in floating point (`dt = tstop/3.0` accumulates error of order
+        // `eps·tstop` in `ratio.round()·dt`). Use both terms.
         let ratio = tstop / dt;
-        let exact = (ratio.round() * dt - tstop).abs() <= 1e-9 * tstop;
+        let exact = (ratio.round() * dt - tstop).abs() <= 1e-9 * dt + 4.0 * f64::EPSILON * tstop;
         let n_out = if exact {
             ratio.round() as usize
         } else {
@@ -1282,6 +1376,14 @@ impl<'a> Simulator<'a> {
         let trap_ok = self.opts.integration == Integration::Trapezoidal;
         let mut first_step = true;
         let mut t = 0.0;
+        // Step-carry (`DOTM_TRAN_STEP_CARRY`): once halvings find a working
+        // `h` at a sharp edge, restarting the next step from the full
+        // remaining interval repeats up to `max_step_halvings` rejected
+        // Newton solves per accepted step. Carrying the accepted `h`
+        // forward with a ×2 ramp (capped at the remaining interval) keeps
+        // the step near the edge-resolving size. Off by default: the step
+        // sequence changes, which perturbs round-off.
+        let mut carried: Option<f64> = None;
         for k in 1..=n_out {
             let t_target = if !exact && k == n_out {
                 tstop
@@ -1289,7 +1391,11 @@ impl<'a> Simulator<'a> {
                 k as f64 * dt
             };
             while t < t_target - 1e-18 * t_target.max(1.0) {
-                let mut h = t_target - t;
+                let remaining = t_target - t;
+                let mut h = match carried {
+                    Some(c) if self.opts.tran_step_carry => c.min(remaining),
+                    _ => remaining,
+                };
                 let mut halvings = 0;
                 loop {
                     // BE on the very first step (no stored cap current yet).
@@ -1319,6 +1425,9 @@ impl<'a> Simulator<'a> {
                             t += h;
                             first_step = false;
                             self.stats.tran_steps += 1;
+                            if self.opts.tran_step_carry {
+                                carried = Some(2.0 * h);
+                            }
                             break;
                         }
                         NrOutcome::Singular => {

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod batch;
 mod engine;
 mod error;
 mod factor;
@@ -55,6 +56,7 @@ mod models;
 mod stats;
 
 pub use ac::{log_sweep, AcResult, Complex};
+pub use batch::SharedAssembly;
 pub use engine::{Integration, OpPoint, SimOptions, Simulator, TranResult};
 pub use error::SimError;
 pub use factor::{NominalFactors, SmwOutcome, SmwPlan, SMW_MAX_RANK, SMW_RESIDUAL_RTOL};

@@ -8,7 +8,7 @@ use dotm_sim::Integration;
 
 /// Bumped whenever any persisted encoding changes shape, so old stores
 /// and journals age out as misses instead of decoding wrongly.
-pub const FORMAT_VERSION: u64 = 2;
+pub const FORMAT_VERSION: u64 = 3;
 
 /// Computes the context fingerprint of one `(harness, config)` pair.
 ///
@@ -18,8 +18,9 @@ pub const FORMAT_VERSION: u64 = 2;
 /// defect statistics); the process-variation sigmas; the good-space
 /// Monte-Carlo sizes and seed; the escalation ladder; the sim-failure
 /// policy; and the solver-effort knobs (`warm_start`, `measure_cache`,
-/// `factor_reuse`, `rank_update`) whose telemetry lands in persisted
-/// solver-stats deltas.
+/// `factor_reuse`, `rank_update`, `batch_assembly`, `tran_step_carry`)
+/// whose telemetry — or, for the round-off-changing ones, whose solution
+/// bits — lands in persisted solver-stats deltas and measurements.
 ///
 /// Deliberately *excluded*:
 ///
@@ -100,6 +101,8 @@ pub fn pipeline_context(harness: &dyn MacroHarness, cfg: &PipelineConfig) -> u12
     h.bool(cfg.measure_cache);
     h.bool(cfg.factor_reuse);
     h.bool(cfg.rank_update);
+    h.bool(cfg.batch_assembly);
+    h.bool(cfg.tran_step_carry);
 
     h.finish()
 }
@@ -159,6 +162,14 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.rank_update = true;
         assert_ne!(pipeline_context(&h, &cfg), base, "rank update");
+
+        let mut cfg = base_cfg();
+        cfg.batch_assembly = false;
+        assert_ne!(pipeline_context(&h, &cfg), base, "batch assembly");
+
+        let mut cfg = base_cfg();
+        cfg.tran_step_carry = true;
+        assert_ne!(pipeline_context(&h, &cfg), base, "step carry");
 
         let mut cfg = base_cfg();
         cfg.defects += 1;

@@ -147,6 +147,30 @@ fn factor_reuse_is_invisible_in_the_report() {
 }
 
 #[test]
+fn batch_assembly_is_invisible_in_the_report() {
+    // Batched assembly replays exactly the per-cell addition sequence of
+    // the scalar path (gmin first, then constant stamps ascending in plan
+    // order), so toggling `DOTM_BATCH_ASSEMBLY` must leave every reported
+    // bit unchanged — no scrub at all, the path adds no counters. Checked
+    // at both thread counts so the shared-baseline Arc is exercised under
+    // real executor contention.
+    let with_batch = |threads, batch_assembly| {
+        run_comparator_cfg(PipelineConfig {
+            batch_assembly,
+            ..comparator_config(threads, true)
+        })
+    };
+    let on_serial = with_batch(1, true);
+    let off_serial = with_batch(1, false);
+    let on_parallel = with_batch(4, true);
+    let off_parallel = with_batch(4, false);
+    assert_eq!(on_serial.solver_totals(), off_serial.solver_totals());
+    assert_eq!(on_serial.fingerprint(), off_serial.fingerprint());
+    assert_eq!(on_serial.fingerprint(), on_parallel.fingerprint());
+    assert_eq!(on_serial.fingerprint(), off_parallel.fingerprint());
+}
+
+#[test]
 fn rank_update_report_is_thread_count_invariant() {
     // Rank updates change round-off relative to full refactorisation (the
     // `lu_speedup` bench gates verdict preservation), but within the
