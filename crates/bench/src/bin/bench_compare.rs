@@ -34,6 +34,16 @@ const COUNTER_FIELDS: &[&str] = &[
     "factor_refactor_fallbacks",
     "verdict_flips",
     "hit_pct",
+    // shard_speedup counters: byte-identity verdicts and deterministic
+    // store/journal occupancy of the sharded-vs-single comparison.
+    "workers",
+    "macros",
+    "journal_bytes",
+    "store_entries",
+    "fingerprints_identical",
+    "journals_identical",
+    "accounting_identical",
+    "occupancy_identical",
 ];
 
 /// Parses the flat one-level JSON object the bench bins emit: string,
@@ -104,6 +114,10 @@ fn main() {
                 println!("  {field:<28} {c:>14}   DRIFT (baseline {b})");
                 drifts += 1;
             }
+            // A field absent on *both* sides simply doesn't apply to
+            // this bench's summary shape — one comparator serves all the
+            // bench bins, each of which emits its own counter subset.
+            (None, None) => {}
             (b, c) => {
                 println!(
                     "  {field:<28} {:>14}   MISSING (baseline {})",
@@ -127,6 +141,9 @@ fn main() {
         "fast_assembly_ns",
         "fast_batch_assembly_ns",
         "batch_speedup",
+        "single_wall_ms",
+        "sharded_wall_ms",
+        "shard_speedup",
     ] {
         if let Some(c) = current.get(field) {
             let b = baseline.get(field).map(String::as_str).unwrap_or("-");

@@ -3,7 +3,10 @@
 //! compiles the global Fig. 4 detectability panels.
 //!
 //! ```text
-//! campaign [--resume]
+//! campaign [--resume]              single-process campaign
+//! campaign --shard i/N             one shard worker (classes i*C/N..(i+1)*C/N per macro)
+//! campaign --merge [--shards N]    fold N shard segments into the canonical journal/report
+//! campaign --workers N             coordinator: spawn N shard workers, re-dispatch, merge
 //! ```
 //!
 //! Knobs (on top of the standard `DOTM_*` pipeline knobs):
@@ -11,11 +14,23 @@
 //! * `DOTM_STORE_DIR` — store root (default `dotm-store/`). Holds
 //!   `meas/` (content-addressed measurement entries, shared across
 //!   campaigns whose configuration matches) and `journal/` (one
-//!   checkpoint journal per macro).
+//!   checkpoint journal per macro, plus per-shard segments).
 //! * `--resume` — replay each macro's journaled class prefix instead of
 //!   re-evaluating it, then continue. A campaign killed mid-macro and
 //!   resumed produces bit-identical reports *and journals* to an
 //!   uninterrupted run.
+//! * `DOTM_SHARDS` / `DOTM_SHARD` — environment forms of `--shard i/N`
+//!   (`DOTM_SHARD=i DOTM_SHARDS=N`) and `--merge --shards N`
+//!   (`DOTM_SHARDS=N` alone), for launching workers across hosts
+//!   against a shared store tree without touching the command line.
+//! * `DOTM_SHARD_RETRIES` — extra dispatch rounds the coordinator runs
+//!   for shards whose segments come back missing, short or unsealed
+//!   (default 2). Workers always resume their own segment prefix, so a
+//!   re-dispatched shard replays what its predecessor completed.
+//! * `DOTM_SHARD_ABORT_ONCE` — coordinator test knob: inject
+//!   `DOTM_ABORT_AFTER=<n>` into every *first-round* worker, so each
+//!   first attempt dies mid-shard and the re-dispatch machinery is
+//!   exercised deterministically.
 //! * `DOTM_ABORT_AFTER` — abort the campaign (via the in-order class
 //!   observer, not a signal) after this many classes, campaign-wide: the
 //!   deterministic stand-in for a kill that the resume gate scripts use.
@@ -25,6 +40,18 @@
 //! * `DOTM_TRACE` / `DOTM_TRACE_DIR` — per-phase wall-clock profile on
 //!   stderr plus NDJSON and chrome://tracing exports (see the crate
 //!   docs). Stdout and every persisted byte stay identical either way.
+//!
+//! ## Sharded byte-identity
+//!
+//! A shard worker evaluates only its contiguous class range per macro
+//! and checkpoints it into `journal/<macro>.shard-<i>-of-<N>.jnl`. The
+//! merge step verifies every segment header and record checksum, folds
+//! the ranges in class order and *replays* them through the ordinary
+//! pipeline path — so its stdout, `journal/<macro>.jnl` bytes, report
+//! fingerprints and solver-accounting totals are identical to a
+//! single-process run at any (workers × threads) combination. Mode
+//! bookkeeping (worker spawning, per-shard fingerprints, re-dispatch)
+//! goes to stderr to keep that contract diffable with `cmp`.
 //!
 //! The campaign forces `measure_cache = off` and relies on the store's
 //! own in-memory overlay instead: the cache's occupancy counters are part
@@ -40,15 +67,95 @@ use dotm_core::harnesses::{
 };
 use dotm_core::{
     run_macro_path_with_faults_hooked, ClassObserver, ClassOutcome, GlobalReport, MacroHarness,
-    MacroReport, PathError, PipelineConfig, PipelineHooks,
+    MacroReport, PathError, PipelineConfig, PipelineHooks, ShardSpec,
 };
-use dotm_defects::{sprinkle_collapsed, Sprinkler};
+use dotm_defects::{sprinkle_collapsed, CollapseReport, Sprinkler};
 use dotm_faults::Severity;
-use dotm_store::{load_journal, pipeline_context, DiskStore, JournalHeader, JournalWriter};
+use dotm_store::{
+    create_segment, load_journal, load_segment, merge_segments, pipeline_context, segment_path,
+    DiskStore, JournalHeader, JournalWriter,
+};
 use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// How this invocation participates in the campaign.
+enum Mode {
+    /// Ordinary single-process campaign (optionally resuming).
+    Single { resume: bool },
+    /// One shard worker: evaluate `shard.range(classes)` per macro into
+    /// a segment file, always resuming the segment's own prefix.
+    Worker { shard: ShardSpec },
+    /// Fold `shards` sealed segments per macro into the canonical
+    /// journal and the standard campaign output.
+    Merge { shards: usize },
+    /// Spawn `workers` shard subprocesses, re-dispatch incomplete
+    /// shards, then merge.
+    Coordinator { workers: usize },
+}
+
+fn parse_mode() -> Mode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("campaign: {flag} needs a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    if let Some(n) = flag_value("--workers") {
+        let workers: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("campaign: --workers {n}: expected a positive integer");
+            std::process::exit(2);
+        });
+        if workers == 0 {
+            eprintln!("campaign: --workers 0: expected at least one worker");
+            std::process::exit(2);
+        }
+        return Mode::Coordinator { workers };
+    }
+    if args.iter().any(|a| a == "--merge") {
+        let shards = flag_value("--shards")
+            .map(|n| {
+                n.parse().unwrap_or_else(|_| {
+                    eprintln!("campaign: --shards {n}: expected a positive integer");
+                    std::process::exit(2);
+                })
+            })
+            .or_else(dotm_core::env::shards)
+            .unwrap_or_else(|| {
+                eprintln!("campaign: --merge needs --shards N (or DOTM_SHARDS)");
+                std::process::exit(2);
+            });
+        return Mode::Merge { shards };
+    }
+    if let Some(spec) = flag_value("--shard") {
+        let shard = ShardSpec::parse(spec).unwrap_or_else(|e| {
+            eprintln!("campaign: --shard {spec}: {e}");
+            std::process::exit(2);
+        });
+        return Mode::Worker { shard };
+    }
+    match (dotm_core::env::shard(), dotm_core::env::shards()) {
+        (Some(index), Some(count)) => {
+            let shard = ShardSpec::new(index, count).unwrap_or_else(|e| {
+                eprintln!("campaign: DOTM_SHARD/DOTM_SHARDS: {e}");
+                std::process::exit(2);
+            });
+            Mode::Worker { shard }
+        }
+        (Some(_), None) => {
+            eprintln!("campaign: DOTM_SHARD without DOTM_SHARDS");
+            std::process::exit(2);
+        }
+        _ => Mode::Single {
+            resume: args.iter().any(|a| a == "--resume"),
+        },
+    }
+}
 
 /// Journals every completed class and injects the deterministic abort.
 struct CampaignObserver {
@@ -71,21 +178,15 @@ impl ClassObserver for CampaignObserver {
     }
 }
 
-struct MacroRun {
-    report: MacroReport,
-    counters: dotm_store::StoreCounters,
-    seconds: f64,
+/// One macro's precomputed identity: everything the coordinator, merge
+/// and run paths need without re-running the pipeline.
+struct MacroPrep {
+    collapsed: CollapseReport,
+    area: f64,
+    header: JournalHeader,
 }
 
-/// Runs one macro's journaled, store-backed path. `Ok(None)` means the
-/// observer aborted the campaign (the journal keeps the prefix).
-fn run_macro(
-    harness: &dyn MacroHarness,
-    cfg: &PipelineConfig,
-    store_dir: &Path,
-    resume: bool,
-    observer: &CampaignObserver,
-) -> std::io::Result<Option<MacroRun>> {
+fn prepare(harness: &dyn MacroHarness, cfg: &PipelineConfig) -> MacroPrep {
     let layout = harness.layout();
     let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
     let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
@@ -98,45 +199,134 @@ fn run_macro(
         Some(n) => collapsed.class_count().min(n),
         None => collapsed.class_count(),
     };
+    MacroPrep {
+        collapsed,
+        area,
+        header: JournalHeader {
+            context: pipeline_context(harness, cfg),
+            macro_name: harness.name().to_string(),
+            classes,
+        },
+    }
+}
 
-    let context = pipeline_context(harness, cfg);
-    let store = DiskStore::open(store_dir, context)?;
-    let header = JournalHeader {
-        context,
-        macro_name: harness.name().to_string(),
-        classes,
-    };
-    let journal_path = store_dir
-        .join("journal")
-        .join(format!("{}.jnl", harness.name()));
+fn journal_dir(store_dir: &Path) -> PathBuf {
+    store_dir.join("journal")
+}
 
-    let completed = if resume {
-        let state = load_journal(&journal_path, &header);
-        if state.prefix_len() > 0 {
-            eprintln!(
-                "[campaign] {}: resuming {} of {classes} classes from the journal",
-                harness.name(),
-                state.prefix_len(),
-            );
+struct MacroRun {
+    report: MacroReport,
+    counters: dotm_store::StoreCounters,
+    seconds: f64,
+    /// A structurally valid journal/segment was ignored because its
+    /// header disagrees with the current context (a knob changed).
+    context_mismatch: bool,
+}
+
+/// Runs one macro's journaled, store-backed path. `Ok(None)` means the
+/// observer aborted the campaign (the journal keeps the prefix).
+fn run_macro(
+    harness: &dyn MacroHarness,
+    cfg: &PipelineConfig,
+    prep: &MacroPrep,
+    store_dir: &Path,
+    observer: &CampaignObserver,
+    mode: &Mode,
+) -> std::io::Result<Option<MacroRun>> {
+    let store = DiskStore::open(store_dir, prep.header.context)?;
+    let jdir = journal_dir(store_dir);
+    let journal_path = jdir.join(format!("{}.jnl", harness.name()));
+
+    let mut context_mismatch = false;
+    let (completed, writer, shard) = match mode {
+        Mode::Single { resume } => {
+            let completed = if *resume {
+                let state = load_journal(&journal_path, &prep.header);
+                context_mismatch = state.context_mismatch;
+                if state.prefix_len() > 0 {
+                    eprintln!(
+                        "[campaign] {}: resuming {} of {} classes from the journal",
+                        harness.name(),
+                        state.prefix_len(),
+                        prep.header.classes,
+                    );
+                }
+                state.completed
+            } else {
+                Vec::new()
+            };
+            // The journal is rewritten from scratch either way: replayed
+            // classes re-emit byte-identical records, so a resumed
+            // journal ends up indistinguishable from an uninterrupted
+            // one.
+            let writer = JournalWriter::create(&journal_path, &prep.header)?;
+            (completed, writer, None)
         }
-        state.completed
-    } else {
-        Vec::new()
+        Mode::Worker { shard } => {
+            // A worker always resumes its own segment: a re-dispatched
+            // shard replays its dead predecessor's prefix, and replay is
+            // canonical so an intact segment is rewritten byte-for-byte.
+            let seg = segment_path(&jdir, harness.name(), *shard);
+            let state = load_segment(&seg, &prep.header, *shard);
+            context_mismatch = state.context_mismatch;
+            if state.prefix_len() > 0 {
+                eprintln!(
+                    "[campaign] {}: shard {shard} resuming {} of {} classes",
+                    harness.name(),
+                    state.prefix_len(),
+                    shard.range(prep.header.classes).len(),
+                );
+            }
+            let writer = create_segment(&seg, &prep.header, *shard)?;
+            (state.completed, writer, Some(*shard))
+        }
+        Mode::Merge { shards } => {
+            let merged = merge_segments(&jdir, &prep.header, *shards);
+            context_mismatch = !merged.context_mismatches.is_empty();
+            if !merged.is_complete() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: shards {:?} incomplete — re-run those workers before merging",
+                        harness.name(),
+                        merged.incomplete
+                    ),
+                ));
+            }
+            for (i, fp) in merged.shard_fingerprints.iter().enumerate() {
+                let fp = fp.expect("complete merge has every shard fingerprint");
+                eprintln!(
+                    "[campaign] {}: shard {i}/{shards} fingerprint={fp:016x}",
+                    harness.name()
+                );
+            }
+            // The merge replays every class through the ordinary path
+            // into the canonical whole-macro journal: bytes, fingerprint
+            // and accounting land exactly where a single-process run
+            // puts them.
+            let writer = JournalWriter::create(&journal_path, &prep.header)?;
+            (merged.completed, writer, None)
+        }
+        Mode::Coordinator { .. } => unreachable!("coordinator delegates to Merge"),
     };
 
-    // The journal is rewritten from scratch either way: replayed classes
-    // re-emit byte-identical records, so a resumed journal ends up
-    // indistinguishable from an uninterrupted one.
-    *observer.writer.lock().unwrap_or_else(|e| e.into_inner()) =
-        Some(JournalWriter::create(&journal_path, &header)?);
+    if context_mismatch {
+        println!(
+            "  {:<16} journal: context mismatch (ignored)",
+            harness.name()
+        );
+    }
+
+    *observer.writer.lock().unwrap_or_else(|e| e.into_inner()) = Some(writer);
 
     let hooks = PipelineHooks {
         store: Some(&store),
         observer: Some(observer),
         completed,
+        shard,
     };
     let t0 = Instant::now();
-    match run_macro_path_with_faults_hooked(harness, cfg, &collapsed, area, &hooks) {
+    match run_macro_path_with_faults_hooked(harness, cfg, &prep.collapsed, prep.area, &hooks) {
         Ok(report) => {
             let writer = observer
                 .writer
@@ -149,6 +339,7 @@ fn run_macro(
                 report,
                 counters: store.counters(),
                 seconds: t0.elapsed().as_secs_f64(),
+                context_mismatch,
             }))
         }
         Err(PathError::Aborted { completed }) => {
@@ -162,9 +353,110 @@ fn run_macro(
     }
 }
 
+fn harnesses() -> Vec<Box<dyn MacroHarness>> {
+    vec![
+        Box::new(ComparatorHarness::production()),
+        Box::new(LadderHarness),
+        Box::new(BiasHarness::default()),
+        Box::new(ClockgenHarness::default()),
+        Box::new(DecoderHarness::default()),
+    ]
+}
+
+/// Spawns shard workers for `needed`, waits for all, and forwards their
+/// stdout/stderr to the coordinator's stderr (worker chatter must never
+/// reach the byte-identity-checked stdout).
+fn dispatch_round(
+    workers: usize,
+    needed: &[usize],
+    abort_after: Option<u64>,
+) -> std::io::Result<()> {
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::new();
+    for &index in needed {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--shard")
+            .arg(format!("{index}/{workers}"))
+            // The worker derives everything else from the inherited
+            // environment; the coordinator-only and injection knobs must
+            // not leak through.
+            .env_remove("DOTM_ABORT_AFTER")
+            .env_remove("DOTM_EXPECT_WARM")
+            .env_remove("DOTM_SHARD")
+            .env_remove("DOTM_SHARDS")
+            .env_remove("DOTM_SHARD_ABORT_ONCE")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        if let Some(n) = abort_after {
+            cmd.env("DOTM_ABORT_AFTER", n.to_string());
+        }
+        children.push((index, cmd.spawn()?));
+    }
+    for (index, child) in children {
+        let out = child.wait_with_output()?;
+        for line in String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .chain(String::from_utf8_lossy(&out.stderr).lines())
+        {
+            eprintln!("[worker {index}/{workers}] {line}");
+        }
+        if !out.status.success() {
+            eprintln!(
+                "[campaign] worker {index}/{workers} exited with {}",
+                out.status
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Shards whose segment for any macro is missing, short or unsealed.
+fn incomplete_shards(preps: &[MacroPrep], store_dir: &Path, workers: usize) -> Vec<usize> {
+    let jdir = journal_dir(store_dir);
+    let mut needed: Vec<usize> = Vec::new();
+    for prep in preps {
+        for index in merge_segments(&jdir, &prep.header, workers).incomplete {
+            if !needed.contains(&index) {
+                needed.push(index);
+            }
+        }
+    }
+    needed.sort_unstable();
+    needed
+}
+
+/// Coordinator loop: dispatch every shard, then re-dispatch whatever
+/// came back incomplete (bounded rounds), reaping dead workers' temp
+/// files between rounds. Returns whether every shard sealed.
+fn coordinate(preps: &[MacroPrep], store_dir: &Path, workers: usize) -> std::io::Result<bool> {
+    let retries = dotm_core::env::u64_knob("DOTM_SHARD_RETRIES", 2);
+    let abort_once = match dotm_core::env::u64_knob("DOTM_SHARD_ABORT_ONCE", 0) {
+        0 => None,
+        n => Some(n),
+    };
+    for round in 0..=retries {
+        let needed = incomplete_shards(preps, store_dir, workers);
+        if needed.is_empty() {
+            break;
+        }
+        // No worker is live between rounds, so staging files left by
+        // crashed writers are safe to reap.
+        let reaped = dotm_store::reap_temp_files(store_dir)?;
+        if reaped > 0 {
+            eprintln!("[campaign] reaped {reaped} stale temp files");
+        }
+        eprintln!(
+            "[campaign] round {round}: dispatching {} of {workers} shards: {needed:?}",
+            needed.len()
+        );
+        dispatch_round(workers, &needed, abort_once.filter(|_| round == 0))?;
+    }
+    Ok(incomplete_shards(preps, store_dir, workers).is_empty())
+}
+
 fn main() {
     let trace = obs_init();
-    let resume = std::env::args().any(|a| a == "--resume");
+    let mode = parse_mode();
     let store_dir = dotm_core::env::store_dir().unwrap_or_else(|| PathBuf::from("dotm-store"));
     let abort_after = match dotm_core::env::u64_knob("DOTM_ABORT_AFTER", 0) {
         0 => None,
@@ -175,20 +467,58 @@ fn main() {
     let mut cfg = standard_config();
     cfg.measure_cache = false; // see the module docs: the store subsumes it
 
-    let harnesses: Vec<Box<dyn MacroHarness>> = vec![
-        Box::new(ComparatorHarness::production()),
-        Box::new(LadderHarness),
-        Box::new(BiasHarness::default()),
-        Box::new(ClockgenHarness::default()),
-        Box::new(DecoderHarness::default()),
-    ];
+    let harnesses = harnesses();
 
-    println!(
-        "persistent campaign: {} defects/macro, store at {}{}",
-        cfg.defects,
-        store_dir.display(),
-        if resume { ", resuming" } else { "" }
-    );
+    // Coordinator: drive the workers, then fall through to the merge.
+    let mode = match mode {
+        Mode::Coordinator { workers } => {
+            eprintln!("[campaign] coordinating {workers} shard workers");
+            let preps: Vec<MacroPrep> = harnesses
+                .iter()
+                .map(|h| prepare(h.as_ref(), &cfg))
+                .collect();
+            let complete =
+                coordinate(&preps, &store_dir, workers).expect("store directory must be writable");
+            if !complete {
+                eprintln!(
+                    "[campaign] shards still incomplete after all retries — \
+                     inspect the segments under {}",
+                    journal_dir(&store_dir).display()
+                );
+                std::process::exit(1);
+            }
+            Mode::Merge { shards: workers }
+        }
+        other => other,
+    };
+
+    match &mode {
+        Mode::Single { resume } => println!(
+            "persistent campaign: {} defects/macro, store at {}{}",
+            cfg.defects,
+            store_dir.display(),
+            if *resume { ", resuming" } else { "" }
+        ),
+        Mode::Worker { shard } => {
+            println!(
+                "persistent campaign: {} defects/macro, store at {}, shard {shard}",
+                cfg.defects,
+                store_dir.display(),
+            );
+        }
+        // The merged stdout must be byte-identical to the single-process
+        // campaign; the mode announcement goes to stderr.
+        Mode::Merge { shards } => {
+            eprintln!("[campaign] merging {shards} shard segments");
+            println!(
+                "persistent campaign: {} defects/macro, store at {}",
+                cfg.defects,
+                store_dir.display(),
+            );
+        }
+        Mode::Coordinator { .. } => unreachable!("rewritten to Merge above"),
+    }
+
     let observer = CampaignObserver {
         writer: Mutex::new(None),
         completed: AtomicU64::new(0),
@@ -199,8 +529,9 @@ fn main() {
     let mut runs: Vec<MacroRun> = Vec::new();
     let mut aborted = false;
     for harness in &harnesses {
-        match run_macro(harness.as_ref(), &cfg, &store_dir, resume, &observer)
-            .expect("store directory must be writable")
+        let prep = prepare(harness.as_ref(), &cfg);
+        match run_macro(harness.as_ref(), &cfg, &prep, &store_dir, &observer, &mode)
+            .expect("store directory must be writable and shards complete")
         {
             Some(run) => {
                 println!(
@@ -237,6 +568,7 @@ fn main() {
     }
 
     let mut totals = dotm_store::StoreCounters::default();
+    let mut context_mismatches = 0u64;
     for run in &runs {
         totals.loads += run.counters.loads;
         totals.mem_hits += run.counters.mem_hits;
@@ -244,17 +576,40 @@ fn main() {
         totals.misses += run.counters.misses;
         totals.computed += run.counters.computed;
         totals.write_errors += run.counters.write_errors;
+        context_mismatches += u64::from(run.context_mismatch);
     }
     println!(
         "campaign store accounting: loads={} mem_hits={} disk_hits={} misses={} \
-         computed={} write_errors={} hit_rate={:.1}%",
+         computed={} write_errors={} context_mismatches={} hit_rate={:.1}%",
         totals.loads,
         totals.mem_hits,
         totals.disk_hits,
         totals.misses,
         totals.computed,
         totals.write_errors,
+        context_mismatches,
         totals.hit_pct(),
+    );
+
+    if let Mode::Worker { shard } = &mode {
+        // A worker's partial data cannot feed the global figures; it
+        // reports its shard fingerprints (sealed into the segments) and
+        // stops here.
+        println!(
+            "shard {shard} complete: {} macro segments sealed",
+            runs.len()
+        );
+        obs_finish("campaign");
+        return;
+    }
+
+    // Occupancy is a sorted deterministic walk: the same campaign
+    // configuration yields the same line whether the tree was written by
+    // one process or by N workers, on any filesystem.
+    let occ = dotm_store::occupancy(&store_dir).expect("store directory must be readable");
+    println!(
+        "campaign store occupancy: entries={} bytes={} name_digest={:016x}",
+        occ.entries, occ.bytes, occ.name_digest,
     );
 
     let global = GlobalReport::new(runs.into_iter().map(|r| r.report).collect());

@@ -37,6 +37,17 @@
 //! `lu_speedup` bench gates verdict preservation before it is enabled
 //! anywhere).
 //!
+//! The `campaign` binary additionally understands the sharding knobs:
+//! `DOTM_SHARD`/`DOTM_SHARDS` (equivalent to `--shard i/N` — evaluate
+//! only the i-th contiguous class range and write a journal *segment*),
+//! `DOTM_SHARD_RETRIES` (coordinator re-dispatch rounds for crashed
+//! workers, default 2) and `DOTM_SHARD_ABORT_ONCE` (fault injection: the
+//! first dispatch round's workers abort after that many classes — CI uses
+//! it to prove crash-and-re-dispatch merges byte-identically). The
+//! `shard_speedup` bench honours `DOTM_SHARD_WORKERS` (default 2) and
+//! `DOTM_SHARD_MIN_SPEEDUP` (default 0.0 — identity always gates,
+//! wall-clock never does by default).
+//!
 //! `DOTM_TRACE` (`1`/`0`, default off) turns on the [`dotm_obs`]
 //! observability recorder: the binary appends a per-phase wall-clock
 //! profile (Newton vs LU vs assembly vs store I/O) to **stderr** and

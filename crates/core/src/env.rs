@@ -26,6 +26,8 @@
 //! | `DOTM_TRAN_STEP_CARRY` | carry accepted transient steps across the grid | off |
 //! | `DOTM_SIM_FAILURE_POLICY` | accounting for never-converged classes | assume-detected |
 //! | `DOTM_STORE_DIR` | persistent campaign-store directory | unset |
+//! | `DOTM_SHARDS` | total worker shards of a sharded campaign | unset |
+//! | `DOTM_SHARD` | this worker's shard index (`0 ≤ i < DOTM_SHARDS`) | unset |
 //! | `DOTM_TRACE` | structured observability (spans/phases/counters) | off |
 //! | `DOTM_TRACE_DIR` | directory for NDJSON + chrome trace exports | `.` |
 
@@ -187,6 +189,32 @@ pub fn store_dir() -> Option<PathBuf> {
         Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
         _ => None,
     }
+}
+
+/// The `DOTM_SHARDS` knob: total worker count of a sharded campaign.
+/// `None` when unset; `0` is malformed (a campaign has at least one
+/// shard). Shard assignment is a pure function of `(DOTM_SHARD,
+/// DOTM_SHARDS, class count)`, so every process derives the same
+/// partition without coordination.
+///
+/// # Panics
+/// On a malformed or zero value.
+pub fn shards() -> Option<usize> {
+    let n = knob("DOTM_SHARDS", parse_usize)?;
+    if n == 0 {
+        panic!("DOTM_SHARDS: expected at least 1 shard, got 0");
+    }
+    Some(n)
+}
+
+/// The `DOTM_SHARD` knob: this worker's shard index. `None` when unset.
+/// Range-checked against `DOTM_SHARDS` by the campaign binary (the pair
+/// is validated together through [`crate::ShardSpec::new`]).
+///
+/// # Panics
+/// On a malformed value.
+pub fn shard() -> Option<usize> {
+    knob("DOTM_SHARD", parse_usize)
 }
 
 /// The `DOTM_TRACE` knob (default off): enables the `dotm-obs` recorder

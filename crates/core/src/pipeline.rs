@@ -278,6 +278,77 @@ pub trait ClassObserver: Sync {
     fn on_class(&self, index: usize, outcomes: &[ClassOutcome]) -> bool;
 }
 
+/// One worker's slice of a sharded campaign.
+///
+/// A campaign run as `count` cooperating processes partitions each
+/// macro's class list into `count` contiguous index ranges; worker
+/// `index` evaluates only [`range`](ShardSpec::range) and journals it as
+/// a segment. The partition is a pure function of `(index, count,
+/// classes)` — no coordinator state, no filesystem order — so every
+/// process (and every retry of a crashed worker) derives the same
+/// assignment, and the merged result is bit-identical to a
+/// single-process run at any `(workers × threads)` combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This worker's shard index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards in the campaign.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Builds a validated spec.
+    ///
+    /// # Errors
+    /// When `count` is zero or `index` is out of range.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the `i/N` notation used by `campaign --shard i/N`.
+    ///
+    /// # Errors
+    /// On anything that is not `<index>/<count>` with `index < count`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s
+            .trim()
+            .split_once('/')
+            .ok_or_else(|| format!("expected <index>/<count>, got {s:?}"))?;
+        let index = i
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad shard index {i:?}"))?;
+        let count = n
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad shard count {n:?}"))?;
+        ShardSpec::new(index, count)
+    }
+
+    /// The contiguous class-index range this shard evaluates out of
+    /// `classes` total. Ranges tile `0..classes` exactly (no gaps, no
+    /// overlap) and differ in length by at most one class.
+    pub fn range(&self, classes: usize) -> std::ops::Range<usize> {
+        let start = self.index * classes / self.count;
+        let end = (self.index + 1) * classes / self.count;
+        start..end
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// Optional hooks threaded through one pipeline run. All hooks are
 /// borrowed and frozen before parallel work starts — like the warm-seed
 /// table, they are shared read-only across executor workers so hooked
@@ -297,6 +368,11 @@ pub struct PipelineHooks<'a> {
     /// an uninterrupted one. Indices beyond the vector (or `None` slots)
     /// evaluate normally.
     pub completed: Vec<Option<Vec<ClassOutcome>>>,
+    /// Evaluate only this shard's contiguous class range. Classes outside
+    /// the range are skipped entirely — not evaluated, not observed, not
+    /// reported — so the returned report covers exactly the shard. The
+    /// observer still sees the shard's classes in ascending order.
+    pub shard: Option<ShardSpec>,
 }
 
 /// Serializes observer callbacks into ascending class order: workers
@@ -318,11 +394,13 @@ struct DispatchState {
 }
 
 impl<'a> ObserverDispatch<'a> {
-    fn new(observer: &'a dyn ClassObserver) -> Self {
+    /// `first` is the lowest class index this run will deliver — `0` for
+    /// a whole-macro run, the shard range's start for a sharded worker.
+    fn new(observer: &'a dyn ClassObserver, first: usize) -> Self {
         ObserverDispatch {
             observer,
             state: Mutex::new(DispatchState {
-                next: 0,
+                next: first,
                 pending: BTreeMap::new(),
                 delivered: 0,
             }),
@@ -730,12 +808,19 @@ pub fn run_macro_path_with_faults_hooked(
     };
     let cache = cfg.measure_cache.then(MeasureCache::new);
     let store = hooks.store;
-    let dispatch = hooks.observer.map(ObserverDispatch::new);
 
     let classes: Vec<_> = match cfg.max_classes {
         Some(n) => collapsed.classes.iter().take(n).collect(),
         None => collapsed.classes.iter().collect(),
     };
+    // The shard's contiguous slice of the class list (everything, for an
+    // unsharded run). Out-of-range classes are skipped entirely.
+    let shard_range = hooks
+        .shard
+        .map_or(0..classes.len(), |s| s.range(classes.len()));
+    let dispatch = hooks
+        .observer
+        .map(|o| ObserverDispatch::new(o, shard_range.start));
 
     // Each class is a pure function of the compiled good space and the
     // base netlist, so the evaluation fans out across threads; collecting
@@ -743,6 +828,11 @@ pub fn run_macro_path_with_faults_hooked(
     // order — and therefore the whole report — identical to the serial
     // loop for every thread count.
     let outcomes: Vec<Vec<ClassOutcome>> = exec::par_map(&cfg.exec, &classes, |ci, class| {
+        // Out-of-shard classes belong to another worker: skipped without
+        // evaluation, observation or reporting.
+        if !shard_range.contains(&ci) {
+            return Vec::new();
+        }
         // Once an observer aborts, remaining classes are skipped: their
         // (empty) results never reach the report, because the whole run
         // returns `PathError::Aborted` below.

@@ -47,7 +47,7 @@ pub struct JournalHeader {
 }
 
 impl JournalHeader {
-    fn to_line(&self) -> String {
+    pub(crate) fn to_line(&self) -> String {
         format!(
             "{{\"dotm_journal\":1,\"context\":\"{:032x}\",\"macro\":\"{}\",\"classes\":{}}}",
             self.context, self.macro_name, self.classes
@@ -64,6 +64,14 @@ pub struct ResumeState {
     pub completed: Vec<Option<Vec<ClassOutcome>>>,
     /// Final fingerprint, present only on a sealed (completed) journal.
     pub fingerprint: Option<u64>,
+    /// `true` when the file held a structurally valid journal whose
+    /// header disagrees with the expected one (different context, macro
+    /// or class count). The prefix is still empty — the journal is
+    /// ignored wholesale — but the caller can now tell "a knob changed
+    /// since this journal was written" apart from "cold start, no
+    /// journal", and account for it explicitly instead of silently
+    /// re-evaluating everything.
+    pub context_mismatch: bool,
 }
 
 impl ResumeState {
@@ -76,7 +84,7 @@ impl ResumeState {
 /// Extracts the raw value of `"key":` from a flat one-line JSON object:
 /// the token up to the closing quote (string values) or up to the next
 /// `,` / `}` (numbers and booleans). Returns `None` when absent.
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":");
     let at = line.find(&needle)? + needle.len();
     let rest = &line[at..];
@@ -87,8 +95,14 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-fn parse_header(line: &str) -> Option<JournalHeader> {
+pub(crate) fn parse_header(line: &str) -> Option<JournalHeader> {
     if json_field(line, "dotm_journal")? != "1" {
+        return None;
+    }
+    // A shard segment header (see `segment`) carries the same fields
+    // plus `"shard"`/`"shards"`; refuse to mistake one for a whole-macro
+    // journal so a stray segment file never resumes as a full run.
+    if json_field(line, "shards").is_some() {
         return None;
     }
     Some(JournalHeader {
@@ -99,7 +113,7 @@ fn parse_header(line: &str) -> Option<JournalHeader> {
 }
 
 /// Parses one class record; `None` on any malformation.
-fn parse_class(line: &str) -> Option<(usize, Vec<ClassOutcome>)> {
+pub(crate) fn parse_class(line: &str) -> Option<(usize, Vec<ClassOutcome>)> {
     let index: usize = json_field(line, "class")?.parse().ok()?;
     let crc = u64::from_str_radix(json_field(line, "crc")?, 16).ok()?;
     let payload = from_hex(json_field(line, "data")?)?;
@@ -120,6 +134,7 @@ pub fn load_journal(path: &Path, expect: &JournalHeader) -> ResumeState {
     let mut state = ResumeState {
         completed: vec![None; expect.classes],
         fingerprint: None,
+        context_mismatch: false,
     };
     let Ok(text) = fs::read_to_string(path) else {
         return state;
@@ -127,7 +142,11 @@ pub fn load_journal(path: &Path, expect: &JournalHeader) -> ResumeState {
     let mut lines = text.lines();
     match lines.next().and_then(parse_header) {
         Some(h) if h == *expect => {}
-        _ => return state,
+        Some(_) => {
+            state.context_mismatch = true;
+            return state;
+        }
+        None => return state,
     }
     let mut next = 0usize;
     for line in lines {
@@ -177,6 +196,28 @@ impl JournalWriter {
             out,
             classes: header.classes,
             written: 0,
+        })
+    }
+
+    /// Creates a writer with an arbitrary header line whose class records
+    /// cover `start..end` — the shard segment shape (see `segment`). A
+    /// whole-macro journal is the `0..classes` special case.
+    pub(crate) fn create_with_header(
+        path: &Path,
+        header_line: &str,
+        start: usize,
+        end: usize,
+    ) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{header_line}")?;
+        out.flush()?;
+        Ok(JournalWriter {
+            out,
+            classes: end,
+            written: start,
         })
     }
 
@@ -312,6 +353,7 @@ mod tests {
             let state = load_journal(&path, &expect);
             assert_eq!(state.prefix_len(), 0, "{expect:?}");
             assert_eq!(state.fingerprint, None);
+            assert!(state.context_mismatch, "{expect:?}");
         }
         let _ = fs::remove_dir_all(path.parent().expect("parent"));
     }
@@ -321,6 +363,7 @@ mod tests {
         let state = load_journal(Path::new("/nonexistent/journal.jnl"), &header(2));
         assert_eq!(state.prefix_len(), 0);
         assert_eq!(state.completed.len(), 2);
+        assert!(!state.context_mismatch, "cold start is not a mismatch");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   as an append-only journal of completed fault classes, so a killed
 //!   campaign resumes from the last completed class and finishes with a
 //!   final report bit-identical to an uninterrupted run.
+//! - Shard *segments* ([`create_segment`] / [`load_segment`] /
+//!   [`merge_segments`]) split one macro's journal into per-worker
+//!   slices for multi-process campaigns; a complete merge replays the
+//!   single-process journal, report and accounting byte-for-byte.
 //!
 //! ## Crash safety
 //!
@@ -42,9 +46,13 @@ mod context;
 mod entry;
 mod fnv;
 mod journal;
+mod segment;
 mod store;
 mod wire;
 
 pub use context::pipeline_context;
 pub use journal::{load_journal, JournalHeader, JournalWriter, ResumeState};
-pub use store::{corrupt_one_entry, DiskStore, StoreCounters};
+pub use segment::{create_segment, load_segment, merge_segments, segment_path, MergeReport};
+pub use store::{
+    corrupt_one_entry, occupancy, reap_temp_files, DiskStore, StoreCounters, StoreOccupancy,
+};

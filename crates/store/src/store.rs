@@ -172,9 +172,31 @@ impl DiskStore {
             ".tmp-{:x}-{nonce:x}-{mixed:032x}",
             std::process::id()
         ));
-        fs::write(&tmp, &bytes)?;
+        let write = (|| {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            // Flush the entry to stable storage *before* the rename makes
+            // it visible — otherwise a power loss can surface a renamed
+            // but empty (or torn) entry. Readers would still degrade that
+            // to a miss, but once several worker processes share a store
+            // tree a phantom entry costs every later worker a recompute.
+            f.sync_all()
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
         match fs::rename(&tmp, &path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Best-effort directory sync so the rename itself is
+                // durable. Failure is absorbed: the degrade-to-miss read
+                // path remains the last resort.
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+                Ok(())
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 Err(e)
@@ -239,30 +261,112 @@ impl DiskStore {
     }
 }
 
+/// Reads a directory's children **sorted by path**. `fs::read_dir`
+/// yields entries in filesystem order — inode hash order on many
+/// filesystems — so every fold over it in this crate goes through this
+/// helper to keep accounting lines and merge output byte-identical
+/// across filesystems and creation orders. A missing directory is an
+/// empty listing.
+fn read_dir_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut paths = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(iter) => {
+            for entry in iter {
+                paths.push(entry?.path());
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// All `.ent` entry files under `<dir>/meas`, sorted by path.
+fn entry_files_sorted(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries = Vec::new();
+    for shard in read_dir_sorted(&dir.join("meas"))? {
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in read_dir_sorted(&shard)? {
+            if f.extension().is_some_and(|e| e == "ent") {
+                entries.push(f);
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// What a store directory holds, computed by a deterministic sorted
+/// walk: the accounting shape for "how full is this store tree".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOccupancy {
+    /// Number of entry files.
+    pub entries: u64,
+    /// Total entry bytes.
+    pub bytes: u64,
+    /// FNV-64 folded over the entry *file names* in walk order. Because
+    /// the walk sorts, this digest is a pure function of the entry set —
+    /// two trees holding the same keys digest identically regardless of
+    /// filesystem or creation order, which is exactly what the sharded
+    /// byte-identity gates compare.
+    pub name_digest: u64,
+}
+
+/// Walks `<dir>/meas` and returns its [`StoreOccupancy`].
+///
+/// # Errors
+/// Any filesystem error during the walk (a missing `meas/` is an empty
+/// store, not an error).
+pub fn occupancy(dir: impl AsRef<Path>) -> io::Result<StoreOccupancy> {
+    let mut occ = StoreOccupancy::default();
+    let mut names = Vec::new();
+    for path in entry_files_sorted(dir.as_ref())? {
+        occ.entries += 1;
+        occ.bytes += fs::metadata(&path)?.len();
+        if let Some(name) = path.file_name() {
+            names.extend_from_slice(name.to_string_lossy().as_bytes());
+            names.push(b'\n');
+        }
+    }
+    occ.name_digest = fnv64(&names);
+    Ok(occ)
+}
+
+/// Removes stale `.tmp-*` staging files left under `<dir>/meas` by
+/// crashed or killed writers. Safe only while no writer is active in
+/// the tree (e.g. from the shard coordinator between dispatch rounds) —
+/// a live writer's staged file would be reaped mid-write. Returns the
+/// number of files removed; individual unlink failures are absorbed.
+///
+/// # Errors
+/// Any filesystem error during the directory walk.
+pub fn reap_temp_files(dir: impl AsRef<Path>) -> io::Result<usize> {
+    let mut reaped = 0;
+    for shard in read_dir_sorted(&dir.as_ref().join("meas"))? {
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in read_dir_sorted(&shard)? {
+            let stale = f
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with(".tmp-"));
+            if stale && fs::remove_file(&f).is_ok() {
+                reaped += 1;
+            }
+        }
+    }
+    Ok(reaped)
+}
+
 /// Deterministically flips one byte of one stored entry — the corruption
 /// probe used by the verify gate and the recovery tests. Entries are
 /// visited in lexicographic path order and the `index`-th one is
 /// damaged in place. Returns the corrupted file's path, or `None` when
 /// fewer than `index + 1` entries exist.
 pub fn corrupt_one_entry(dir: impl AsRef<Path>, index: usize) -> io::Result<Option<PathBuf>> {
-    let meas = dir.as_ref().join("meas");
-    let mut entries = Vec::new();
-    if !meas.is_dir() {
-        return Ok(None);
-    }
-    for shard in fs::read_dir(&meas)? {
-        let shard = shard?.path();
-        if !shard.is_dir() {
-            continue;
-        }
-        for f in fs::read_dir(&shard)? {
-            let f = f?.path();
-            if f.extension().is_some_and(|e| e == "ent") {
-                entries.push(f);
-            }
-        }
-    }
-    entries.sort();
+    let entries = entry_files_sorted(dir.as_ref())?;
     let Some(path) = entries.into_iter().nth(index) else {
         return Ok(None);
     };
@@ -436,6 +540,57 @@ mod tests {
             }
         }
         assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn occupancy_ignores_creation_order() {
+        // Same key set written in different (shuffled) orders must fold
+        // to the same occupancy — the sorted walk, not filesystem
+        // enumeration order, defines the accounting bytes.
+        let keys: Vec<u128> = (0..24).collect();
+        let mut shuffled = keys.clone();
+        // Deterministic shuffle: reverse halves and interleave.
+        shuffled.reverse();
+        shuffled.rotate_left(7);
+        let dirs = [tmpdir("occ-a"), tmpdir("occ-b")];
+        for (dir, order) in dirs.iter().zip([&keys, &shuffled]) {
+            let store = DiskStore::open(dir, 42).expect("open");
+            for k in order {
+                store.store(*k, &sample());
+            }
+        }
+        let occ_a = occupancy(&dirs[0]).expect("occupancy a");
+        let occ_b = occupancy(&dirs[1]).expect("occupancy b");
+        assert_eq!(occ_a, occ_b, "creation order must not leak into accounting");
+        assert_eq!(occ_a.entries, 24);
+        assert!(occ_a.bytes > 0);
+        for dir in &dirs {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn reap_removes_stale_temp_files_only() {
+        let dir = tmpdir("reap");
+        let store = DiskStore::open(&dir, 7).expect("open");
+        store.store(1, &sample());
+        // Fake a dead writer's staged file next to the live entry.
+        let shard_dir = store.entry_path(mix(7, 1));
+        let shard_dir = shard_dir.parent().expect("parent");
+        let stale = shard_dir.join(".tmp-dead-0-cafe");
+        fs::write(&stale, b"partial").expect("write stale");
+        assert_eq!(reap_temp_files(&dir).expect("reap"), 1);
+        assert!(!stale.exists(), "stale temp file must be gone");
+        let fresh = DiskStore::open(&dir, 7).expect("open");
+        assert!(fresh.load(1).is_some(), "live entry must survive the reap");
+        assert_eq!(reap_temp_files(&dir).expect("reap"), 0, "idempotent");
+        // Missing store tree: empty, not an error.
+        assert_eq!(
+            reap_temp_files(dir.join("nonexistent")).expect("reap"),
+            0,
+            "missing tree reaps nothing"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

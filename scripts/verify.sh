@@ -140,7 +140,8 @@ echo "==> persistence: campaign store cold -> warm -> kill/resume -> corrupt"
 #   4. a corrupted store entry must degrade to a recomputed miss — same
 #      fingerprints, clean exit — never a wrong verdict or a crash.
 store_dir=$(mktemp -d)
-trap 'rm -rf "$store_dir"' EXIT
+shard_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir" "$shard_dir"' EXIT
 camp_env=(DOTM_DEFECTS=2000 DOTM_MAX_CLASSES=8 DOTM_GS_COMMON=2 DOTM_GS_MM=2
     DOTM_STORE_DIR="$store_dir")
 camp_cmd="cargo run --release --locked -p dotm-bench --bin campaign"
@@ -179,6 +180,47 @@ diff <(echo "$cold" | fingerprints) <(echo "$corrupt" | fingerprints) || {
 echo "$corrupt" | grep -q "write_errors=0" || {
     echo "FAIL: store rewrite failed"; echo "$corrupt"; exit 1; }
 echo "    corrupt entry: graceful recompute, fingerprints unchanged"
+
+echo "==> sharding: 2-worker campaign + merge is byte-identical to single-process"
+# The sharded tentpole gate: a coordinator run — 2 worker processes,
+# each killed mid-shard on its first dispatch (DOTM_SHARD_ABORT_ONCE)
+# and re-dispatched to resume its segment prefix — must reproduce the
+# single-process run exactly: per-macro fingerprints, the full report
+# body (modulo effort counters), the deterministic store-occupancy line
+# and every canonical journal's bytes.
+shard_env=(DOTM_DEFECTS=2000 DOTM_MAX_CLASSES=8 DOTM_GS_COMMON=2 DOTM_GS_MM=2
+    DOTM_STORE_DIR="$shard_dir")
+sharded=$(env "${shard_env[@]}" DOTM_SHARD_ABORT_ONCE=2 $camp_cmd -- --workers 2)
+diff <(echo "$cold" | fingerprints) <(echo "$sharded" | fingerprints) || {
+    echo "FAIL: sharded campaign fingerprints differ from single-process"; exit 1; }
+# Whole-report diff: only the store paths in the header line and the
+# effort counters may differ.
+strip_header() { sed '/^persistent campaign:/d'; }
+diff <(echo "$cold" | strip_effort | strip_header) \
+     <(echo "$sharded" | strip_effort | strip_header) || {
+    echo "FAIL: sharded campaign changed a reported number"; exit 1; }
+echo "$sharded" | grep -q "^campaign store occupancy:" || {
+    echo "FAIL: occupancy accounting line missing"; exit 1; }
+for jnl in "$store_dir"/journal/*.jnl; do
+    name=$(basename "$jnl")
+    case "$name" in *.shard-*) continue;; esac
+    cmp "$jnl" "$shard_dir/journal/$name" || {
+        echo "FAIL: merged journal $name differs from single-process bytes"; exit 1; }
+done
+echo "    kill-mid-shard + re-dispatch + merge: fingerprints, report and journal bytes identical"
+
+echo "==> equivalence + perf: sharded byte-identity bench (shard_speedup)"
+# Spawns the campaign binary single-process and as a 2-worker
+# coordinator against fresh trees; hard-gates the identity verdicts and
+# reports the honest wall-clock ratio (no speedup floor on a one-core
+# runner).
+shard_json="${DOTM_SHARD_BENCH_JSON:-$(mktemp)}"
+DOTM_BENCH_JSON="$shard_json" \
+    cargo run --release --locked -p dotm-bench --bin shard_speedup
+
+echo "==> perf trajectory: shard counter metrics vs committed baseline (soft)"
+cargo run --release --locked -p dotm-bench --bin bench_compare -- \
+    scripts/bench_baseline_8.json "$shard_json"
 
 echo "==> observability: traced fig4 is a pure side channel"
 # DOTM_TRACE=1 must leave stdout byte-identical (the per-phase profile

@@ -16,11 +16,12 @@ use dotm::core::harnesses::ComparatorHarness;
 use dotm::core::{
     run_macro_path_with_faults, run_macro_path_with_faults_hooked, ClassObserver, ClassOutcome,
     ExecConfig, GoodSpaceConfig, MacroHarness, MacroReport, PathError, PipelineConfig,
-    PipelineHooks,
+    PipelineHooks, ShardSpec,
 };
 use dotm::defects::{sprinkle_collapsed, CollapseReport, Sprinkler};
 use dotm_store::{
-    corrupt_one_entry, load_journal, pipeline_context, DiskStore, JournalHeader, JournalWriter,
+    corrupt_one_entry, create_segment, load_journal, load_segment, merge_segments,
+    pipeline_context, segment_path, DiskStore, JournalHeader, JournalWriter,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -158,6 +159,7 @@ fn campaign_run(
         store: Some(&store),
         observer: Some(&observer),
         completed,
+        shard: None,
     };
     let report =
         run_macro_path_with_faults_hooked(&fx.harness, &cfg, &fx.collapsed, fx.area, &hooks)?;
@@ -166,6 +168,70 @@ fn campaign_run(
         .finish(report.fingerprint())
         .expect("seal journal");
     Ok((report, store.counters()))
+}
+
+/// One shard worker's run: evaluates `shard.range(classes)` into the
+/// shard's segment file, always resuming the segment's own prefix —
+/// exactly what `campaign --shard i/N` does.
+fn shard_run(
+    fx: &Fixture,
+    dir: &Path,
+    threads: usize,
+    shard: ShardSpec,
+    abort_after: usize,
+) -> Result<MacroReport, PathError> {
+    let cfg = config(threads);
+    let head = header(fx, &cfg);
+    let store = DiskStore::open(dir, head.context).expect("open store");
+    let seg = segment_path(&dir.join("journal"), fx.harness.name(), shard);
+    let state = load_segment(&seg, &head, shard);
+    let writer = create_segment(&seg, &head, shard).expect("create segment");
+    let observer = TestObserver::new(writer, abort_after);
+    let hooks = PipelineHooks {
+        store: Some(&store),
+        observer: Some(&observer),
+        completed: state.completed,
+        shard: Some(shard),
+    };
+    let report =
+        run_macro_path_with_faults_hooked(&fx.harness, &cfg, &fx.collapsed, fx.area, &hooks)?;
+    observer
+        .take_writer()
+        .finish(report.fingerprint())
+        .expect("seal segment");
+    Ok(report)
+}
+
+/// The merge step: folds all `shards` segments (verifying headers and
+/// checksums), replays the complete class set through the ordinary
+/// pipeline path, and writes the canonical whole-macro journal.
+fn merge_run(fx: &Fixture, dir: &Path, threads: usize, shards: usize) -> MacroReport {
+    let cfg = config(threads);
+    let head = header(fx, &cfg);
+    let merged = merge_segments(&dir.join("journal"), &head, shards);
+    assert!(
+        merged.is_complete(),
+        "incomplete shards: {:?}",
+        merged.incomplete
+    );
+    let store = DiskStore::open(dir, head.context).expect("open store");
+    let journal_path = dir.join("journal").join("comparator.jnl");
+    let writer = JournalWriter::create(&journal_path, &head).expect("create journal");
+    let observer = TestObserver::new(writer, usize::MAX);
+    let hooks = PipelineHooks {
+        store: Some(&store),
+        observer: Some(&observer),
+        completed: merged.completed,
+        shard: None,
+    };
+    let report =
+        run_macro_path_with_faults_hooked(&fx.harness, &cfg, &fx.collapsed, fx.area, &hooks)
+            .expect("merge replay");
+    observer
+        .take_writer()
+        .finish(report.fingerprint())
+        .expect("seal journal");
+    report
 }
 
 #[test]
@@ -318,5 +384,105 @@ fn corrupted_entry_degrades_to_a_recomputed_miss() {
     // The rewrite healed the store: a third run computes nothing.
     let (_, healed) = campaign_run(&fx, &dir, 2, false, usize::MAX).expect("healed");
     assert_eq!(healed.computed, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_mid_shard_worker_then_redispatch_merges_identically() {
+    let fx = fixture();
+    let cfg = config(2);
+    let plain =
+        run_macro_path_with_faults(&fx.harness, &cfg, &fx.collapsed, fx.area).expect("plain run");
+
+    // Reference journal bytes: an uninterrupted single-process campaign.
+    let dir_single = tmpdir("shard-single");
+    campaign_run(&fx, &dir_single, 2, false, usize::MAX).expect("single");
+    let single_journal =
+        fs::read(dir_single.join("journal").join("comparator.jnl")).expect("single journal");
+
+    let dir = tmpdir("shard-killed");
+    let s0 = ShardSpec::new(0, 2).expect("shard 0/2");
+    let s1 = ShardSpec::new(1, 2).expect("shard 1/2");
+
+    // The first dispatch of shard 0 dies after 3 of its 6 classes.
+    match shard_run(&fx, &dir, 2, s0, 3) {
+        Err(PathError::Aborted { completed }) => assert_eq!(completed, 3),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    let head = header(&fx, &cfg);
+    let jdir = dir.join("journal");
+    let seg0 = segment_path(&jdir, fx.harness.name(), s0);
+    let torn = load_segment(&seg0, &head, s0);
+    assert_eq!(torn.prefix_len(), 3, "segment keeps the killed prefix");
+    assert_eq!(torn.fingerprint, None, "unsealed segment");
+    let merged = merge_segments(&jdir, &head, 2);
+    assert_eq!(
+        merged.incomplete,
+        vec![0, 1],
+        "the coordinator sees exactly the shards to (re-)dispatch"
+    );
+
+    // Re-dispatch shard 0 (replays the prefix, finishes, seals) and run
+    // shard 1 at a different thread count.
+    let r0 = shard_run(&fx, &dir, 2, s0, usize::MAX).expect("re-dispatched shard 0");
+    let r1 = shard_run(&fx, &dir, 1, s1, usize::MAX).expect("shard 1");
+    let classes = classes_of(&fx, &cfg);
+    assert_eq!(
+        r0.outcomes.len() + r1.outcomes.len(),
+        plain.outcomes.len(),
+        "shard reports partition the class outcomes"
+    );
+    assert_eq!(
+        load_segment(&seg0, &head, s0).fingerprint,
+        Some(r0.fingerprint()),
+        "sealed segment carries the shard-report fingerprint"
+    );
+    assert_eq!(s0.range(classes).len() + s1.range(classes).len(), classes);
+
+    // Merge: fingerprint, journal bytes and solver totals all match the
+    // uninterrupted single-process run.
+    let merged_report = merge_run(&fx, &dir, 2, 2);
+    assert_eq!(
+        merged_report.fingerprint(),
+        plain.fingerprint(),
+        "merged report must be bit-identical to a single-process run"
+    );
+    assert_eq!(
+        merged_report.solver_totals(),
+        plain.solver_totals(),
+        "solver-accounting totals survive the shard/merge round trip"
+    );
+    assert_eq!(
+        fs::read(jdir.join("comparator.jnl")).expect("merged journal"),
+        single_journal,
+        "merged journal bytes must equal the single-process journal"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&dir_single);
+}
+
+#[test]
+fn any_workers_times_threads_combination_is_bit_identical() {
+    let fx = fixture();
+    let cfg = config(1);
+    let plain =
+        run_macro_path_with_faults(&fx.harness, &cfg, &fx.collapsed, fx.area).expect("plain run");
+    let classes = classes_of(&fx, &cfg);
+
+    // 3 workers × mixed thread counts, including an empty-range check
+    // when shards outnumber a shard's classes unevenly.
+    let dir = tmpdir("shard-matrix");
+    for (index, threads) in [(0usize, 1usize), (1, 2), (2, 4)] {
+        let shard = ShardSpec::new(index, 3).expect("shard");
+        let report = shard_run(&fx, &dir, threads, shard, usize::MAX).expect("shard run");
+        assert!(report.outcomes.len() >= shard.range(classes).len());
+    }
+    let merged = merge_run(&fx, &dir, 4, 3);
+    assert_eq!(
+        merged.fingerprint(),
+        plain.fingerprint(),
+        "3 workers × (1,2,4) threads must merge bit-identically"
+    );
     let _ = fs::remove_dir_all(&dir);
 }

@@ -115,6 +115,7 @@ fn campaign_run(fx: &Fixture, dir: &Path, threads: usize) -> MacroReport {
         store: Some(&store),
         observer: Some(&observer),
         completed: Vec::new(),
+        shard: None,
     };
     let report =
         run_macro_path_with_faults_hooked(&fx.harness, &cfg, &fx.collapsed, fx.area, &hooks)
