@@ -44,6 +44,14 @@ const COUNTER_FIELDS: &[&str] = &[
     "journals_identical",
     "accounting_identical",
     "occupancy_identical",
+    // serve_roundtrip counters: the campaign-service contract verdicts
+    // and the deterministic event/report sizes of the anchor job.
+    "progress_events",
+    "report_bytes",
+    "report_identical",
+    "cached_dedup",
+    "warm_solver_free",
+    "shutdown_clean",
 ];
 
 /// Parses the flat one-level JSON object the bench bins emit: string,
@@ -144,6 +152,8 @@ fn main() {
         "single_wall_ms",
         "sharded_wall_ms",
         "shard_speedup",
+        "cli_wall_ms",
+        "serve_wall_ms",
     ] {
         if let Some(c) = current.get(field) {
             let b = baseline.get(field).map(String::as_str).unwrap_or("-");

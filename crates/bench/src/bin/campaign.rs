@@ -7,7 +7,16 @@
 //! campaign --shard i/N             one shard worker (classes i*C/N..(i+1)*C/N per macro)
 //! campaign --merge [--shards N]    fold N shard segments into the canonical journal/report
 //! campaign --workers N             coordinator: spawn N shard workers, re-dispatch, merge
+//! campaign --serve ADDR            campaign service: HTTP job API over this store (dotm-serve)
 //! ```
+//!
+//! ## Exit codes
+//!
+//! The campaign exits with the contract in `dotm_serve::exit` so
+//! supervisors (the service, CI scripts) can branch on *codes*, never
+//! on stderr text: `0` success, `2` usage, `3` stale/incomplete shard
+//! data, `4` I/O, `5` interrupted at a resumable journal point
+//! (`DOTM_ABORT_AFTER` or a service cancellation).
 //!
 //! Knobs (on top of the standard `DOTM_*` pipeline knobs):
 //!
@@ -37,6 +46,13 @@
 //! * `DOTM_EXPECT_WARM` — `1` asserts the run never touched the solver:
 //!   every measurement must come from the store (`computed=0`), at any
 //!   `DOTM_THREADS`. Exits non-zero otherwise.
+//! * `DOTM_MACROS` — comma-separated macro subset to run (campaign
+//!   order is preserved regardless of the list's order; unknown names
+//!   are a usage error). Inherited by shard workers, so a subset
+//!   campaign shards and merges like the full one.
+//! * `DOTM_PROGRESS` — emit one `[progress] macro=<m> class=<d>/<t>`
+//!   line to stderr per completed class; the service parses these into
+//!   its NDJSON event stream. Stderr only — never a report byte.
 //! * `DOTM_TRACE` / `DOTM_TRACE_DIR` — per-phase wall-clock profile on
 //!   stderr plus NDJSON and chrome://tracing exports (see the crate
 //!   docs). Stdout and every persisted byte stay identical either way.
@@ -66,11 +82,12 @@ use dotm_core::harnesses::{
     BiasHarness, ClockgenHarness, ComparatorHarness, DecoderHarness, LadderHarness,
 };
 use dotm_core::{
-    run_macro_path_with_faults_hooked, ClassObserver, ClassOutcome, GlobalReport, MacroHarness,
-    MacroReport, PathError, PipelineConfig, PipelineHooks, ShardSpec,
+    run_macro_path_with_faults_hooked, ClassObserver, ClassOutcome, FanoutObserver, GlobalReport,
+    MacroHarness, MacroReport, PathError, PipelineConfig, PipelineHooks, ShardSpec,
 };
 use dotm_defects::{sprinkle_collapsed, CollapseReport, Sprinkler};
 use dotm_faults::Severity;
+use dotm_serve::exit;
 use dotm_store::{
     create_segment, load_journal, load_segment, merge_segments, pipeline_context, segment_path,
     DiskStore, JournalHeader, JournalWriter,
@@ -94,6 +111,9 @@ enum Mode {
     /// Spawn `workers` shard subprocesses, re-dispatch incomplete
     /// shards, then merge.
     Coordinator { workers: usize },
+    /// Long-lived campaign service: HTTP job API over this store
+    /// (`dotm-serve`), running submitted jobs through this same binary.
+    Serve { addr: String },
 }
 
 fn parse_mode() -> Mode {
@@ -106,6 +126,9 @@ fn parse_mode() -> Mode {
             })
         })
     };
+    if let Some(addr) = flag_value("--serve") {
+        return Mode::Serve { addr: addr.clone() };
+    }
     if let Some(n) = flag_value("--workers") {
         let workers: usize = n.parse().unwrap_or_else(|_| {
             eprintln!("campaign: --workers {n}: expected a positive integer");
@@ -175,6 +198,27 @@ impl ClassObserver for CampaignObserver {
             .expect("journal write must succeed (checkpoint contract)");
         let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
         self.abort_after.map_or(true, |n| done < n)
+    }
+}
+
+/// Emits one `[progress] macro=<m> class=<done>/<total>` line to stderr
+/// per completed class (under `DOTM_PROGRESS`). The campaign service
+/// parses these into its NDJSON event stream. Pure side channel: stderr
+/// only, never a vote against continuing, never a report byte.
+struct ProgressObserver {
+    macro_name: String,
+    total: usize,
+    done: AtomicU64,
+}
+
+impl ClassObserver for ProgressObserver {
+    fn on_class(&self, _index: usize, _outcomes: &[ClassOutcome]) -> bool {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[progress] macro={} class={done}/{}",
+            self.macro_name, self.total
+        );
+        true
     }
 }
 
@@ -308,6 +352,7 @@ fn run_macro(
             (merged.completed, writer, None)
         }
         Mode::Coordinator { .. } => unreachable!("coordinator delegates to Merge"),
+        Mode::Serve { .. } => unreachable!("serve mode never runs macros in-process"),
     };
 
     if context_mismatch {
@@ -319,9 +364,29 @@ fn run_macro(
 
     *observer.writer.lock().unwrap_or_else(|e| e.into_inner()) = Some(writer);
 
+    // Under DOTM_PROGRESS the journal observer gains a stderr sibling
+    // through the fanout; both see every class, and only the journal
+    // observer ever votes to abort.
+    let progress = dotm_core::env::progress().then(|| ProgressObserver {
+        macro_name: harness.name().to_string(),
+        total: match &shard {
+            Some(s) => s.range(prep.header.classes).len(),
+            None => prep.header.classes,
+        },
+        done: AtomicU64::new(0),
+    });
+    let fanout;
+    let class_observer: &dyn ClassObserver = match &progress {
+        Some(p) => {
+            fanout = FanoutObserver::new(vec![observer, p]);
+            &fanout
+        }
+        None => observer,
+    };
+
     let hooks = PipelineHooks {
         store: Some(&store),
-        observer: Some(observer),
+        observer: Some(class_observer),
         completed,
         shard,
     };
@@ -401,8 +466,11 @@ fn dispatch_round(
             eprintln!("[worker {index}/{workers}] {line}");
         }
         if !out.status.success() {
+            // Classified from the code alone (exit-code contract) — the
+            // coordinator never string-matches worker stderr.
+            let class = exit::classify(out.status.code()).map_or("unknown", |c| c.name());
             eprintln!(
-                "[campaign] worker {index}/{workers} exited with {}",
+                "[campaign] worker {index}/{workers} exited with {} ({class})",
                 out.status
             );
         }
@@ -429,11 +497,8 @@ fn incomplete_shards(preps: &[MacroPrep], store_dir: &Path, workers: usize) -> V
 /// came back incomplete (bounded rounds), reaping dead workers' temp
 /// files between rounds. Returns whether every shard sealed.
 fn coordinate(preps: &[MacroPrep], store_dir: &Path, workers: usize) -> std::io::Result<bool> {
-    let retries = dotm_core::env::u64_knob("DOTM_SHARD_RETRIES", 2);
-    let abort_once = match dotm_core::env::u64_knob("DOTM_SHARD_ABORT_ONCE", 0) {
-        0 => None,
-        n => Some(n),
-    };
+    let retries = dotm_core::env::shard_retries();
+    let abort_once = dotm_core::env::shard_abort_once();
     for round in 0..=retries {
         let needed = incomplete_shards(preps, store_dir, workers);
         if needed.is_empty() {
@@ -458,16 +523,47 @@ fn main() {
     let trace = obs_init();
     let mode = parse_mode();
     let store_dir = dotm_core::env::store_dir().unwrap_or_else(|| PathBuf::from("dotm-store"));
-    let abort_after = match dotm_core::env::u64_knob("DOTM_ABORT_AFTER", 0) {
-        0 => None,
-        n => Some(n),
-    };
-    let expect_warm = dotm_core::env::bool_knob("DOTM_EXPECT_WARM", false);
+    let abort_after = dotm_core::env::abort_after();
+    let expect_warm = dotm_core::env::expect_warm();
+
+    // Service mode: the binary becomes the job server and runs
+    // submitted campaigns by re-spawning itself.
+    if let Mode::Serve { addr } = &mode {
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("campaign: --serve: cannot locate own binary: {e}");
+            std::process::exit(exit::IO);
+        });
+        let runner = dotm_serve::SubprocessRunner::new(exe, store_dir.clone());
+        if let Err(e) = dotm_serve::serve(addr, store_dir, Box::new(runner)) {
+            eprintln!("campaign: --serve {addr}: {e}");
+            std::process::exit(exit::io_exit_code(&e));
+        }
+        return;
+    }
 
     let mut cfg = standard_config();
     cfg.measure_cache = false; // see the module docs: the store subsumes it
 
-    let harnesses = harnesses();
+    let harnesses = match dotm_core::env::macros() {
+        Some(selection) => {
+            let all = harnesses();
+            for name in &selection {
+                if !all.iter().any(|h| h.name() == name.as_str()) {
+                    eprintln!(
+                        "campaign: DOTM_MACROS: unknown macro {name:?} (know: {})",
+                        all.iter().map(|h| h.name()).collect::<Vec<_>>().join(", ")
+                    );
+                    std::process::exit(exit::USAGE);
+                }
+            }
+            // Campaign order, not request order: the subset must report
+            // in the same sequence the full campaign would.
+            all.into_iter()
+                .filter(|h| selection.iter().any(|n| n.as_str() == h.name()))
+                .collect()
+        }
+        None => harnesses(),
+    };
 
     // Coordinator: drive the workers, then fall through to the merge.
     let mode = match mode {
@@ -477,15 +573,17 @@ fn main() {
                 .iter()
                 .map(|h| prepare(h.as_ref(), &cfg))
                 .collect();
-            let complete =
-                coordinate(&preps, &store_dir, workers).expect("store directory must be writable");
+            let complete = coordinate(&preps, &store_dir, workers).unwrap_or_else(|e| {
+                eprintln!("campaign: coordinator: {e}");
+                std::process::exit(exit::io_exit_code(&e));
+            });
             if !complete {
                 eprintln!(
                     "[campaign] shards still incomplete after all retries — \
                      inspect the segments under {}",
                     journal_dir(&store_dir).display()
                 );
-                std::process::exit(1);
+                std::process::exit(exit::STALE_SHARD);
             }
             Mode::Merge { shards: workers }
         }
@@ -517,6 +615,7 @@ fn main() {
             );
         }
         Mode::Coordinator { .. } => unreachable!("rewritten to Merge above"),
+        Mode::Serve { .. } => unreachable!("serve mode returned above"),
     }
 
     let observer = CampaignObserver {
@@ -530,17 +629,26 @@ fn main() {
     let mut aborted = false;
     for harness in &harnesses {
         let prep = prepare(harness.as_ref(), &cfg);
-        match run_macro(harness.as_ref(), &cfg, &prep, &store_dir, &observer, &mode)
-            .expect("store directory must be writable and shards complete")
-        {
+        let outcome = run_macro(harness.as_ref(), &cfg, &prep, &store_dir, &observer, &mode)
+            .unwrap_or_else(|e| {
+                // Incomplete shard segments surface as InvalidData and
+                // exit 3; everything else is plain I/O and exits 4.
+                eprintln!("campaign: {}: {e}", harness.name());
+                std::process::exit(exit::io_exit_code(&e));
+            });
+        match outcome {
             Some(run) => {
+                // Wall-clock goes to stderr: the stdout report is a pure
+                // function of (configuration, store state), which is what
+                // lets the service's HTTP report gate demand full byte
+                // identity with a plain CLI run.
+                eprintln!("[campaign] {}: {:.1}s", run.report.name, run.seconds);
                 println!(
-                    "  {:<16} {:>4} faults / {:>3} classes  {:>6.1}s  \
+                    "  {:<16} {:>4} faults / {:>3} classes  \
                      store: loads={} hits={} misses={} computed={} fingerprint={:016x}",
                     run.report.name,
                     run.report.total_faults,
                     run.report.class_count,
-                    run.seconds,
                     run.counters.loads,
                     run.counters.hits(),
                     run.counters.misses,
@@ -564,7 +672,10 @@ fn main() {
             observer.completed.load(Ordering::Relaxed)
         );
         obs_finish("campaign");
-        return;
+        // Interrupted-at-a-resumable-point is its own exit code so
+        // supervisors (the service, the verify gates) can requeue
+        // without parsing output.
+        std::process::exit(exit::INTERRUPTED);
     }
 
     let mut totals = dotm_store::StoreCounters::default();

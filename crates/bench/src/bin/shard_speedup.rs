@@ -120,16 +120,6 @@ fn occupancy_line(stdout: &str) -> String {
         .to_string()
 }
 
-fn env_f64(name: &str, default: f64) -> f64 {
-    match std::env::var(name) {
-        Ok(v) => v
-            .trim()
-            .parse::<f64>()
-            .unwrap_or_else(|_| panic!("{name}: expected a number, got {v:?}")),
-        Err(_) => default,
-    }
-}
-
 fn write_json(path: &str, fields: &[(&str, String)]) {
     let body: Vec<String> = fields
         .iter()
@@ -248,7 +238,7 @@ fn main() {
         eprintln!("[dotm] FAIL: sharded campaign is not byte-identical to single-process");
         std::process::exit(1);
     }
-    let min_speedup = env_f64("DOTM_SHARD_MIN_SPEEDUP", 0.0);
+    let min_speedup = dotm_core::env::shard_min_speedup();
     if speedup < min_speedup {
         eprintln!("[dotm] FAIL: wall-clock speedup {speedup:.2}x < {min_speedup}x");
         std::process::exit(1);

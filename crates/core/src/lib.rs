@@ -61,8 +61,8 @@ pub use measure::{MeasureKind, MeasureLabel, MeasurementPlan};
 pub use memo::{CachedMeasurement, MeasureCache};
 pub use pipeline::{
     run_macro_path, run_macro_path_with_faults, run_macro_path_with_faults_hooked, ClassObserver,
-    ClassOutcome, EscalationLadder, MacroReport, MeasurementStore, PathError, PipelineConfig,
-    PipelineHooks, ShardSpec, SimFailurePolicy, ESCALATION_RUNGS,
+    ClassOutcome, EscalationLadder, FanoutObserver, MacroReport, MeasurementStore, PathError,
+    PipelineConfig, PipelineHooks, ShardSpec, SimFailurePolicy, ESCALATION_RUNGS,
 };
 pub use processvar::{CommonSample, ProcessModel};
 pub use report::{

@@ -278,6 +278,35 @@ pub trait ClassObserver: Sync {
     fn on_class(&self, index: usize, outcomes: &[ClassOutcome]) -> bool;
 }
 
+/// Fans one in-order class-completion stream out to several observers.
+///
+/// Every inner observer sees every class, in the same ascending order the
+/// dispatch guarantees; delivery order within a class is the constructor
+/// order. The fan-out aborts when *any* inner observer votes to abort,
+/// but only after the whole panel has seen the class — a side-channel
+/// consumer (progress events, metrics) never misses the journaled
+/// frontier because a sibling (abort injection) stopped the run.
+pub struct FanoutObserver<'a> {
+    observers: Vec<&'a dyn ClassObserver>,
+}
+
+impl<'a> FanoutObserver<'a> {
+    /// Builds a fan-out delivering to `observers` in the given order.
+    pub fn new(observers: Vec<&'a dyn ClassObserver>) -> Self {
+        FanoutObserver { observers }
+    }
+}
+
+impl ClassObserver for FanoutObserver<'_> {
+    fn on_class(&self, index: usize, outcomes: &[ClassOutcome]) -> bool {
+        let mut keep = true;
+        for observer in &self.observers {
+            keep &= observer.on_class(index, outcomes);
+        }
+        keep
+    }
+}
+
 /// One worker's slice of a sharded campaign.
 ///
 /// A campaign run as `count` cooperating processes partitions each
@@ -1904,6 +1933,40 @@ mod tests {
         assert_eq!(hist[0], 2);
         assert_eq!(hist[ESCALATION_RUNGS - 1], 1);
         assert_eq!(hist.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn fanout_observer_delivers_to_all_and_aborts_on_any_veto() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Tally {
+            seen: AtomicUsize,
+            veto_at: Option<usize>,
+        }
+        impl ClassObserver for Tally {
+            fn on_class(&self, index: usize, _outcomes: &[ClassOutcome]) -> bool {
+                self.seen.fetch_add(1, Ordering::Relaxed);
+                Some(index) != self.veto_at
+            }
+        }
+
+        let a = Tally {
+            seen: AtomicUsize::new(0),
+            veto_at: None,
+        };
+        let b = Tally {
+            seen: AtomicUsize::new(0),
+            veto_at: Some(1),
+        };
+        let fanout = FanoutObserver::new(vec![&a, &b]);
+        let outcomes = [outcome_at_rung(Some(0))];
+        assert!(fanout.on_class(0, &outcomes), "no veto yet");
+        assert!(!fanout.on_class(1, &outcomes), "b vetoes class 1");
+        // Both observers saw both classes — a sibling's veto never hides
+        // the class from the rest of the panel.
+        assert_eq!(a.seen.load(Ordering::Relaxed), 2);
+        assert_eq!(b.seen.load(Ordering::Relaxed), 2);
+        assert!(FanoutObserver::new(Vec::new()).on_class(0, &outcomes));
     }
 
     #[cfg(debug_assertions)]

@@ -233,6 +233,20 @@ pub fn counter(name: &str, delta: u64) {
     *map.entry(name.to_string()).or_insert(0) += delta;
 }
 
+/// Snapshot of every named counter, sorted by name (the registry is a
+/// `BTreeMap`, so the order is stable across runs). Reads whatever has
+/// accumulated since the last [`reset`] even when tracing has since been
+/// turned off — this is the service surface's `/metrics` window into a
+/// run in progress, so it must be safe to call concurrently with
+/// [`counter`] updates from worker threads.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    let r = rec();
+    let map = r.counters.lock().unwrap_or_else(|e| e.into_inner());
+    map.iter()
+        .map(|(name, value)| (name.clone(), *value))
+        .collect()
+}
+
 /// A hierarchical timed region. Created by [`span`]; the region ends and
 /// the event is recorded when the guard drops. Spans nest per thread via
 /// a thread-local parent stack.
@@ -840,6 +854,27 @@ mod tests {
         let asm = totals.iter().find(|(n, _, _)| *n == "assembly").unwrap();
         assert_eq!(asm.1, 4);
         reset();
+    }
+
+    #[test]
+    fn counters_snapshot_is_sorted_and_survives_disable() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        reset();
+        counter("solver.nr_solves", 7);
+        counter("store.hits", 3);
+        counter("store.hits", 2);
+        set_enabled(false);
+        assert_eq!(
+            counters_snapshot(),
+            vec![
+                ("solver.nr_solves".to_string(), 7),
+                ("store.hits".to_string(), 5),
+            ],
+            "sorted by name, summed, readable after disable"
+        );
+        reset();
+        assert!(counters_snapshot().is_empty());
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! A deliberately small HTTP/1.1 surface over `std::net::TcpStream`:
+//! enough to parse one request (method, path, `Content-Length` body)
+//! and write one response, matching the repo's hermetic zero-dependency
+//! style. Each connection carries exactly one exchange
+//! (`Connection: close`); the progress stream writes an unframed body
+//! and signals its end by closing the socket, which HTTP/1.1 permits
+//! for close-delimited responses.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body accepted (segment uploads dominate; the anchor
+/// campaign's segments are a few KiB, so 64 MiB is generous headroom).
+const MAX_BODY: usize = 64 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The path split on `/`, empty segments dropped: `/jobs/x/report`
+    /// → `["jobs", "x", "report"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads one request from the stream. `Ok(None)` when the peer closed
+/// without sending one, or on any malformation (the caller just drops
+/// the connection — a malformed request line has no useful reply).
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(None);
+    };
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                let Ok(n) = value.trim().parse::<usize>() else {
+                    return Ok(None);
+                };
+                if n > MAX_BODY {
+                    return Ok(None);
+                }
+                content_length = n;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes it.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn respond_json(stream: &mut TcpStream, status: u16, json: &str) -> std::io::Result<()> {
+    respond(stream, status, "application/json", json.as_bytes())
+}
+
+/// Starts a close-delimited streaming response (no `Content-Length`):
+/// the caller writes body chunks directly and ends the body by dropping
+/// the connection.
+pub fn start_stream(stream: &mut TcpStream, content_type: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Escapes a string for embedding in a JSON value.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn exchange(raw: &[u8]) -> Option<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("send");
+            s.flush().expect("flush");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let req = read_request(&mut conn).expect("read");
+        client.join().expect("client");
+        req
+    }
+
+    #[test]
+    fn parses_method_path_and_body() {
+        let req = exchange(b"POST /jobs?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nabcd")
+            .expect("a request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.segments(), vec!["jobs"]);
+    }
+
+    #[test]
+    fn empty_and_malformed_requests_read_as_none() {
+        assert!(exchange(b"").is_none());
+        assert!(exchange(b"\r\n\r\n").is_none());
+        assert!(
+            exchange(b"GET / HTTP/1.1\r\nContent-Length: oops\r\n\r\n").is_none(),
+            "unparseable length"
+        );
+    }
+
+    #[test]
+    fn segments_split_nested_paths() {
+        let req = exchange(b"GET /jobs/abc/shards/3/claim HTTP/1.1\r\n\r\n").expect("request");
+        assert_eq!(req.segments(), vec!["jobs", "abc", "shards", "3", "claim"]);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,104 @@
+//! In-memory per-job event buffers feeding the NDJSON progress streams.
+//!
+//! Events are append-only per job; a subscriber reads by index, so any
+//! number of streams can follow one job without coordination, and a
+//! late subscriber replays the whole history. The hub is memory-only by
+//! design: the *authoritative* job state lives in the crash-safe job
+//! records and the journals — after a server restart the streams
+//! resynthesize their opening snapshot from disk and the hub refills
+//! from there.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Append-only event buffers keyed by job id.
+#[derive(Default)]
+pub struct EventHub {
+    events: Mutex<HashMap<String, Vec<String>>>,
+    wake: Condvar,
+}
+
+impl EventHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        EventHub::default()
+    }
+
+    /// Appends one event line to a job's buffer and wakes every waiting
+    /// subscriber (all jobs — spurious wakes are fine, waiters re-check
+    /// their own index).
+    pub fn publish(&self, job: &str, event: String) {
+        let mut map = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(job.to_string()).or_default().push(event);
+        self.wake.notify_all();
+    }
+
+    /// Returns the job's events from index `from` on, blocking up to
+    /// `timeout` for a first new one. An empty vector means the timeout
+    /// elapsed — the caller re-checks its liveness condition and calls
+    /// again.
+    pub fn read_from(&self, job: &str, from: usize, timeout: Duration) -> Vec<String> {
+        let mut map = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let have = map.get(job).map_or(0, Vec::len);
+            if have > from {
+                return map.get(job).expect("non-empty buffer")[from..].to_vec();
+            }
+            let (guard, wait) = self
+                .wake
+                .wait_timeout(map, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            map = guard;
+            if wait.timed_out() {
+                return Vec::new();
+            }
+        }
+    }
+
+    /// Number of events buffered for a job.
+    pub fn len(&self, job: &str) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(job)
+            .map_or(0, Vec::len)
+    }
+
+    /// Whether no events are buffered for a job.
+    pub fn is_empty(&self, job: &str) -> bool {
+        self.len(job) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn replays_history_and_wakes_waiters() {
+        let hub = Arc::new(EventHub::new());
+        hub.publish("a", "one".into());
+        hub.publish("a", "two".into());
+        assert_eq!(
+            hub.read_from("a", 0, Duration::from_millis(1)),
+            ["one", "two"]
+        );
+        assert_eq!(hub.read_from("a", 1, Duration::from_millis(1)), ["two"]);
+        assert!(hub.read_from("a", 2, Duration::from_millis(1)).is_empty());
+        assert!(hub
+            .read_from("other", 0, Duration::from_millis(1))
+            .is_empty());
+
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            thread::spawn(move || hub.read_from("a", 2, Duration::from_secs(10)))
+        };
+        hub.publish("a", "three".into());
+        assert_eq!(waiter.join().expect("waiter"), ["three"]);
+        assert_eq!(hub.len("a"), 3);
+        assert!(hub.is_empty("b"));
+    }
+}

@@ -1,0 +1,450 @@
+//! Service-level integration tests: a real listening [`Server`] driven
+//! over loopback HTTP, with a scripted [`JobRunner`] standing in for
+//! the campaign binary. Covers the queue lifecycle (submit → running →
+//! merged, FIFO order, dedup), the crash contract (shutdown drains to a
+//! resumable `queued` record; a restarted server resumes it; a record
+//! stuck in `running` re-enters the queue), the NDJSON event stream,
+//! and the remote-shard claim/upload contract.
+
+use dotm_core::{ClassOutcome, CurrentFlags, DetectionSet, ShardSpec, VoltageSignature};
+use dotm_defects::FaultMechanism;
+use dotm_faults::Severity;
+use dotm_serve::{Job, JobRunner, JobState, RunOutcome, Server};
+use dotm_sim::SimStats;
+use dotm_store::{create_segment, segment_path, JournalHeader};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dotm-serve-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+struct ScriptedRunner<F>(F);
+
+impl<F> JobRunner for ScriptedRunner<F>
+where
+    F: Fn(&Job, &(dyn Fn(String) + Sync), &AtomicBool) -> RunOutcome + Send + Sync,
+{
+    fn run(&self, job: &Job, events: &(dyn Fn(String) + Sync), cancel: &AtomicBool) -> RunOutcome {
+        (self.0)(job, events, cancel)
+    }
+}
+
+fn runner<F>(f: F) -> Box<dyn JobRunner>
+where
+    F: Fn(&Job, &(dyn Fn(String) + Sync), &AtomicBool) -> RunOutcome + Send + Sync + 'static,
+{
+    Box::new(ScriptedRunner(f))
+}
+
+/// Blocks until `cancel` flips, then reports the attempt interrupted —
+/// a stand-in for a long campaign run.
+fn blocking_runner() -> Box<dyn JobRunner> {
+    runner(|_job, _events, cancel| {
+        while !cancel.load(Ordering::Acquire) {
+            thread::sleep(Duration::from_millis(2));
+        }
+        RunOutcome::Interrupted
+    })
+}
+
+type Running = (Arc<Server>, SocketAddr, JoinHandle<std::io::Result<()>>);
+
+fn start(store: &Path, runner: Box<dyn JobRunner>) -> Running {
+    let server = Arc::new(Server::new(store.to_path_buf(), runner));
+    let handle = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.run("127.0.0.1:0"))
+    };
+    let addr = server
+        .bound_addr(Duration::from_secs(10))
+        .expect("server must bind");
+    (server, addr, handle)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("send head");
+    stream.write_all(body).expect("send body");
+    stream.flush().expect("flush");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `GET /jobs/:id` until its state matches, with a deadline.
+fn wait_state(addr: SocketAddr, id: &str, state: &str) -> String {
+    let needle = format!("\"state\":\"{state}\"");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), b"");
+        assert_eq!(status, 200, "{body}");
+        if body.contains(&needle) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never reached {state}: {body}"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn field<'a>(body: &'a str, key: &str) -> &'a str {
+    let at = body
+        .find(&format!("\"{key}\":"))
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + key.len()
+        + 3;
+    body[at..]
+        .trim_start_matches('"')
+        .split(['"', ',', '}'])
+        .next()
+        .expect("value")
+}
+
+#[test]
+fn lifecycle_submit_run_report_and_dedup() {
+    let store = tmpdir("lifecycle");
+    let (_, addr, handle) = start(
+        &store,
+        runner(|job, events, _| {
+            events(
+                "{\"event\":\"progress\",\"macro\":\"comparator\",\"done\":1,\"classes\":2}"
+                    .to_string(),
+            );
+            RunOutcome::Merged {
+                report: format!("report for {}\n", job.id).into_bytes(),
+            }
+        }),
+    );
+
+    let (status, _) = request(addr, "GET", "/jobs/nope", b"");
+    assert_eq!(status, 404);
+
+    let body = br#"{"defects":100,"seed":1,"macros":"comparator"}"#;
+    let (status, submitted) = request(addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "{submitted}");
+    assert!(submitted.contains("\"cached\":false"));
+    let id = field(&submitted, "id").to_string();
+
+    wait_state(addr, &id, "merged");
+    let (status, report) = request(addr, "GET", &format!("/jobs/{id}/report"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(report, format!("report for {id}\n"));
+
+    // Identical config — even with different execution knobs — answers
+    // from the finished job without running anything.
+    let warm = br#"{"defects":100,"seed":1,"macros":"comparator","workers":4}"#;
+    let (status, cached) = request(addr, "POST", "/jobs", warm);
+    assert_eq!(status, 200, "{cached}");
+    assert!(cached.contains("\"cached\":true"), "{cached}");
+    assert_eq!(field(&cached, "id"), id);
+
+    // `fresh` forces a re-run of the same id.
+    let fresh = br#"{"defects":100,"seed":1,"macros":"comparator","fresh":true}"#;
+    let (status, rerun) = request(addr, "POST", "/jobs", fresh);
+    assert_eq!(status, 202, "{rerun}");
+    wait_state(addr, &id, "merged");
+
+    let (status, metrics) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("jobs_merged 1"), "{metrics}");
+    assert!(
+        metrics.contains("counter.serve.jobs_submitted"),
+        "{metrics}"
+    );
+
+    let (status, occ) = request(addr, "GET", "/store/occupancy", b"");
+    assert_eq!(status, 200, "{occ}");
+    assert!(occ.contains("\"entries\":0"), "empty store: {occ}");
+
+    let (status, _) = request(addr, "POST", "/shutdown", b"");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn queue_runs_jobs_in_submission_order() {
+    let store = tmpdir("fifo");
+    let order: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen = Arc::clone(&order);
+    let (_, addr, handle) = start(
+        &store,
+        runner(move |job, _, _| {
+            seen.lock().expect("order").push(job.id.clone());
+            RunOutcome::Merged {
+                report: b"ok\n".to_vec(),
+            }
+        }),
+    );
+
+    let mut ids = Vec::new();
+    for seed in [11, 22, 33] {
+        let body = format!("{{\"defects\":10,\"seed\":{seed},\"macros\":\"ladder\"}}");
+        let (status, reply) = request(addr, "POST", "/jobs", body.as_bytes());
+        assert_eq!(status, 202, "{reply}");
+        ids.push(field(&reply, "id").to_string());
+    }
+    for id in &ids {
+        wait_state(addr, id, "merged");
+    }
+    assert_eq!(*order.lock().expect("order"), ids, "FIFO by submission");
+
+    let (_, _) = request(addr, "POST", "/shutdown", b"");
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn shutdown_drains_and_a_restarted_server_resumes() {
+    let store = tmpdir("drain");
+    let jobs_dir = store.join("jobs");
+    let (_, addr, handle) = start(&store, blocking_runner());
+
+    let body = br#"{"defects":10,"seed":5,"macros":"bias_gen"}"#;
+    let (status, reply) = request(addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "{reply}");
+    let id = field(&reply, "id").to_string();
+    wait_state(addr, &id, "running");
+
+    // Shutdown mid-run: the attempt is cancelled and drained back to a
+    // persisted, resumable `queued` record before run() returns.
+    let (status, _) = request(addr, "POST", "/shutdown", b"");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean exit");
+    let drained = Job::load(&jobs_dir, &id).expect("record survives shutdown");
+    assert_eq!(drained.state, JobState::Queued, "drained to queued");
+    assert_eq!(drained.attempts, 1, "the interrupted attempt counted");
+
+    // Submitting to a down server fails at connect; the record is the
+    // durable handoff. A new server over the same store picks it up
+    // without any resubmission.
+    let (_, addr2, handle2) = start(
+        &store,
+        runner(|_, _, _| RunOutcome::Merged {
+            report: b"resumed\n".to_vec(),
+        }),
+    );
+    wait_state(addr2, &id, "merged");
+    let (status, report) = request(addr2, "GET", &format!("/jobs/{id}/report"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(report, "resumed\n");
+    let finished = Job::load(&jobs_dir, &id).expect("record");
+    assert_eq!(finished.attempts, 2);
+
+    let (_, _) = request(addr2, "POST", "/shutdown", b"");
+    handle2.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn a_record_crashed_while_running_reenters_the_queue() {
+    let store = tmpdir("crashed");
+    let jobs_dir = store.join("jobs");
+    // Simulate a server killed mid-run: the record froze in `running`.
+    let spec = dotm_serve::JobSpec::parse(br#"{"defects":10,"seed":9,"macros":"clock_gen"}"#)
+        .expect("spec");
+    let mut job = Job::new(spec, 0);
+    job.state = JobState::Running;
+    job.attempts = 1;
+    job.save(&jobs_dir).expect("save");
+
+    // Recovery happens in Server::new, before any listener exists.
+    let _server = Server::new(store.clone(), blocking_runner());
+    let recovered = Job::load(&jobs_dir, &job.id).expect("record");
+    assert_eq!(recovered.state, JobState::Queued, "requeued at startup");
+    assert_eq!(recovered.attempts, 1, "attempt history preserved");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn event_stream_replays_history_and_ends() {
+    let store = tmpdir("events");
+    let (_, addr, handle) = start(
+        &store,
+        runner(|_, events, _| {
+            events("{\"event\":\"progress\",\"macro\":\"ladder\",\"done\":2,\"classes\":4}".into());
+            RunOutcome::Merged {
+                report: b"r\n".to_vec(),
+            }
+        }),
+    );
+    let body = br#"{"defects":10,"seed":3,"macros":"ladder"}"#;
+    let (_, reply) = request(addr, "POST", "/jobs", body);
+    let id = field(&reply, "id").to_string();
+    wait_state(addr, &id, "merged");
+
+    // A late subscriber still sees the whole story: snapshot, the
+    // buffered history, and an explicit end event.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /jobs/{id}/events HTTP/1.1\r\n\r\n").expect("send");
+    stream.flush().expect("flush");
+    let mut lines = Vec::new();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut in_body = false;
+    while reader.read_line(&mut line).expect("read") > 0 {
+        let trimmed = line.trim_end().to_string();
+        if in_body && !trimmed.is_empty() {
+            let done = trimmed.contains("\"event\":\"end\"");
+            lines.push(trimmed);
+            if done {
+                break;
+            }
+        } else if trimmed.is_empty() {
+            in_body = true;
+        }
+        line.clear();
+    }
+    assert!(
+        lines
+            .first()
+            .is_some_and(|l| l.contains("\"event\":\"snapshot\"")),
+        "{lines:?}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"progress\"") && l.contains("\"done\":2")),
+        "{lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"state\":\"running\"")),
+        "{lines:?}"
+    );
+    assert!(
+        lines
+            .last()
+            .is_some_and(|l| l.contains("\"event\":\"end\"") && l.contains("merged")),
+        "{lines:?}"
+    );
+
+    let (_, _) = request(addr, "POST", "/shutdown", b"");
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Builds a sealed shard segment's bytes the way a pull worker would.
+fn sealed_segment(dir: &Path, macro_name: &str, index: usize, count: usize) -> Vec<u8> {
+    let header = JournalHeader {
+        context: 0xdead_beef,
+        macro_name: macro_name.to_string(),
+        classes: 4,
+    };
+    let shard = ShardSpec::new(index, count).expect("shard");
+    let path = dir.join("scratch.jnl");
+    let mut writer = create_segment(&path, &header, shard).expect("segment");
+    for i in shard.range(header.classes) {
+        let outcome = ClassOutcome {
+            key: format!("class-{i}"),
+            mechanism: FaultMechanism::Open,
+            count: 1,
+            severity: Severity::Catastrophic,
+            shared: false,
+            voltage: VoltageSignature::OutputStuckAt,
+            currents: CurrentFlags::default(),
+            detection: DetectionSet {
+                missing_code: true,
+                currents: CurrentFlags::default(),
+            },
+            flagged: vec![i],
+            sim_failed: false,
+            inject_failed: false,
+            rung: Some(0),
+            inject_errors: 0,
+            excluded: false,
+            solver: SimStats::default(),
+        };
+        writer.record_class(i, &[outcome]).expect("record");
+    }
+    writer.finish(0x5ea1).expect("seal");
+    let bytes = std::fs::read(&path).expect("segment bytes");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn remote_jobs_follow_the_claim_and_upload_contract() {
+    let store = tmpdir("remote");
+    let scratch = tmpdir("remote-scratch");
+    let (_, addr, handle) = start(&store, blocking_runner());
+
+    let body = br#"{"defects":10,"seed":8,"macros":"comparator","remote":true,"workers":2}"#;
+    let (status, reply) = request(addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "{reply}");
+    let id = field(&reply, "id").to_string();
+    wait_state(addr, &id, "running");
+
+    // Claim: first taker wins, double claims conflict, bad indices 400.
+    let claim = format!("/jobs/{id}/shards/0/claim");
+    let (status, grant) = request(addr, "POST", &claim, b"");
+    assert_eq!(status, 200, "{grant}");
+    assert!(
+        grant.contains("\"shard\":0") && grant.contains("\"shards\":2"),
+        "{grant}"
+    );
+    assert!(
+        grant.contains("\"defects\":10") && grant.contains("\"seed\":8"),
+        "{grant}"
+    );
+    let (status, _) = request(addr, "POST", &claim, b"");
+    assert_eq!(status, 409, "double claim");
+    let (status, _) = request(addr, "POST", &format!("/jobs/{id}/shards/7/claim"), b"");
+    assert_eq!(status, 400, "out-of-range shard");
+
+    // Upload: garbage and mismatched headers are rejected; a sealed
+    // segment with the right (macro, shard) lands at the segment path.
+    let upload = format!("/jobs/{id}/shards/0/segments/comparator");
+    let (status, _) = request(addr, "POST", &upload, b"not a segment");
+    assert_eq!(status, 400, "garbage body");
+    let wrong_shard = sealed_segment(&scratch, "comparator", 1, 2);
+    let (status, _) = request(addr, "POST", &upload, &wrong_shard);
+    assert_eq!(status, 400, "shard header mismatch");
+    let (status, _) = request(
+        addr,
+        "POST",
+        &format!("/jobs/{id}/shards/0/segments/ladder"),
+        b"x",
+    );
+    assert_eq!(status, 400, "macro outside the job");
+
+    let good = sealed_segment(&scratch, "comparator", 0, 2);
+    let (status, ok) = request(addr, "POST", &upload, &good);
+    assert_eq!(status, 200, "{ok}");
+    let landed = segment_path(
+        &store.join("journal"),
+        "comparator",
+        ShardSpec::new(0, 2).expect("shard"),
+    );
+    assert_eq!(std::fs::read(&landed).expect("uploaded segment"), good);
+
+    let (_, _) = request(addr, "POST", "/shutdown", b"");
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&scratch);
+}

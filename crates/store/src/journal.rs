@@ -123,6 +123,127 @@ pub(crate) fn parse_class(line: &str) -> Option<(usize, Vec<ClassOutcome>)> {
     Some((index, decode_outcomes(&payload)?))
 }
 
+/// Validates one class record line without decoding its payload: the
+/// index parses, the hex payload parses, and the FNV-64 checksum holds.
+/// Used by the read-only progress snapshot, where the outcome bytes are
+/// not needed — only the fact that the record is whole.
+fn class_record_index(line: &str) -> Option<usize> {
+    let index: usize = json_field(line, "class")?.parse().ok()?;
+    let crc = u64::from_str_radix(json_field(line, "crc")?, 16).ok()?;
+    let payload = from_hex(json_field(line, "data")?)?;
+    if fnv64(&payload) != crc {
+        return None;
+    }
+    Some(index)
+}
+
+/// A read-only snapshot of one journal or segment file's progress, taken
+/// without knowing the expected campaign context.
+///
+/// This is the service surface's window into a *running* campaign: the
+/// writer appends whole flushed lines, so a reader that stops at the
+/// first record whose checksum does not hold always observes a valid
+/// contiguous prefix — a torn tail shortens the snapshot, it never
+/// corrupts it (the `concurrent_reads` test suite pins this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalProgress {
+    /// Macro name from the header.
+    pub macro_name: String,
+    /// Total classes the finished file will hold (after truncation).
+    pub classes: usize,
+    /// `(index, count)` for a shard segment, `None` for a whole-macro
+    /// journal.
+    pub shard: Option<(usize, usize)>,
+    /// Whole class records observed, in order, checksum-valid.
+    pub done: usize,
+    /// `true` once the seal record (with its fingerprint) is present
+    /// after a complete record range.
+    pub sealed: bool,
+    /// The sealed report fingerprint, present only when [`sealed`].
+    ///
+    /// [`sealed`]: JournalProgress::sealed
+    pub fingerprint: Option<u64>,
+}
+
+impl JournalProgress {
+    /// First class index this file records: `0` for a journal, the shard
+    /// range start for a segment.
+    pub fn first_class(&self) -> usize {
+        match self.shard {
+            Some((index, count)) => index * self.classes / count,
+            None => 0,
+        }
+    }
+
+    /// One-past-the-last class index this file records.
+    pub fn last_class(&self) -> usize {
+        match self.shard {
+            Some((index, count)) => (index + 1) * self.classes / count,
+            None => self.classes,
+        }
+    }
+}
+
+/// Parses a progress snapshot out of journal/segment text. `None` when
+/// the first line is not a structurally valid header of either kind.
+pub fn journal_progress_text(text: &str) -> Option<JournalProgress> {
+    let mut lines = text.lines();
+    let head = lines.next()?;
+    if json_field(head, "dotm_journal")? != "1" {
+        return None;
+    }
+    let shard = match (json_field(head, "shard"), json_field(head, "shards")) {
+        (Some(i), Some(n)) => {
+            let index: usize = i.parse().ok()?;
+            let count: usize = n.parse().ok()?;
+            if count == 0 || index >= count {
+                return None;
+            }
+            Some((index, count))
+        }
+        (None, None) => None,
+        _ => return None,
+    };
+    let mut progress = JournalProgress {
+        macro_name: json_field(head, "macro")?.to_string(),
+        classes: json_field(head, "classes")?.parse().ok()?,
+        shard,
+        done: 0,
+        sealed: false,
+        fingerprint: None,
+    };
+    let (first, last) = (progress.first_class(), progress.last_class());
+    let mut next = first;
+    for line in lines {
+        if let Some(index) = class_record_index(line) {
+            if index != next || index >= last {
+                break;
+            }
+            next += 1;
+        } else if next == last {
+            if let Some(fp) =
+                json_field(line, "fingerprint").and_then(|f| u64::from_str_radix(f, 16).ok())
+            {
+                progress.sealed = true;
+                progress.fingerprint = Some(fp);
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    progress.done = next - first;
+    Some(progress)
+}
+
+/// Reads a progress snapshot from a journal or segment file. `None` for
+/// a missing, unreadable or headerless file. Safe to call while a
+/// [`JournalWriter`] in another process appends to the same path: the
+/// snapshot is the longest valid prefix at read time.
+pub fn journal_progress(path: &Path) -> Option<JournalProgress> {
+    journal_progress_text(&fs::read_to_string(path).ok()?)
+}
+
 /// Loads the resumable state of `path` for the given expected header.
 ///
 /// A missing or unreadable file, a header mismatch (different context,
@@ -436,6 +557,55 @@ mod tests {
         let w2 = JournalWriter::create(&path, &header(2)).expect("recreate");
         assert!(w2.finish(0).is_err(), "seal before classes recorded");
         let _ = fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn progress_snapshot_tracks_prefix_and_seal() {
+        let path = tmpfile("progress");
+        let mut w = JournalWriter::create(&path, &header(3)).expect("create");
+        let p = journal_progress(&path).expect("header present");
+        assert_eq!((p.done, p.classes, p.sealed), (0, 3, false));
+        assert_eq!(p.shard, None);
+        assert_eq!(p.macro_name, "comparator");
+        w.record_class(0, &[outcome(0)]).expect("record");
+        w.record_class(1, &[outcome(1)]).expect("record");
+        assert_eq!(journal_progress(&path).expect("snapshot").done, 2);
+        w.record_class(2, &[outcome(2)]).expect("record");
+        w.finish(0xfeed).expect("finish");
+        let p = journal_progress(&path).expect("snapshot");
+        assert_eq!((p.done, p.sealed, p.fingerprint), (3, true, Some(0xfeed)));
+        let _ = fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn progress_snapshot_survives_a_torn_tail() {
+        let path = tmpfile("progress-torn");
+        write_full(&path, 3, 7);
+        let text = fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop(); // seal
+        let last = lines.pop().expect("class line");
+        let mut short = lines.join("\n");
+        short.push('\n');
+        short.push_str(&last[..last.len() / 2]);
+        fs::write(&path, short).expect("write");
+        let p = journal_progress(&path).expect("snapshot");
+        assert_eq!((p.done, p.sealed), (2, false));
+        let _ = fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn progress_snapshot_reads_segments_and_rejects_garbage() {
+        assert_eq!(journal_progress_text("not a journal"), None);
+        assert_eq!(journal_progress(Path::new("/nonexistent/x.jnl")), None);
+        // A hand-built segment header: shard 1 of 2 over 8 classes
+        // records classes 4..8.
+        let seg = "{\"dotm_journal\":1,\"context\":\"00000000000000000000000000feedbee\",\
+                   \"macro\":\"ladder\",\"classes\":8,\"shard\":1,\"shards\":2}";
+        let p = journal_progress_text(seg).expect("segment header");
+        assert_eq!(p.shard, Some((1, 2)));
+        assert_eq!((p.first_class(), p.last_class()), (4, 8));
+        assert_eq!((p.done, p.sealed), (0, false));
     }
 
     #[test]

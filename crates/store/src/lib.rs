@@ -51,7 +51,11 @@ mod store;
 mod wire;
 
 pub use context::pipeline_context;
-pub use journal::{load_journal, JournalHeader, JournalWriter, ResumeState};
+pub use fnv::{fnv64, Fnv128};
+pub use journal::{
+    journal_progress, journal_progress_text, load_journal, JournalHeader, JournalProgress,
+    JournalWriter, ResumeState,
+};
 pub use segment::{create_segment, load_segment, merge_segments, segment_path, MergeReport};
 pub use store::{
     corrupt_one_entry, occupancy, reap_temp_files, DiskStore, StoreCounters, StoreOccupancy,

@@ -146,10 +146,11 @@ camp_env=(DOTM_DEFECTS=2000 DOTM_MAX_CLASSES=8 DOTM_GS_COMMON=2 DOTM_GS_MM=2
     DOTM_STORE_DIR="$store_dir")
 camp_cmd="cargo run --release --locked -p dotm-bench --bin campaign"
 fingerprints() { grep -o 'fingerprint=[0-9a-f]*' || true; }
-# The report body must be identical run to run; only wall-clock and the
-# store counters (which exist to show the effort difference) may move.
+# The report body must be identical run to run; only the store counters
+# (which exist to show the effort difference) may move. Wall-clock never
+# appears on stdout — the report is a pure function of config + store.
 strip_effort() {
-    sed -E -e 's/ +[0-9]+\.[0-9]+s +store: [^ ]+( [a-z_]+=[0-9]+)*//' \
+    sed -E -e 's/ +store: [^ ]+( [a-z_]+=[0-9]+)*//' \
         -e '/^campaign store accounting:/d'
 }
 
@@ -163,8 +164,25 @@ diff <(echo "$cold" | strip_effort) <(echo "$warm" | strip_effort) || {
     echo "FAIL: warm campaign changed a reported number"; exit 1; }
 echo "    warm rerun: 100% store hits, zero solver calls, identical report"
 
-env "${camp_env[@]}" DOTM_ABORT_AFTER=5 $camp_cmd | grep -q "aborted on request" || {
+# An injected abort is an interruption at a resumable point: its exit
+# code is the INTERRUPTED contract value (5), not success and not a
+# generic failure — supervisors requeue on it without parsing output.
+set +e
+aborted_out=$(env "${camp_env[@]}" DOTM_ABORT_AFTER=5 $camp_cmd)
+aborted_rc=$?
+set -e
+[ "$aborted_rc" -eq 5 ] || {
+    echo "FAIL: injected abort exited $aborted_rc, expected 5"; exit 1; }
+echo "$aborted_out" | grep -q "aborted on request" || {
     echo "FAIL: injected abort did not stop the campaign"; exit 1; }
+# A bad macro selection is a usage error: exit 2, nothing runs.
+set +e
+env "${camp_env[@]}" DOTM_MACROS=no_such_macro $camp_cmd >/dev/null 2>&1
+usage_rc=$?
+set -e
+[ "$usage_rc" -eq 2 ] || {
+    echo "FAIL: unknown DOTM_MACROS exited $usage_rc, expected 2"; exit 1; }
+echo "    exit codes: abort=5 (interrupted), unknown macro=2 (usage)"
 resumed=$(env "${camp_env[@]}" $camp_cmd -- --resume)
 diff <(echo "$cold" | fingerprints) <(echo "$resumed" | fingerprints) || {
     echo "FAIL: resumed campaign fingerprints differ"; exit 1; }
@@ -221,6 +239,21 @@ DOTM_BENCH_JSON="$shard_json" \
 echo "==> perf trajectory: shard counter metrics vs committed baseline (soft)"
 cargo run --release --locked -p dotm-bench --bin bench_compare -- \
     scripts/bench_baseline_8.json "$shard_json"
+
+echo "==> service: campaign-as-a-service round-trip (serve_roundtrip)"
+# Boots campaign --serve on a loopback port, submits the anchor job over
+# HTTP, streams its NDJSON progress events, and hard-gates the contract:
+# the HTTP report is byte-identical to a plain CLI campaign over the
+# same store path, resubmission answers cached from the finished job,
+# and a forced fresh re-run over the warmed store performs zero solver
+# work (misses=0 computed=0) with every fingerprint reproduced.
+serve_json="${DOTM_SERVE_BENCH_JSON:-$(mktemp)}"
+DOTM_BENCH_JSON="$serve_json" \
+    cargo run --release --locked -p dotm-bench --bin serve_roundtrip
+
+echo "==> perf trajectory: service counter metrics vs committed baseline (soft)"
+cargo run --release --locked -p dotm-bench --bin bench_compare -- \
+    scripts/bench_baseline_9.json "$serve_json"
 
 echo "==> observability: traced fig4 is a pure side channel"
 # DOTM_TRACE=1 must leave stdout byte-identical (the per-phase profile
