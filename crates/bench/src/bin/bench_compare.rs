@@ -52,6 +52,10 @@ const COUNTER_FIELDS: &[&str] = &[
     "cached_dedup",
     "warm_solver_free",
     "shutdown_clean",
+    // variant_speedup counter: how many variant lanes the lockstep
+    // pre-pass primed on the fixed-seed anchor — deterministic; a drift
+    // means the adoption guards (or the class population) changed.
+    "prime_hits",
 ];
 
 /// Parses the flat one-level JSON object the bench bins emit: string,
@@ -149,6 +153,8 @@ fn main() {
         "fast_assembly_ns",
         "fast_batch_assembly_ns",
         "batch_speedup",
+        "fast_lockstep_ns",
+        "variant_speedup",
         "single_wall_ms",
         "sharded_wall_ms",
         "shard_speedup",

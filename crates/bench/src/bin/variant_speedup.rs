@@ -1,0 +1,267 @@
+//! Lockstep-variant validation: runs the fixed-seed ladder anchor (the
+//! same population `tests/determinism.rs` pins to 645 faults in 417
+//! classes) once with the sequential per-variant walk and once with the
+//! lockstep SoA path (every variant lane's first DC Newton system
+//! captured in a stats-free pre-pass and factored by one blocked
+//! `[cell][lane]` LU kernel with per-lane pivoting), then
+//!
+//! * asserts the two reports are **bit-for-bit identical** — an adopted
+//!   prime replays the exact bytes the sequential walk would have
+//!   assembled and factored, so like the batch-assembly bench this is an
+//!   equality gate, not a verdict-band gate,
+//! * counts detection-verdict flips per class anyway (always 0 when the
+//!   fingerprints match; kept as an explicit counter so the baseline
+//!   comparison pins it),
+//! * asserts the pre-pass actually fired (`lockstep.prime_hits` > 0) —
+//!   a refused guard silently degrading to the sequential walk would
+//!   otherwise pass every identity check while benchmarking nothing, and
+//! * measures the class-evaluation solver work both ways through the
+//!   `dotm-obs` accumulators: the gate is the cut in the `assembly` +
+//!   `lu` phases (the same convention `batch_speedup` uses for its
+//!   assembly-phase gate), and the `variant_lockstep` phase the primed
+//!   work moved into is measured and reported right beside it — both in
+//!   the printed summary and in the JSON — so the pre-pass cost is
+//!   never hidden.
+//!
+//! Knobs: `DOTM_DEFECTS` (sprinkle size, default 20000), `DOTM_SEED`
+//! (default 2026), `DOTM_GS_COMMON`/`DOTM_GS_MM` (good-space sizes,
+//! default 3×2), `DOTM_MAX_CLASSES` (0 = full population, the default),
+//! `DOTM_VARIANT_MIN_SPEEDUP` (gate on the phase-work ratio, default 0 —
+//! identity-only; `scripts/verify.sh` and CI set 1.3),
+//! `DOTM_BENCH_JSON` (write the machine-readable summary here).
+//!
+//! Exits non-zero if the reports differ in any bit, a verdict flips, the
+//! pre-pass never fired, or the phase-work reduction falls below the
+//! speedup gate.
+
+use dotm_bench::{env_u64, env_usize, obs_finish, obs_fold_solver};
+use dotm_core::harnesses::LadderHarness;
+use dotm_core::{
+    run_macro_path_with_faults, GoodSpaceConfig, MacroHarness, MacroReport, PipelineConfig,
+};
+use dotm_defects::{sprinkle_collapsed, CollapseReport, Sprinkler};
+use std::time::Instant;
+
+fn config(lockstep: bool) -> PipelineConfig {
+    let max_classes = match env_usize("DOTM_MAX_CLASSES", 0) {
+        0 => None,
+        n => Some(n),
+    };
+    PipelineConfig {
+        defects: env_usize("DOTM_DEFECTS", 20_000),
+        seed: env_u64("DOTM_SEED", 2026),
+        goodspace: GoodSpaceConfig {
+            common_samples: env_usize("DOTM_GS_COMMON", 3),
+            mismatch_samples: env_usize("DOTM_GS_MM", 2),
+            seed: 5,
+            ..GoodSpaceConfig::default()
+        },
+        max_classes,
+        // Near-miss severities give bridge classes two lanes, so the
+        // blocked kernel has real multi-lane groups to factor.
+        non_catastrophic: true,
+        // The measurement cache stays off in both passes so every lane
+        // actually assembles and factors its systems and the phase
+        // profile measures solver work, not cache replay. Everything
+        // else keeps its defaults in both passes — the two runs differ
+        // only in the lockstep knob.
+        warm_start: true,
+        measure_cache: false,
+        variant_lockstep: lockstep,
+        ..PipelineConfig::default()
+    }
+}
+
+struct Pass {
+    report: MacroReport,
+    seconds: f64,
+    assembly_ns: u64,
+    lu_ns: u64,
+    lockstep_ns: u64,
+    prime_hits: u64,
+}
+
+fn phase_ns(name: &str) -> u64 {
+    dotm_obs::phase_totals()
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, _, ns)| *ns)
+        .unwrap_or(0)
+}
+
+fn counter_total(name: &str) -> u64 {
+    dotm_obs::counters_snapshot()
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn run(lockstep: bool, collapsed: &CollapseReport, area: f64) -> Pass {
+    let cfg = config(lockstep);
+    let span = dotm_obs::span(
+        if lockstep {
+            "lockstep pass"
+        } else {
+            "sequential pass"
+        },
+        "campaign",
+    );
+    let as0 = phase_ns("assembly");
+    let lu0 = phase_ns("lu");
+    let ls0 = phase_ns("variant_lockstep");
+    let ph0 = counter_total("lockstep.prime_hits");
+    let t0 = Instant::now();
+    let report = run_macro_path_with_faults(&LadderHarness, &cfg, collapsed, area)
+        .expect("ladder path must run");
+    let seconds = t0.elapsed().as_secs_f64();
+    drop(span);
+    Pass {
+        report,
+        seconds,
+        assembly_ns: phase_ns("assembly") - as0,
+        lu_ns: phase_ns("lu") - lu0,
+        lockstep_ns: phase_ns("variant_lockstep") - ls0,
+        prime_hits: counter_total("lockstep.prime_hits") - ph0,
+    }
+}
+
+fn write_json(path: &str, fields: &[(&str, String)]) {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[dotm] bench summary: {path}"),
+        Err(e) => {
+            eprintln!("[dotm] bench summary write failed ({path}): {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    // The phase accumulators are the measurement instrument here, so the
+    // recorder is always on; `DOTM_TRACE` additionally exports the trace
+    // files via `obs_finish` as usual.
+    let trace = dotm_core::env::trace();
+    dotm_obs::set_enabled(true);
+    let cfg = config(false);
+    let layout = LadderHarness.layout();
+    let sprinkler = Sprinkler::new(&layout, cfg.stats.clone());
+    let collapsed = sprinkle_collapsed(&sprinkler, cfg.defects, cfg.seed);
+    let area = layout
+        .bbox()
+        .map(|b| b.expanded(cfg.stats.size.xmax / 2))
+        .map(|b| b.area() as f64)
+        .unwrap_or(0.0);
+    println!(
+        "ladder anchor, sequential vs lockstep variant evaluation \
+         ({} defects, seed {})",
+        cfg.defects, cfg.seed
+    );
+
+    let base = run(false, &collapsed, area);
+    let bs = base.report.solver_totals();
+    let base_work = base.assembly_ns + base.lu_ns;
+    println!(
+        "  sequential: {:.2}s  {} NR solves, {} iterations, assembly+lu {:.3}s ({} classes)",
+        base.seconds,
+        bs.nr_solves,
+        bs.nr_iterations,
+        base_work as f64 / 1e9,
+        base.report.outcomes.len()
+    );
+    assert_eq!(
+        base.prime_hits, 0,
+        "the sequential pass must never adopt a prime"
+    );
+    let fast = run(true, &collapsed, area);
+    let fs = fast.report.solver_totals();
+    let fast_work = fast.assembly_ns + fast.lu_ns;
+    println!(
+        "  lockstep:   {:.2}s  {} NR solves, {} iterations, assembly+lu {:.3}s \
+         (+ pre-pass {:.3}s, {} prime hits, {} classes)",
+        fast.seconds,
+        fs.nr_solves,
+        fs.nr_iterations,
+        fast_work as f64 / 1e9,
+        fast.lockstep_ns as f64 / 1e9,
+        fast.prime_hits,
+        fast.report.outcomes.len()
+    );
+
+    // The contract is stronger than verdict preservation: the lockstep
+    // path must reproduce the sequential report bit for bit.
+    let identical = base.report.fingerprint() == fast.report.fingerprint();
+    let mut flipped = 0usize;
+    assert_eq!(
+        base.report.outcomes.len(),
+        fast.report.outcomes.len(),
+        "class lists diverged"
+    );
+    for (a, b) in base.report.outcomes.iter().zip(&fast.report.outcomes) {
+        assert_eq!(a.key, b.key, "class order diverged");
+        if a.detection != b.detection || a.voltage != b.voltage || a.currents != b.currents {
+            eprintln!("  VERDICT FLIP in class {}", a.key);
+            flipped += 1;
+        }
+    }
+    let speedup = base_work as f64 / fast_work.max(1) as f64;
+    println!(
+        "  bitwise identical: {identical}   verdict flips: {flipped}   \
+         class-eval phase speedup: {speedup:.2}x"
+    );
+
+    if let Ok(path) = std::env::var("DOTM_BENCH_JSON") {
+        write_json(
+            &path,
+            &[
+                ("bench", "\"variant_speedup\"".into()),
+                ("defects", cfg.defects.to_string()),
+                ("seed", cfg.seed.to_string()),
+                ("classes", base.report.outcomes.len().to_string()),
+                ("base_nr_solves", bs.nr_solves.to_string()),
+                ("base_nr_iterations", bs.nr_iterations.to_string()),
+                ("fast_nr_solves", fs.nr_solves.to_string()),
+                ("fast_nr_iterations", fs.nr_iterations.to_string()),
+                ("prime_hits", fast.prime_hits.to_string()),
+                ("verdict_flips", flipped.to_string()),
+                ("bitwise_identical", identical.to_string()),
+                ("base_assembly_ns", base.assembly_ns.to_string()),
+                ("base_lu_ns", base.lu_ns.to_string()),
+                ("fast_assembly_ns", fast.assembly_ns.to_string()),
+                ("fast_lu_ns", fast.lu_ns.to_string()),
+                ("fast_lockstep_ns", fast.lockstep_ns.to_string()),
+                ("variant_speedup", format!("{speedup:.3}")),
+                ("base_wall_ms", format!("{:.1}", base.seconds * 1e3)),
+                ("fast_wall_ms", format!("{:.1}", fast.seconds * 1e3)),
+            ],
+        );
+    }
+
+    dotm_obs::set_enabled(trace);
+    let mut both = bs;
+    both += fs;
+    obs_fold_solver(&both);
+    obs_finish("variant_speedup");
+
+    let min_speedup = dotm_core::env::variant_min_speedup();
+    if !identical {
+        eprintln!("[dotm] FAIL: lockstep report is not bit-identical to the sequential report");
+        std::process::exit(1);
+    }
+    if flipped > 0 {
+        eprintln!("[dotm] FAIL: {flipped} verdict flips");
+        std::process::exit(1);
+    }
+    if fast.prime_hits == 0 {
+        eprintln!("[dotm] FAIL: the lockstep pre-pass never primed a lane");
+        std::process::exit(1);
+    }
+    if speedup < min_speedup {
+        eprintln!("[dotm] FAIL: class-eval phase speedup {speedup:.2}x < {min_speedup}x");
+        std::process::exit(1);
+    }
+}

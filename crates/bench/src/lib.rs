@@ -164,6 +164,7 @@ pub fn standard_config() -> PipelineConfig {
         factor_reuse: dotm_core::env::factor_reuse(),
         rank_update: dotm_core::env::rank_update(),
         batch_assembly: dotm_core::env::batch_assembly(),
+        variant_lockstep: dotm_core::env::variant_lockstep(),
         tran_step_carry: dotm_core::env::tran_step_carry(),
         ..PipelineConfig::default()
     }

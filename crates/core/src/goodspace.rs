@@ -174,7 +174,7 @@ impl GoodSpace {
         let shared_asm = cfg
             .batch_assembly
             .then(|| std::sync::Arc::new(dotm_sim::SharedAssembly::compile(&testbench)));
-        let batch = shared_asm.as_ref();
+        let batch = Batch::shared(shared_asm.as_ref());
         // The nominal measurement is single-threaded; in warm-start mode
         // it doubles as the capture run for the per-analysis operating
         // points, frozen into an immutable seed table before any parallel

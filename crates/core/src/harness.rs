@@ -15,17 +15,54 @@ use dotm_layout::Layout;
 use dotm_netlist::Netlist;
 use dotm_rng::rngs::StdRng;
 use dotm_sim::{
-    NominalFactors, OpPoint, SharedAssembly, SimError, SimOptions, SimStats, Simulator,
+    LanePrime, NominalFactors, OpPoint, SharedAssembly, SimError, SimOptions, SimStats, Simulator,
 };
 use std::sync::{Arc, Mutex};
 
-/// The class-shared batched-assembly context threaded through
-/// [`MacroHarness::measure_with`]: `Some` hands every simulator the
-/// nominal testbench's compiled stamp split so device-prefix-equal fault
-/// variants assemble as `shared baseline + delta` (see
-/// [`SharedAssembly`]); `None` leaves each simulator to split locally
-/// (still batched when [`SimOptions::batch_assembly`] is on).
-pub type Batch<'b> = Option<&'b Arc<SharedAssembly>>;
+/// The class-shared solver context threaded through
+/// [`MacroHarness::measure_with`].
+///
+/// `shared` hands every simulator the nominal testbench's compiled stamp
+/// split so device-prefix-equal fault variants assemble as
+/// `shared baseline + delta` (see [`SharedAssembly`]); `None` leaves each
+/// simulator to split locally (still batched when
+/// [`SimOptions::batch_assembly`] is on).
+///
+/// `prime` carries this specific variant lane's primed first DC Newton
+/// iteration from the lockstep pre-pass ([`prime_lockstep_lanes`]); it is
+/// installed into analysis slot 0 only, and the engine adopts it only
+/// under bitwise guards, so it is a pure speed-up.
+#[derive(Clone, Copy, Default)]
+pub struct Batch<'b> {
+    /// Class-shared compiled assembly baseline, if one was built.
+    pub shared: Option<&'b Arc<SharedAssembly>>,
+    /// This lane's primed first DC iteration, if the pre-pass built one.
+    pub prime: Option<&'b Arc<LanePrime>>,
+}
+
+impl<'b> Batch<'b> {
+    /// No shared context at all.
+    pub const fn none() -> Self {
+        Batch {
+            shared: None,
+            prime: None,
+        }
+    }
+
+    /// Only the class-shared assembly (the pre-lockstep constructor; most
+    /// call sites thread no prime).
+    pub fn shared(shared: Option<&'b Arc<SharedAssembly>>) -> Self {
+        Batch {
+            shared,
+            prime: None,
+        }
+    }
+
+    /// This context with `prime` attached.
+    pub fn with_prime(self, prime: Option<&'b Arc<LanePrime>>) -> Self {
+        Batch { prime, ..self }
+    }
+}
 
 /// One captured analysis slot: the nominal operating point plus (when the
 /// rank-update path is enabled) the nominal system's LU factorisation,
@@ -176,6 +213,17 @@ pub trait MacroHarness: Sync {
         SimOptions::default()
     }
 
+    /// Whether this harness's measurement procedure *starts* with a plain
+    /// DC operating-point solve of the (possibly faulted) testbench at
+    /// the base options — the exact shape the lockstep variant pre-pass
+    /// ([`prime_lockstep_lanes`]) primes. A pure performance hint: the
+    /// engine adopts a prime only under bitwise guards, so a wrong `true`
+    /// merely wastes the pre-pass and a wrong `false` only forgoes the
+    /// speed-up; neither can move a bit.
+    fn lockstep_dc(&self) -> bool {
+        false
+    }
+
     /// Runs the macro's measurement procedure on a (possibly faulted,
     /// possibly perturbed) netlist with the harness's base options.
     ///
@@ -189,7 +237,7 @@ pub trait MacroHarness: Sync {
             &self.sim_options(),
             &mut SimStats::default(),
             Warm::Cold,
-            None,
+            Batch::none(),
         )
     }
 
@@ -291,8 +339,16 @@ pub fn with_instrumented_sim_warm<R>(
 ) -> Result<R, SimError> {
     let slot = cursor.next_slot();
     let mut sim = Simulator::with_options(nl, opts.clone());
-    if let Some(sh) = batch {
+    if let Some(sh) = batch.shared {
         sim.install_shared_assembly(Arc::clone(sh));
+    }
+    if slot == 0 {
+        if let Some(p) = batch.prime {
+            // The lockstep pre-pass captured analysis slot 0's first DC
+            // iteration; later slots start from different state and
+            // would only refuse the prime at adoption time.
+            sim.install_lane_prime(Arc::clone(p));
+        }
     }
     if let Warm::Seed(start) = warm {
         if let Some(op) = start.seed(slot) {
@@ -326,4 +382,43 @@ pub fn with_instrumented_sim_warm<R>(
     }
     stats.merge(sim.stats());
     result
+}
+
+/// The lockstep variant pre-pass: captures the first DC Newton iteration
+/// of every lane netlist — setting each scratch simulator up exactly as
+/// [`with_instrumented_sim_warm`] sets up the measuring simulator for
+/// analysis slot 0 (shared assembly installed, slot-0 warm seed applied)
+/// — and factors all captured systems in one blocked SoA pass
+/// (`dotm_sim::soa`).
+///
+/// The scratch simulators' telemetry is deliberately discarded: the
+/// pre-pass does no solver work the measurement would count, and the
+/// measuring simulator's stats must be bit-identical lockstep on or off.
+/// The whole pass is attributed to the `variant_lockstep` obs phase.
+pub fn prime_lockstep_lanes(
+    lanes: &[&Netlist],
+    opts: &SimOptions,
+    warm: Warm<'_>,
+    shared: Option<&Arc<SharedAssembly>>,
+) -> Vec<Option<Arc<LanePrime>>> {
+    let t0 = dotm_obs::start();
+    let mut systems = Vec::with_capacity(lanes.len());
+    for nl in lanes {
+        let mut sim = Simulator::with_options(nl, opts.clone());
+        if let Some(sh) = shared {
+            sim.install_shared_assembly(Arc::clone(sh));
+        }
+        if let Warm::Seed(start) = warm {
+            if let Some(op) = start.seed(0) {
+                // Acceptance mirrors the measuring run: a rejected seed
+                // means both the capture and the measurement start from
+                // zeros, so the capture stays bit-faithful either way.
+                let _ = sim.seed_dc_from(op);
+            }
+        }
+        systems.push(sim.lockstep_capture());
+    }
+    let primes = dotm_sim::soa::prime_lanes(systems);
+    dotm_obs::phase(dotm_obs::Phase::VariantLockstep, t0);
+    primes
 }

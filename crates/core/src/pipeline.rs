@@ -5,7 +5,7 @@
 
 use crate::exec::{self, ExecConfig};
 use crate::goodspace::{GoodSpace, GoodSpaceConfig};
-use crate::harness::{Batch, MacroHarness, Warm, WarmStart};
+use crate::harness::{prime_lockstep_lanes, Batch, MacroHarness, Warm, WarmStart};
 use crate::memo::{CachedMeasurement, MeasureCache};
 use crate::signature::{CurrentFlags, DetectionSet, VoltageSignature};
 use dotm_defects::{
@@ -13,11 +13,11 @@ use dotm_defects::{
 };
 use dotm_faults::{InjectError, Injector, Severity};
 use dotm_netlist::{DeviceKind, Netlist};
-use dotm_sim::{Integration, SimError, SimOptions, SimStats};
+use dotm_sim::{Integration, LanePrime, SimError, SimOptions, SimStats};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How a fault class whose every model variant still fails to simulate —
 /// even at the top of the escalation ladder — enters the detection
@@ -182,6 +182,14 @@ pub struct PipelineConfig {
     /// but changes the step sequence and therefore round-off; off by
     /// default, verdict-gated like `rank_update`.
     pub tran_step_carry: bool,
+    /// Lockstep SoA evaluation of one class's variant lanes: a stats-free
+    /// pre-pass captures each lane's first DC Newton iteration, factors
+    /// all lanes in one blocked `[cell][lane]` LU kernel, and the
+    /// measuring simulators adopt the primed systems under bitwise
+    /// guards. Bitwise-identical to the sequential walk by construction
+    /// (every divergence falls a lane back to the scalar path), so it is
+    /// on by default like `batch_assembly`.
+    pub variant_lockstep: bool,
 }
 
 impl Default for PipelineConfig {
@@ -203,6 +211,7 @@ impl Default for PipelineConfig {
             rank_update: false,
             batch_assembly: true,
             tran_step_carry: false,
+            variant_lockstep: true,
         }
     }
 }
@@ -264,6 +273,15 @@ pub trait MeasurementStore: Sync {
     /// (counted, at most): persistence is an accelerator, never a
     /// correctness dependency.
     fn store(&self, key: u128, value: &CachedMeasurement);
+
+    /// Whether an entry exists for `key`, as cheaply as the backend can
+    /// answer. Consulted only by performance heuristics — the lockstep
+    /// pre-pass skips priming lanes the store will answer — never for
+    /// correctness, so a conservative default (full load) is fine and a
+    /// backend may answer from metadata alone (file existence).
+    fn contains(&self, key: u128) -> bool {
+        self.load(key).is_some()
+    }
 }
 
 /// Observes class evaluations as they complete — always in ascending
@@ -887,40 +905,39 @@ pub fn run_macro_path_with_faults_hooked(
         if cfg.non_catastrophic && injector.supports_non_catastrophic(effect) {
             severities.push(Severity::NonCatastrophic);
         }
+        let evaluated = evaluate_severities(
+            harness,
+            &injector,
+            &good,
+            &base,
+            effect,
+            &severities,
+            is_shared,
+            cfg,
+            warm,
+            cache.as_ref(),
+            store,
+            Batch::shared(shared_asm.as_ref()),
+        );
         let outcomes: Vec<ClassOutcome> = severities
             .into_iter()
-            .map(|severity| {
-                let outcome = evaluate_class(
-                    harness,
-                    &injector,
-                    &good,
-                    &base,
-                    effect,
-                    severity,
-                    is_shared,
-                    cfg,
-                    warm,
-                    cache.as_ref(),
-                    store,
-                    shared_asm.as_ref(),
-                );
-                ClassOutcome {
-                    key: class.key.clone(),
-                    mechanism: class.mechanism(),
-                    count: class.count,
-                    severity,
-                    shared: is_shared,
-                    voltage: outcome.voltage,
-                    currents: outcome.currents,
-                    detection: outcome.detection,
-                    flagged: outcome.flagged,
-                    sim_failed: outcome.sim_failed,
-                    inject_failed: outcome.inject_failed,
-                    rung: outcome.rung,
-                    inject_errors: outcome.inject_errors,
-                    excluded: outcome.excluded,
-                    solver: outcome.solver,
-                }
+            .zip(evaluated)
+            .map(|(severity, outcome)| ClassOutcome {
+                key: class.key.clone(),
+                mechanism: class.mechanism(),
+                count: class.count,
+                severity,
+                shared: is_shared,
+                voltage: outcome.voltage,
+                currents: outcome.currents,
+                detection: outcome.detection,
+                flagged: outcome.flagged,
+                sim_failed: outcome.sim_failed,
+                inject_failed: outcome.inject_failed,
+                rung: outcome.rung,
+                inject_errors: outcome.inject_errors,
+                excluded: outcome.excluded,
+                solver: outcome.solver,
             })
             .collect();
         if let Some(d) = &dispatch {
@@ -1002,12 +1019,17 @@ fn measure_rung(
     solver: &mut SimStats,
     warm: Option<&WarmStart>,
     batch: Batch<'_>,
+    prime: Option<&Arc<LanePrime>>,
     cache: Option<&MeasureCache>,
     store: Option<&dyn MeasurementStore>,
     digest: Option<u128>,
     rung: u8,
 ) -> Result<Vec<f64>, SimError> {
     let w = warm.map_or(Warm::Cold, Warm::Seed);
+    // The lane prime only reaches the solver path: a cache or store hit
+    // below replays without ever touching a simulator, and the pre-pass
+    // avoids priming lanes it can tell will hit.
+    let batch = batch.with_prime(prime);
     let digest = match digest {
         Some(d) => d,
         None => return harness.measure_with(nl, opts, solver, w, batch),
@@ -1061,6 +1083,7 @@ fn measure_escalated(
     solver: &mut SimStats,
     warm: Option<&WarmStart>,
     batch: Batch<'_>,
+    prime: Option<&Arc<LanePrime>>,
     cache: Option<&MeasureCache>,
     store: Option<&dyn MeasurementStore>,
 ) -> Option<(Vec<f64>, u8)> {
@@ -1068,12 +1091,16 @@ fn measure_escalated(
     let digest = (cache.is_some() || store.is_some()).then(|| nl.content_digest());
     for rung in 0..=ladder.max_rung {
         let opts = EscalationLadder::options_at(base_opts, rung);
+        // The prime captured rung 0's base options; an escalated rung
+        // solves with different options, so a diverging lane falls back
+        // to the scalar path from rung 1 on.
+        let rung_prime = if rung == 0 { prime } else { None };
         // Per-rung escalation timing: each retry of the same variant gets
         // its own span, so the trace shows how much wall-clock the ladder
         // itself costs (rung 0 is the ordinary first attempt).
         let rung_span = dotm_obs::span_with("rung", || format!("rung {rung}"));
         let outcome = measure_rung(
-            harness, nl, &opts, solver, warm, batch, cache, store, digest, rung,
+            harness, nl, &opts, solver, warm, batch, rung_prime, cache, store, digest, rung,
         );
         drop(rung_span);
         match outcome {
@@ -1085,121 +1112,116 @@ fn measure_escalated(
     None
 }
 
-/// Evaluates one class at one severity, keeping the worst-case (hardest
-/// to detect) model variant. Variants that fail to simulate at every
-/// ladder rung enter the selection per `policy`.
-#[allow(clippy::too_many_arguments)]
-fn evaluate_class(
-    harness: &dyn MacroHarness,
-    injector: &Injector,
-    good: &GoodSpace,
-    base: &Netlist,
-    effect: &FaultEffect,
-    severity: Severity,
-    shared: bool,
-    cfg: &PipelineConfig,
-    warm: Option<&WarmStart>,
-    cache: Option<&MeasureCache>,
-    store: Option<&dyn MeasurementStore>,
-    batch: Batch<'_>,
-) -> Evaluated {
-    let policy = cfg.sim_failure_policy;
-    let ladder = cfg.escalation;
-    let n_variants = injector.variant_count(effect);
+/// Resolves measurement-time simulator options for one class evaluation:
+/// the harness's rung-0 base options with the pipeline's solver knobs
+/// applied. Shared by the sequential and lockstep paths so both measure
+/// with identical options.
+fn class_base_opts(harness: &dyn MacroHarness, cfg: &PipelineConfig) -> SimOptions {
     let mut base_opts = harness.sim_options();
     base_opts.factor_reuse = cfg.factor_reuse;
     base_opts.rank_update = cfg.rank_update;
     base_opts.batch_assembly = cfg.batch_assembly;
     base_opts.tran_step_carry = cfg.tran_step_carry;
-    let mut best: Option<(u32, VariantEval)> = None;
-    let mut any_injected = false;
-    let mut inject_errors = 0usize;
-    let mut solver = SimStats::default();
-    for variant in 0..n_variants {
-        let mut nl = base.clone();
-        match injector.inject(&mut nl, effect, severity, variant, "flt") {
-            Ok(()) => any_injected = true,
-            Err(InjectError::NotApplicable(_)) => continue,
-            Err(_) => {
-                // A *real* injection error (unknown net/device, netlist
-                // edit failure) is silent data loss if merely skipped —
-                // count it so the report can surface it.
-                inject_errors += 1;
-                continue;
-            }
-        }
-        let candidate = match measure_escalated(
-            harness,
-            &nl,
-            &base_opts,
-            ladder,
-            &mut solver,
-            warm,
-            batch,
-            cache,
-            store,
-        ) {
-            Some((meas, used_rung)) => {
-                let voltage = harness.classify_voltage(&good.nominal, &meas);
-                let currents = good.current_flags(harness, &meas, shared);
-                let flagged = good.flagged_indices(harness, &meas, shared);
-                let detection = DetectionSet {
-                    missing_code: voltage.causes_missing_code(),
-                    currents,
-                };
-                VariantEval {
-                    voltage,
-                    currents,
-                    detection,
-                    flagged,
-                    sim_failed: false,
-                    rung: Some(used_rung),
-                }
-            }
-            None => match policy {
-                // The paper's reading: a faulty circuit without a stable
-                // solution behaves erratically on the tester — garbage
-                // codes, so the missing-code test flags it.
-                SimFailurePolicy::AssumeDetected => VariantEval {
-                    voltage: VoltageSignature::Mixed,
-                    currents: CurrentFlags::default(),
-                    detection: DetectionSet {
-                        missing_code: true,
-                        currents: CurrentFlags::default(),
-                    },
-                    flagged: Vec::new(),
-                    sim_failed: true,
-                    rung: None,
-                },
-                // Pessimistic: the solver's failure earns no detection
-                // credit, so the variant scores 0 and is always the
-                // worst case.
-                SimFailurePolicy::AssumeUndetected => VariantEval {
-                    voltage: VoltageSignature::Mixed,
-                    currents: CurrentFlags::default(),
-                    detection: DetectionSet {
-                        missing_code: false,
-                        currents: CurrentFlags::default(),
-                    },
-                    flagged: Vec::new(),
-                    sim_failed: true,
-                    rung: None,
-                },
-                // Excluded variants do not compete; if every variant is
-                // excluded the whole class drops from the statistics.
-                SimFailurePolicy::Exclude => continue,
-            },
-        };
-        let score = (candidate.detection.missing_code as u32)
-            + (candidate.currents.ivdd as u32)
-            + (candidate.currents.iddq as u32)
-            + (candidate.currents.iinput as u32);
-        best = Some(match best {
-            None => (score, candidate),
-            Some(prev) if score < prev.0 => (score, candidate),
-            Some(prev) => prev,
-        });
+    base_opts
+}
+
+/// Worst-case competition score of one variant: the number of distinct
+/// detections it earns. Lower is harder to detect.
+fn variant_score(v: &VariantEval) -> u32 {
+    (v.detection.missing_code as u32)
+        + (v.currents.ivdd as u32)
+        + (v.currents.iddq as u32)
+        + (v.currents.iinput as u32)
+}
+
+/// Folds one candidate into the running worst-case (minimum-score)
+/// selection. The comparison is strictly `<`, so on a tie the
+/// earliest-folded variant wins: the selection depends only on the fold
+/// *order*, which both the sequential walk and the lockstep path produce
+/// identically (severity-major, variant-minor) — pinned by the
+/// `worst_case_tie_break_prefers_earliest_variant` regression test.
+fn compete(best: Option<(u32, VariantEval)>, candidate: VariantEval) -> Option<(u32, VariantEval)> {
+    let score = variant_score(&candidate);
+    Some(match best {
+        None => (score, candidate),
+        Some(prev) if score < prev.0 => (score, candidate),
+        Some(prev) => prev,
+    })
+}
+
+/// Classifies one successful measurement into its competing
+/// [`VariantEval`].
+fn measured_eval(
+    harness: &dyn MacroHarness,
+    good: &GoodSpace,
+    shared: bool,
+    meas: &[f64],
+    used_rung: u8,
+) -> VariantEval {
+    let voltage = harness.classify_voltage(&good.nominal, meas);
+    let currents = good.current_flags(harness, meas, shared);
+    let flagged = good.flagged_indices(harness, meas, shared);
+    let detection = DetectionSet {
+        missing_code: voltage.causes_missing_code(),
+        currents,
+    };
+    VariantEval {
+        voltage,
+        currents,
+        detection,
+        flagged,
+        sim_failed: false,
+        rung: Some(used_rung),
     }
+}
+
+/// The policy stand-in for a variant that failed to simulate at every
+/// ladder rung. `None` under [`SimFailurePolicy::Exclude`]: the variant
+/// simply does not compete.
+fn policy_eval(policy: SimFailurePolicy) -> Option<VariantEval> {
+    match policy {
+        // The paper's reading: a faulty circuit without a stable
+        // solution behaves erratically on the tester — garbage
+        // codes, so the missing-code test flags it.
+        SimFailurePolicy::AssumeDetected => Some(VariantEval {
+            voltage: VoltageSignature::Mixed,
+            currents: CurrentFlags::default(),
+            detection: DetectionSet {
+                missing_code: true,
+                currents: CurrentFlags::default(),
+            },
+            flagged: Vec::new(),
+            sim_failed: true,
+            rung: None,
+        }),
+        // Pessimistic: the solver's failure earns no detection
+        // credit, so the variant scores 0 and is always the
+        // worst case.
+        SimFailurePolicy::AssumeUndetected => Some(VariantEval {
+            voltage: VoltageSignature::Mixed,
+            currents: CurrentFlags::default(),
+            detection: DetectionSet {
+                missing_code: false,
+                currents: CurrentFlags::default(),
+            },
+            flagged: Vec::new(),
+            sim_failed: true,
+            rung: None,
+        }),
+        // Excluded variants do not compete; if every variant is
+        // excluded the whole class drops from the statistics.
+        SimFailurePolicy::Exclude => None,
+    }
+}
+
+/// Folds the surviving worst case (or its absence) into one severity's
+/// [`Evaluated`] record.
+fn finish_class(
+    best: Option<(u32, VariantEval)>,
+    any_injected: bool,
+    inject_errors: usize,
+    solver: SimStats,
+) -> Evaluated {
     match best {
         // The recorded rung is the *winning* (worst-case) variant's: the
         // escalation histogram describes what it took to obtain the
@@ -1236,6 +1258,246 @@ fn evaluate_class(
             solver,
         },
     }
+}
+
+/// Evaluates one class at every requested severity, returning one
+/// [`Evaluated`] per severity in order.
+///
+/// Dispatches between the sequential per-severity walk
+/// ([`evaluate_class`]) and the lockstep SoA path
+/// ([`evaluate_class_lockstep`]); both share the same measurement,
+/// scoring and competition code in the same severity-major,
+/// variant-minor order, so their results are identical — the lockstep
+/// path only adds a guarded, bitwise-invisible solver speed-up.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_severities(
+    harness: &dyn MacroHarness,
+    injector: &Injector,
+    good: &GoodSpace,
+    base: &Netlist,
+    effect: &FaultEffect,
+    severities: &[Severity],
+    shared: bool,
+    cfg: &PipelineConfig,
+    warm: Option<&WarmStart>,
+    cache: Option<&MeasureCache>,
+    store: Option<&dyn MeasurementStore>,
+    batch: Batch<'_>,
+) -> Vec<Evaluated> {
+    let expected_lanes = severities.len() * injector.variant_count(effect);
+    // The pre-pass pays off when a class fans out into several lanes
+    // (multi-variant models, catastrophic + near-miss severities); a
+    // single-lane class takes the plain sequential walk. The harness
+    // hint gates circuits whose first analysis is not a base-gmin DC
+    // solve — priming those could never be adopted.
+    let lockstep = cfg.variant_lockstep
+        && cfg.batch_assembly
+        && batch.shared.is_some()
+        && harness.lockstep_dc()
+        && expected_lanes >= 2;
+    if lockstep {
+        evaluate_class_lockstep(
+            harness, injector, good, base, effect, severities, shared, cfg, warm, cache, store,
+            batch,
+        )
+    } else {
+        severities
+            .iter()
+            .map(|&severity| {
+                evaluate_class(
+                    harness, injector, good, base, effect, severity, shared, cfg, warm, cache,
+                    store, batch,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Evaluates one class at one severity, keeping the worst-case (hardest
+/// to detect) model variant. Variants that fail to simulate at every
+/// ladder rung enter the selection per `policy`.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_class(
+    harness: &dyn MacroHarness,
+    injector: &Injector,
+    good: &GoodSpace,
+    base: &Netlist,
+    effect: &FaultEffect,
+    severity: Severity,
+    shared: bool,
+    cfg: &PipelineConfig,
+    warm: Option<&WarmStart>,
+    cache: Option<&MeasureCache>,
+    store: Option<&dyn MeasurementStore>,
+    batch: Batch<'_>,
+) -> Evaluated {
+    let policy = cfg.sim_failure_policy;
+    let ladder = cfg.escalation;
+    let n_variants = injector.variant_count(effect);
+    let base_opts = class_base_opts(harness, cfg);
+    let mut best: Option<(u32, VariantEval)> = None;
+    let mut any_injected = false;
+    let mut inject_errors = 0usize;
+    let mut solver = SimStats::default();
+    for variant in 0..n_variants {
+        let mut nl = base.clone();
+        match injector.inject(&mut nl, effect, severity, variant, "flt") {
+            Ok(()) => any_injected = true,
+            Err(InjectError::NotApplicable(_)) => continue,
+            Err(_) => {
+                // A *real* injection error (unknown net/device, netlist
+                // edit failure) is silent data loss if merely skipped —
+                // count it so the report can surface it.
+                inject_errors += 1;
+                continue;
+            }
+        }
+        let candidate = match measure_escalated(
+            harness,
+            &nl,
+            &base_opts,
+            ladder,
+            &mut solver,
+            warm,
+            batch,
+            None,
+            cache,
+            store,
+        ) {
+            Some((meas, used_rung)) => measured_eval(harness, good, shared, &meas, used_rung),
+            None => match policy_eval(policy) {
+                Some(v) => v,
+                None => continue,
+            },
+        };
+        best = compete(best.take(), candidate);
+    }
+    finish_class(best, any_injected, inject_errors, solver)
+}
+
+/// Lockstep SoA evaluation of one class across all its severities: the
+/// variant lanes are injected up front (severity-major, variant-minor —
+/// the sequential walk's exact order), a stats-free pre-pass captures
+/// each unanswered lane's first DC Newton iteration and factors all of
+/// them in one blocked `[cell][lane]` LU kernel, and the lanes are then
+/// measured in the same order as the sequential walk with their primed
+/// systems attached.
+///
+/// Injection order vs. measurement order: the sequential walk interleaves
+/// (inject v0, measure v0, inject v1, …) while this path injects every
+/// lane first. Injection edits a private clone of `base`, so the
+/// interleaving is unobservable; measurements — the only side-effecting
+/// steps (stats folds, cache/store population) — run in the identical
+/// sequence.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_class_lockstep(
+    harness: &dyn MacroHarness,
+    injector: &Injector,
+    good: &GoodSpace,
+    base: &Netlist,
+    effect: &FaultEffect,
+    severities: &[Severity],
+    shared: bool,
+    cfg: &PipelineConfig,
+    warm: Option<&WarmStart>,
+    cache: Option<&MeasureCache>,
+    store: Option<&dyn MeasurementStore>,
+    batch: Batch<'_>,
+) -> Vec<Evaluated> {
+    let policy = cfg.sim_failure_policy;
+    let ladder = cfg.escalation;
+    let n_variants = injector.variant_count(effect);
+    let base_opts = class_base_opts(harness, cfg);
+
+    struct Lane {
+        sev: usize,
+        nl: Netlist,
+    }
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut any_injected = vec![false; severities.len()];
+    let mut inject_errors = vec![0usize; severities.len()];
+    for (si, &severity) in severities.iter().enumerate() {
+        for variant in 0..n_variants {
+            let mut nl = base.clone();
+            match injector.inject(&mut nl, effect, severity, variant, "flt") {
+                Ok(()) => {
+                    any_injected[si] = true;
+                    lanes.push(Lane { sev: si, nl });
+                }
+                Err(InjectError::NotApplicable(_)) => continue,
+                Err(_) => {
+                    inject_errors[si] += 1;
+                    continue;
+                }
+            }
+        }
+    }
+
+    // Pre-pass: prime the rung-0 DC iteration of every lane a warm
+    // cache/store will not answer (priming an answered lane would be
+    // wasted work — the prime never reaches a simulator on a replay).
+    // The existence probes are deliberately uncounted so warm-run
+    // accounting stays identical to the sequential walk.
+    let mut primes: Vec<Option<Arc<LanePrime>>> = (0..lanes.len()).map(|_| None).collect();
+    let to_prime: Vec<usize> = lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, lane)| {
+            if cache.is_none() && store.is_none() {
+                return true;
+            }
+            let key = cache_key(lane.nl.content_digest(), 0);
+            let answered =
+                cache.is_some_and(|c| c.peek(key)) || store.is_some_and(|s| s.contains(key));
+            !answered
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if !to_prime.is_empty() {
+        let prime_opts = EscalationLadder::options_at(&base_opts, 0);
+        let nls: Vec<&Netlist> = to_prime.iter().map(|&i| &lanes[i].nl).collect();
+        let w = warm.map_or(Warm::Cold, Warm::Seed);
+        for (i, p) in
+            to_prime
+                .into_iter()
+                .zip(prime_lockstep_lanes(&nls, &prime_opts, w, batch.shared))
+        {
+            primes[i] = p;
+        }
+    }
+
+    // Measurement and worst-case competition, lane by lane in the same
+    // severity-major order — per-severity stats folds, cache evolution
+    // and the tie-break all replay the sequential walk by construction.
+    let mut best: Vec<Option<(u32, VariantEval)>> = severities.iter().map(|_| None).collect();
+    let mut solver: Vec<SimStats> = severities.iter().map(|_| SimStats::default()).collect();
+    for (lane, prime) in lanes.iter().zip(primes) {
+        let si = lane.sev;
+        let candidate = match measure_escalated(
+            harness,
+            &lane.nl,
+            &base_opts,
+            ladder,
+            &mut solver[si],
+            warm,
+            batch,
+            prime.as_ref(),
+            cache,
+            store,
+        ) {
+            Some((meas, used_rung)) => measured_eval(harness, good, shared, &meas, used_rung),
+            None => match policy_eval(policy) {
+                Some(v) => v,
+                None => continue,
+            },
+        };
+        best[si] = compete(best[si].take(), candidate);
+    }
+    best.into_iter()
+        .zip(solver)
+        .enumerate()
+        .map(|(si, (b, s))| finish_class(b, any_injected[si], inject_errors[si], s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1967,6 +2229,53 @@ mod tests {
         assert_eq!(a.seen.load(Ordering::Relaxed), 2);
         assert_eq!(b.seen.load(Ordering::Relaxed), 2);
         assert!(FanoutObserver::new(Vec::new()).on_class(0, &outcomes));
+    }
+
+    #[test]
+    fn worst_case_tie_break_prefers_earliest_variant() {
+        // The worst-case selection must depend only on the fold order —
+        // the contract that lets the lockstep path (severity-major,
+        // variant-minor, same as the sequential walk) pick bit-identical
+        // winners. Equal scores keep the incumbent; a strictly lower
+        // score replaces it regardless of position.
+        let eval = |voltage, missing_code| VariantEval {
+            voltage,
+            currents: CurrentFlags::default(),
+            detection: DetectionSet {
+                missing_code,
+                currents: CurrentFlags::default(),
+            },
+            flagged: Vec::new(),
+            sim_failed: false,
+            rung: Some(0),
+        };
+        // Two distinguishable variants with the same score (1 each).
+        let winner = compete(
+            compete(None, eval(VoltageSignature::Offset, true)),
+            eval(VoltageSignature::OutputStuckAt, true),
+        )
+        .expect("fold");
+        assert_eq!(
+            winner.1.voltage,
+            VoltageSignature::Offset,
+            "tie kept the later variant"
+        );
+        // Reversed fold order flips the tie the other way: order is the
+        // only tie-break, so identical fold orders give identical winners.
+        let winner = compete(
+            compete(None, eval(VoltageSignature::OutputStuckAt, true)),
+            eval(VoltageSignature::Offset, true),
+        )
+        .expect("fold");
+        assert_eq!(winner.1.voltage, VoltageSignature::OutputStuckAt);
+        // A strictly harder variant (score 0) still beats any incumbent.
+        let winner = compete(
+            compete(None, eval(VoltageSignature::Offset, true)),
+            eval(VoltageSignature::NoDeviation, false),
+        )
+        .expect("fold");
+        assert_eq!(winner.0, 0);
+        assert_eq!(winner.1.voltage, VoltageSignature::NoDeviation);
     }
 
     #[cfg(debug_assertions)]

@@ -70,15 +70,22 @@ pub enum Phase {
     StoreWrite,
     /// Checkpoint-journal record append.
     Journal,
+    /// Lockstep variant priming: per-lane first-iteration DC system
+    /// capture plus the blocked multi-matrix LU factor over the class's
+    /// variant lanes, and the primed-system adoption inside Newton.
+    /// Work recorded here replaces `Assembly`/`Lu` work the primed
+    /// lanes no longer do.
+    VariantLockstep,
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 9] = [
+pub const PHASES: [Phase; 10] = [
     Phase::Newton,
     Phase::Assembly,
     Phase::BatchAssembly,
     Phase::Lu,
     Phase::RankUpdate,
+    Phase::VariantLockstep,
     Phase::CacheLookup,
     Phase::StoreLoad,
     Phase::StoreWrite,
@@ -98,6 +105,7 @@ impl Phase {
             Phase::StoreLoad => "store_load",
             Phase::StoreWrite => "store_write",
             Phase::Journal => "journal",
+            Phase::VariantLockstep => "variant_lockstep",
         }
     }
 
@@ -112,11 +120,12 @@ impl Phase {
             Phase::StoreWrite => 6,
             Phase::Journal => 7,
             Phase::BatchAssembly => 8,
+            Phase::VariantLockstep => 9,
         }
     }
 }
 
-const N_PHASES: usize = 9;
+const N_PHASES: usize = 10;
 
 #[derive(Default)]
 struct PhaseSlot {

@@ -13,6 +13,12 @@ use std::net::TcpStream;
 /// campaign's segments are a few KiB, so 64 MiB is generous headroom).
 const MAX_BODY: usize = 64 << 20;
 
+/// Largest request head (request line + headers) accepted. The service's
+/// own routes fit in a few hundred bytes; 64 KiB leaves room for any
+/// reasonable proxy headers while bounding what one connection can make
+/// the parser buffer.
+const MAX_HEAD: usize = 64 << 10;
+
 /// One parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -32,14 +38,37 @@ impl Request {
     }
 }
 
+/// Reads one head line against the remaining head budget. `Ok(None)`
+/// when the line would exceed the budget — a request line or header
+/// growing without bound is a malformation, not an I/O error.
+fn read_head_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    budget: &mut usize,
+    line: &mut String,
+) -> std::io::Result<Option<usize>> {
+    line.clear();
+    let n = reader.by_ref().take(*budget as u64).read_line(line)?;
+    *budget -= n;
+    if *budget == 0 && !line.ends_with('\n') {
+        return Ok(None);
+    }
+    Ok(Some(n))
+}
+
 /// Reads one request from the stream. `Ok(None)` when the peer closed
 /// without sending one, or on any malformation (the caller just drops
 /// the connection — a malformed request line has no useful reply).
+/// Malformation includes a head larger than [`MAX_HEAD`] or a
+/// `Content-Length` beyond [`MAX_BODY`]; the body is read incrementally,
+/// so a peer that *claims* a large body but never sends it costs no
+/// allocation beyond the bytes it actually delivered.
 pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
     let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEAD;
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+    match read_head_line(&mut reader, &mut budget, &mut line)? {
+        None | Some(0) => return Ok(None),
+        Some(_) => {}
     }
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
@@ -49,10 +78,11 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
     let path = target.split('?').next().unwrap_or("").to_string();
 
     let mut content_length = 0usize;
+    let mut header = String::new();
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(None);
+        match read_head_line(&mut reader, &mut budget, &mut header)? {
+            None | Some(0) => return Ok(None),
+            Some(_) => {}
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -70,8 +100,19 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> 
             }
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    // Grow the body as bytes arrive instead of trusting the header with
+    // an upfront allocation; a short read (peer closed early) is a
+    // malformed request like any other.
+    let mut body = Vec::new();
+    if content_length > 0 {
+        reader
+            .by_ref()
+            .take(content_length as u64)
+            .read_to_end(&mut body)?;
+        if body.len() < content_length {
+            return Ok(None);
+        }
+    }
     Ok(Some(Request { method, path, body }))
 }
 
@@ -154,8 +195,11 @@ mod tests {
         let raw = raw.to_vec();
         let client = thread::spawn(move || {
             let mut s = TcpStream::connect(addr).expect("connect");
-            s.write_all(&raw).expect("send");
-            s.flush().expect("flush");
+            // Over-limit requests make the server hang up mid-send;
+            // the client shrugging at the broken pipe is part of the
+            // contract under test.
+            let _ = s.write_all(&raw);
+            let _ = s.flush();
         });
         let (mut conn, _) = listener.accept().expect("accept");
         let req = read_request(&mut conn).expect("read");
@@ -180,6 +224,40 @@ mod tests {
         assert!(
             exchange(b"GET / HTTP/1.1\r\nContent-Length: oops\r\n\r\n").is_none(),
             "unparseable length"
+        );
+    }
+
+    #[test]
+    fn oversized_heads_read_as_none() {
+        // One header line past the head cap: the parser must stop
+        // buffering and reject, not grow the line without bound.
+        let mut raw = b"GET / HTTP/1.1\r\nX-Junk: ".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEAD));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(exchange(&raw).is_none(), "head over {MAX_HEAD} bytes");
+
+        // Many small headers summing past the cap are rejected too.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0.. {
+            raw.extend_from_slice(format!("X-H{i}: {:0>120}\r\n", i).as_bytes());
+            if raw.len() > MAX_HEAD {
+                break;
+            }
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(exchange(&raw).is_none(), "cumulative head over the cap");
+    }
+
+    #[test]
+    fn declared_lengths_past_the_cap_and_truncated_bodies_read_as_none() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(exchange(huge.as_bytes()).is_none(), "length over the cap");
+        assert!(
+            exchange(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_none(),
+            "peer closed before delivering the declared body"
         );
     }
 

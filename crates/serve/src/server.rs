@@ -60,6 +60,9 @@ pub struct Server {
     cancel: AtomicBool,
     bound: Mutex<Option<SocketAddr>>,
     bound_wake: Condvar,
+    /// Per-operation socket read/write timeout applied to every accepted
+    /// connection (`DOTM_SERVE_IO_TIMEOUT_MS`, captured at construction).
+    io_timeout: Duration,
 }
 
 fn poll_interval() -> Duration {
@@ -104,7 +107,14 @@ impl Server {
             cancel: AtomicBool::new(false),
             bound: Mutex::new(None),
             bound_wake: Condvar::new(),
+            io_timeout: Duration::from_millis(dotm_core::env::serve_io_timeout_ms()),
         }
+    }
+
+    /// Events currently buffered in memory for `job` — test observability
+    /// for the hub's eviction contract.
+    pub fn buffered_events(&self, job: &str) -> usize {
+        self.hub.len(job)
     }
 
     /// The address the listener bound, waiting up to `timeout` for
@@ -273,6 +283,11 @@ impl Server {
     // ---- routing -----------------------------------------------------
 
     fn handle(self: Arc<Self>, mut stream: TcpStream) {
+        // A stalled peer may hold its connection, but every blocking
+        // socket operation — including the request read below — times
+        // out, so it can never park this thread forever.
+        let _ = stream.set_read_timeout(Some(self.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.io_timeout));
         let Ok(Some(req)) = read_request(&mut stream) else {
             return;
         };
@@ -384,8 +399,8 @@ impl Server {
         let poll = poll_interval();
         let mut from = 0usize;
         loop {
-            let batch = self.hub.read_from(id, from, poll);
-            from += batch.len();
+            let (next, batch) = self.hub.read_from(id, from, poll);
+            from = next;
             for event in &batch {
                 stream.write_all(event.as_bytes())?;
                 stream.write_all(b"\n")?;
@@ -404,7 +419,16 @@ impl Server {
                     state.map_or("unknown", JobState::name)
                 );
                 stream.write_all(end.as_bytes())?;
-                return stream.flush();
+                let flushed = stream.flush();
+                // The history has now served its purpose: the job is
+                // terminal on disk and its `end` event has replayed, so
+                // the in-memory buffer is released. Later subscribers
+                // still get the disk snapshot above plus a fresh `end`
+                // — only the replay of intermediate events is gone.
+                if terminal {
+                    self.hub.retire(id);
+                }
+                return flushed;
             }
         }
     }

@@ -282,25 +282,9 @@ fn a_record_crashed_while_running_reenters_the_queue() {
     let _ = std::fs::remove_dir_all(&store);
 }
 
-#[test]
-fn event_stream_replays_history_and_ends() {
-    let store = tmpdir("events");
-    let (_, addr, handle) = start(
-        &store,
-        runner(|_, events, _| {
-            events("{\"event\":\"progress\",\"macro\":\"ladder\",\"done\":2,\"classes\":4}".into());
-            RunOutcome::Merged {
-                report: b"r\n".to_vec(),
-            }
-        }),
-    );
-    let body = br#"{"defects":10,"seed":3,"macros":"ladder"}"#;
-    let (_, reply) = request(addr, "POST", "/jobs", body);
-    let id = field(&reply, "id").to_string();
-    wait_state(addr, &id, "merged");
-
-    // A late subscriber still sees the whole story: snapshot, the
-    // buffered history, and an explicit end event.
+/// Opens `GET /jobs/:id/events` and reads NDJSON lines until the `end`
+/// event (which terminates every stream).
+fn stream_ndjson(addr: SocketAddr, id: &str) -> Vec<String> {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(stream, "GET /jobs/{id}/events HTTP/1.1\r\n\r\n").expect("send");
     stream.flush().expect("flush");
@@ -321,6 +305,29 @@ fn event_stream_replays_history_and_ends() {
         }
         line.clear();
     }
+    lines
+}
+
+#[test]
+fn event_stream_replays_history_and_ends() {
+    let store = tmpdir("events");
+    let (_, addr, handle) = start(
+        &store,
+        runner(|_, events, _| {
+            events("{\"event\":\"progress\",\"macro\":\"ladder\",\"done\":2,\"classes\":4}".into());
+            RunOutcome::Merged {
+                report: b"r\n".to_vec(),
+            }
+        }),
+    );
+    let body = br#"{"defects":10,"seed":3,"macros":"ladder"}"#;
+    let (_, reply) = request(addr, "POST", "/jobs", body);
+    let id = field(&reply, "id").to_string();
+    wait_state(addr, &id, "merged");
+
+    // A late subscriber still sees the whole story: snapshot, the
+    // buffered history, and an explicit end event.
+    let lines = stream_ndjson(addr, &id);
     assert!(
         lines
             .first()
@@ -343,6 +350,121 @@ fn event_stream_replays_history_and_ends() {
             .is_some_and(|l| l.contains("\"event\":\"end\"") && l.contains("merged")),
         "{lines:?}"
     );
+
+    let (_, _) = request(addr, "POST", "/shutdown", b"");
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn finished_job_history_is_released_once_end_replays() {
+    let store = tmpdir("retire");
+    let (server, addr, handle) = start(
+        &store,
+        runner(|_, events, _| {
+            events("{\"event\":\"progress\",\"macro\":\"ladder\",\"done\":3,\"classes\":4}".into());
+            RunOutcome::Merged {
+                report: b"r\n".to_vec(),
+            }
+        }),
+    );
+    let body = br#"{"defects":10,"seed":6,"macros":"ladder"}"#;
+    let (_, reply) = request(addr, "POST", "/jobs", body);
+    let id = field(&reply, "id").to_string();
+    wait_state(addr, &id, "merged");
+    assert!(
+        server.buffered_events(&id) > 0,
+        "an unwatched finished job still holds its history"
+    );
+
+    // The first subscriber replays the full history; its `end` retires
+    // the in-memory buffer (shortly after the client sees the event).
+    let lines = stream_ndjson(addr, &id);
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"progress\"")),
+        "{lines:?}"
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.buffered_events(&id) > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "finished job's event history was never released"
+        );
+        thread::sleep(Duration::from_millis(2));
+    }
+
+    // A later subscriber still gets a valid stream — the disk snapshot
+    // and a fresh `end` — just no intermediate replay.
+    let lines = stream_ndjson(addr, &id);
+    assert!(
+        lines
+            .first()
+            .is_some_and(|l| l.contains("\"event\":\"snapshot\"") && l.contains("merged")),
+        "{lines:?}"
+    );
+    assert!(
+        lines
+            .last()
+            .is_some_and(|l| l.contains("\"event\":\"end\"") && l.contains("merged")),
+        "{lines:?}"
+    );
+    assert!(
+        !lines.iter().any(|l| l.contains("\"event\":\"progress\"")),
+        "retired history must not resurrect: {lines:?}"
+    );
+
+    let (_, _) = request(addr, "POST", "/shutdown", b"");
+    handle.join().expect("server thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn stalled_clients_neither_block_jobs_nor_hold_their_sockets() {
+    // Shorten the reaping timeout for the server built here; the knob is
+    // captured at construction, and healthy test traffic completes each
+    // socket operation in milliseconds either way.
+    std::env::set_var("DOTM_SERVE_IO_TIMEOUT_MS", "500");
+    let store = tmpdir("stalled");
+    let (_, addr, handle) = start(
+        &store,
+        runner(|_, _, _| RunOutcome::Merged {
+            report: b"ok\n".to_vec(),
+        }),
+    );
+    std::env::remove_var("DOTM_SERVE_IO_TIMEOUT_MS");
+
+    // One client stalls mid-head; another declares a megabyte body and
+    // never sends a byte of it.
+    let mut slow = TcpStream::connect(addr).expect("connect");
+    slow.write_all(b"POST /jobs HTTP/1.1\r\nContent-Le")
+        .expect("partial head");
+    slow.flush().expect("flush");
+    let mut hungry = TcpStream::connect(addr).expect("connect");
+    hungry
+        .write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n")
+        .expect("head");
+    hungry.flush().expect("flush");
+
+    // The service keeps accepting and finishing work while both hang.
+    let body = br#"{"defects":10,"seed":4,"macros":"ladder"}"#;
+    let (status, reply) = request(addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "{reply}");
+    let id = field(&reply, "id").to_string();
+    wait_state(addr, &id, "merged");
+
+    // And the read timeout reaps both stalled connections: the server
+    // hangs up, so each client sees EOF rather than its own (much
+    // longer) read timeout firing.
+    for (mut conn, tag) in [(slow, "mid-head"), (hungry, "bodyless")] {
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("client timeout");
+        let mut sink = Vec::new();
+        let got = conn.read_to_end(&mut sink);
+        assert!(
+            got.is_ok(),
+            "{tag}: server never closed the stalled socket: {got:?}"
+        );
+    }
 
     let (_, _) = request(addr, "POST", "/shutdown", b"");
     handle.join().expect("server thread").expect("clean exit");

@@ -6,6 +6,7 @@ use crate::error::SimError;
 use crate::factor::{NominalFactors, SmwOutcome, SmwPlan};
 use crate::matrix::{DenseMatrix, LuFactors};
 use crate::models::{diode_eval, mosfet_eval, switch_eval};
+use crate::soa::{LanePrime, LaneSystem};
 use crate::stats::SimStats;
 use dotm_netlist::{Device, DeviceId, DeviceKind, DiodeParams, Netlist, NodeId, Waveform};
 use std::collections::HashMap;
@@ -340,6 +341,12 @@ pub struct Simulator<'a> {
     /// compatible variants embed its baseline instead of re-summing their
     /// own static stamps.
     shared_assembly: Option<Arc<SharedAssembly>>,
+    /// One-shot primed first DC Newton iteration (captured system plus
+    /// blocked-kernel LU factors) installed by the lockstep variant
+    /// plumbing ([`Simulator::install_lane_prime`]). Adopted only when
+    /// every first-iteration precondition matches the capture bitwise;
+    /// spent either way on the first iteration it could have applied to.
+    lane_prime: Option<Arc<LanePrime>>,
 }
 
 impl<'a> std::fmt::Debug for Simulator<'a> {
@@ -400,6 +407,7 @@ impl<'a> Simulator<'a> {
             smw_fresh: false,
             batch: None,
             shared_assembly: None,
+            lane_prime: None,
         }
     }
 
@@ -832,9 +840,30 @@ impl<'a> Simulator<'a> {
         self.stats.nr_solves += 1;
         for iter in 0..self.opts.max_iter {
             self.stats.nr_iterations += 1;
-            let t_asm = dotm_obs::start();
-            self.assemble(x, t, tran, gmin, src_scale);
-            dotm_obs::phase(dotm_obs::Phase::Assembly, t_asm);
+            // Lockstep prime: iteration 0 of a DC solve may adopt the
+            // system the variant pre-pass captured and factored in the
+            // blocked SoA kernel instead of assembling it again. The
+            // guards demand a bitwise match of every input the assembly
+            // depends on, so the loaded `(A, z)` equals what `assemble`
+            // would have produced — and any divergence (escalated rung,
+            // transient initial point, different seed, source override)
+            // falls through to the untouched scalar path.
+            let primed = if iter == 0 {
+                self.take_matching_prime(x, t, tran, gmin, src_scale)
+            } else {
+                None
+            };
+            if let Some(p) = primed.as_deref() {
+                let t_ls = dotm_obs::start();
+                self.a.load_entries(&p.entries);
+                self.z.copy_from_slice(&p.z);
+                dotm_obs::phase(dotm_obs::Phase::VariantLockstep, t_ls);
+                dotm_obs::counter("lockstep.prime_hits", 1);
+            } else {
+                let t_asm = dotm_obs::start();
+                self.assemble(x, t, tran, gmin, src_scale);
+                dotm_obs::phase(dotm_obs::Phase::Assembly, t_asm);
+            }
             xnext.copy_from_slice(&self.z);
 
             // Rank-update fast path: when nominal factors are installed
@@ -904,6 +933,22 @@ impl<'a> Simulator<'a> {
                     && self.factor_key == self.a.entries();
                 if reuse {
                     self.stats.factor_reuse_hits += 1;
+                } else if let Some(p) = primed.as_deref() {
+                    // Adopt the pre-pass factors: bitwise what
+                    // `refactor(&self.a)` would compute (the SoA kernel
+                    // mirrors it per lane), leaving exactly the
+                    // post-refactor cache state. Like a successful
+                    // refactor, this increments no SimStats counter, so
+                    // the lockstep knob is stats-invisible. Singular
+                    // lanes never get a prime and re-discover the
+                    // failure through the scalar branch below.
+                    self.factor_fresh = false;
+                    self.lu.clone_from(&p.lu);
+                    if self.opts.factor_reuse {
+                        self.factor_key.clear();
+                        self.factor_key.extend_from_slice(self.a.entries());
+                        self.factor_fresh = true;
+                    }
                 } else {
                     // The key goes stale the moment a refactor starts
                     // (even a reuse-off refactor replaces the factors).
@@ -1030,6 +1075,74 @@ impl<'a> Simulator<'a> {
     pub fn install_shared_assembly(&mut self, shared: Arc<SharedAssembly>) {
         self.shared_assembly = Some(shared);
         self.batch = None;
+    }
+
+    /// Installs a one-shot primed first DC Newton iteration produced by
+    /// the lockstep variant pre-pass (`crate::soa::prime_lanes`).
+    ///
+    /// The prime is only a speed-up, never a correctness dependency:
+    /// the first Newton iteration adopts it solely when every input the
+    /// assembly depends on matches the capture bitwise (DC solve, base
+    /// gmin, unit source scale, no source overrides, identical starting
+    /// iterate and dimensions); otherwise it is dropped and the scalar
+    /// assemble + factor path runs untouched.
+    pub fn install_lane_prime(&mut self, prime: Arc<LanePrime>) {
+        self.lane_prime = Some(prime);
+    }
+
+    /// Captures the exact system the first Newton iteration of the next
+    /// DC operating-point solve would assemble: the warm-seed (or zero)
+    /// starting iterate plus the MNA matrix and RHS assembled at it with
+    /// the base options gmin and unit source scale. Run on a scratch
+    /// simulator by the lockstep variant pre-pass; the scratch stats are
+    /// discarded by the caller.
+    ///
+    /// Returns `None` while a source override is active — the override
+    /// lives outside the netlist, so the capture could not prove itself
+    /// equal to a later measurement assembly.
+    pub fn lockstep_capture(&mut self) -> Option<LaneSystem> {
+        if !self.source_override.is_empty() {
+            return None;
+        }
+        let x0 = match &self.dc_seed {
+            Some(seed) => seed.clone(),
+            None => vec![0.0; self.n_unknowns],
+        };
+        self.assemble(&x0, None, None, self.opts.gmin, 1.0);
+        Some(LaneSystem::new(
+            x0,
+            self.opts.gmin,
+            self.a.entries().to_vec(),
+            self.z.clone(),
+        ))
+    }
+
+    /// Consumes the installed lane prime iff the state of this first
+    /// Newton iteration matches the capture bitwise. Either way the
+    /// prime is spent: `x` moves after iteration 0, so a prime that did
+    /// not match this solve's first iteration can never match again.
+    fn take_matching_prime(
+        &mut self,
+        x: &[f64],
+        t: Option<f64>,
+        tran: Option<&TranCtx<'_>>,
+        gmin: f64,
+        src_scale: f64,
+    ) -> Option<Arc<LanePrime>> {
+        let p = self.lane_prime.take()?;
+        let matches = t.is_none()
+            && tran.is_none()
+            && src_scale == 1.0
+            && self.source_override.is_empty()
+            && p.dim() == self.n_unknowns
+            && p.gmin.to_bits() == gmin.to_bits()
+            && p.x0.len() == x.len()
+            && p.x0.iter().zip(x).all(|(a, b)| a.to_bits() == b.to_bits());
+        if matches {
+            Some(p)
+        } else {
+            None
+        }
     }
 
     /// Splits this simulator's stamp plan into static (hoistable) and

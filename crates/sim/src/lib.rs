@@ -53,6 +53,7 @@ mod error;
 mod factor;
 mod matrix;
 mod models;
+pub mod soa;
 mod stats;
 
 pub use ac::{log_sweep, AcResult, Complex};
@@ -62,4 +63,5 @@ pub use error::SimError;
 pub use factor::{NominalFactors, SmwOutcome, SmwPlan, SMW_MAX_RANK, SMW_RESIDUAL_RTOL};
 pub use matrix::{DenseMatrix, LuFactors, SingularInfo};
 pub use models::{diode_eval, mosfet_eval, switch_eval, MosChannel, VT_THERMAL};
+pub use soa::{LanePrime, LaneSystem};
 pub use stats::SimStats;

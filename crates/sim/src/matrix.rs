@@ -219,6 +219,24 @@ impl LuFactors {
         LuFactors::default()
     }
 
+    /// Assembles a factorisation from raw parts. Used by the lockstep
+    /// SoA kernel (`crate::soa`), which factors many same-dimension
+    /// matrices in a blocked `[cell][lane]` layout and unpacks each
+    /// lane into a standalone `LuFactors` whose `solve` replays are
+    /// indistinguishable from a scalar `refactor` of the same matrix.
+    pub(crate) fn from_parts(n: usize, lu: Vec<f64>, piv: Vec<usize>) -> Self {
+        debug_assert_eq!(lu.len(), n * n);
+        debug_assert_eq!(piv.len(), n);
+        LuFactors { n, lu, piv }
+    }
+
+    /// Raw `(dim, packed factors, pivots)` view for in-crate bitwise
+    /// equivalence tests.
+    #[cfg(test)]
+    pub(crate) fn parts(&self) -> (usize, &[f64], &[usize]) {
+        (self.n, &self.lu, &self.piv)
+    }
+
     /// Factored dimension.
     #[inline]
     pub fn dim(&self) -> usize {

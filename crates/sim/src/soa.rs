@@ -1,0 +1,657 @@
+//! Lockstep SoA kernels: blocked multi-matrix LU over the variant
+//! lanes of one fault class.
+//!
+//! Every variant of a fault class shares the nominal assembly baseline,
+//! the same dimensions and the same sparsity — each differs only by an
+//! appended stamp delta. The campaign's class-evaluation hot path used
+//! to pay a full assembly replay plus a full dense LU per variant
+//! anyway, because each variant was measured by its own `Simulator`.
+//!
+//! This module provides the shared half of the lockstep path
+//! (`DOTM_VARIANT_LOCKSTEP`): the caller captures, per variant lane,
+//! the exact linear system the first Newton iteration of that lane's
+//! DC operating-point solve would assemble ([`LaneSystem`], built by
+//! `Simulator::lockstep_capture`), and [`prime_lanes`] factors all
+//! captured lanes in one blocked pass. The result per lane is a
+//! [`LanePrime`]: the assembled `(A, z)` system plus its LU factors,
+//! which the measuring simulator *adopts* on its first Newton
+//! iteration — if and only if every precondition of that iteration
+//! matches the capture bitwise — instead of re-assembling and
+//! re-factoring.
+//!
+//! ## Lane layout
+//!
+//! [`factor_lanes`] packs the `K` lane matrices into one blocked
+//! `[cell][lane]` buffer: cell `c` (row-major index into the dense
+//! matrix) of lane `l` lives at `c * K + l`. The elimination walks
+//! cells exactly like `LuFactors::refactor` and keeps the lane loop
+//! innermost, so the hot update `v[i][j] -= f · v[k][j]` runs over `K`
+//! adjacent doubles — an auto-vectorizable strip — while every lane's
+//! *per-lane* arithmetic (pivot search order, swap, division, the
+//! `factor == 0.0` row skip, subtraction order over `j`) is operation
+//! for operation the scalar kernel's. No arithmetic ever crosses
+//! lanes, so each lane's factors are bitwise identical to a scalar
+//! `refactor` of that lane's matrix.
+//!
+//! ## Fallback rules
+//!
+//! A lane leaves the lockstep path — and is measured by the untouched
+//! scalar code — whenever anything about it diverges:
+//!
+//! - capture refused (source overrides active, or the harness never
+//!   opted in): no [`LaneSystem`], no prime;
+//! - rewired (non-append-only) variants that change the unknown count:
+//!   [`prime_lanes`] groups lanes by dimension, so an odd-dimension
+//!   lane simply factors in its own (possibly singleton) group;
+//! - singular lane: the blocked kernel marks just that lane dead with
+//!   the same `SingularInfo` the scalar test would produce and carries
+//!   the others on; the dead lane gets no prime and the measuring
+//!   simulator re-discovers the singularity through the scalar path
+//!   (identical stats, identical escalation);
+//! - adoption-time divergence (different seed, different gmin, a
+//!   transient initial point, an escalated rung): the measuring
+//!   simulator's guards refuse the prime and fall through to the
+//!   scalar assemble + factor.
+//!
+//! Because adoption replaces bit-identical work (same `A`, same `z`,
+//! same factors, same shared `solve` routine) and every divergence
+//! falls back to the scalar path, the lockstep knob is bitwise
+//! invisible in every deterministic artifact.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::matrix::{LuFactors, SingularInfo};
+
+/// The exact linear system the first Newton iteration of a DC
+/// operating-point solve would assemble for one variant lane, captured
+/// by `Simulator::lockstep_capture` on a scratch simulator.
+#[derive(Debug, Clone)]
+pub struct LaneSystem {
+    /// The iterate the first iteration assembles at: the warm DC seed
+    /// if one was installed, else all zeros.
+    pub(crate) x0: Vec<f64>,
+    /// The gmin the capture assembled with (the lane's base options
+    /// gmin — escalated rungs never match and solve scalar).
+    pub(crate) gmin: f64,
+    /// Row-major entries of the assembled MNA matrix.
+    pub(crate) entries: Vec<f64>,
+    /// The assembled RHS.
+    pub(crate) z: Vec<f64>,
+}
+
+impl LaneSystem {
+    /// Builds a capture; `entries` must be `z.len()²` long.
+    pub(crate) fn new(x0: Vec<f64>, gmin: f64, entries: Vec<f64>, z: Vec<f64>) -> Self {
+        debug_assert_eq!(entries.len(), z.len() * z.len());
+        debug_assert_eq!(x0.len(), z.len());
+        LaneSystem {
+            x0,
+            gmin,
+            entries,
+            z,
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn dim(&self) -> usize {
+        self.z.len()
+    }
+}
+
+/// A primed first Newton iteration for one variant lane: the captured
+/// system plus its blocked-kernel LU factors, ready for adoption by
+/// the measuring simulator (`Simulator::install_lane_prime`).
+#[derive(Debug, Clone)]
+pub struct LanePrime {
+    pub(crate) x0: Vec<f64>,
+    pub(crate) gmin: f64,
+    pub(crate) entries: Vec<f64>,
+    pub(crate) z: Vec<f64>,
+    pub(crate) lu: LuFactors,
+}
+
+impl LanePrime {
+    /// Number of unknowns.
+    pub fn dim(&self) -> usize {
+        self.z.len()
+    }
+}
+
+/// Factors `K` same-dimension matrices (row-major, each `dim²` long)
+/// in one blocked `[cell][lane]` pass.
+///
+/// Per lane the arithmetic — pivot search, scale-relative singularity
+/// test, row interchange, multipliers, the `factor == 0.0` row skip and
+/// the update subtraction order — is operation for operation identical
+/// to [`LuFactors::refactor`], so each returned factorisation is
+/// bitwise equal to a scalar refactor of that lane alone. A singular
+/// lane returns the same `Err` the scalar kernel would and does not
+/// perturb the other lanes.
+///
+/// # Panics
+/// Panics if any lane's length differs from `dim²`.
+pub fn factor_lanes(dim: usize, lanes: &[&[f64]]) -> Vec<Result<LuFactors, SingularInfo>> {
+    let n = dim;
+    let nl = lanes.len();
+    for lane in lanes {
+        assert_eq!(lane.len(), n * n, "lane matrix size mismatch");
+    }
+    // Pack [cell][lane]. The two-lane case (catastrophic + near-miss
+    // severities of the same class) is by far the common block shape, so
+    // it gets a sequential-write specialisation; the generic path writes
+    // lane-strided.
+    let mut v: Vec<f64>;
+    if nl == 2 {
+        v = Vec::with_capacity(n * n * 2);
+        for (&a, &b) in lanes[0].iter().zip(lanes[1]) {
+            v.push(a);
+            v.push(b);
+        }
+    } else {
+        v = vec![0.0f64; n * n * nl];
+        for (l, lane) in lanes.iter().enumerate() {
+            for (c, &x) in lane.iter().enumerate() {
+                v[c * nl + l] = x;
+            }
+        }
+    }
+    let mut piv = vec![0usize; n * nl];
+    let mut dead: Vec<Option<SingularInfo>> = vec![None; nl];
+    let mut factors = vec![0.0f64; nl];
+    let mut pidx = vec![0usize; nl];
+    let mut pmax = vec![0.0f64; nl];
+    let mut cmax = vec![0.0f64; nl];
+    let mut pivots = vec![0.0f64; nl];
+    for k in 0..n {
+        // Pivot selection and the scale-relative singularity test. The
+        // column walk is stride-`n·nl` (one cache line per row), so the
+        // lane loop goes innermost: all lanes' candidates sit in the
+        // same line and both scans cost one strided pass total instead
+        // of one per lane. Per lane the comparison order — strict `>`
+        // downward from the diagonal, first maximum wins — is exactly
+        // the scalar kernel's.
+        let diag = &v[(k * n + k) * nl..(k * n + k) * nl + nl];
+        for l in 0..nl {
+            pidx[l] = k;
+            pmax[l] = diag[l].abs();
+        }
+        for i in (k + 1)..n {
+            let row = &v[(i * n + k) * nl..(i * n + k) * nl + nl];
+            for l in 0..nl {
+                let m = row[l].abs();
+                if m > pmax[l] {
+                    pmax[l] = m;
+                    pidx[l] = i;
+                }
+            }
+        }
+        cmax.copy_from_slice(&pmax);
+        for i in 0..k {
+            let row = &v[(i * n + k) * nl..(i * n + k) * nl + nl];
+            for l in 0..nl {
+                cmax[l] = cmax[l].max(row[l].abs());
+            }
+        }
+        // The verdicts, swaps and pivot loads stay per lane (a dead
+        // lane's garbage scan results are simply never read).
+        for l in 0..nl {
+            if dead[l].is_some() {
+                pivots[l] = 1.0;
+                continue;
+            }
+            if pmax[l].is_nan() || pmax[l] <= cmax[l] * 1e-14 {
+                dead[l] = Some(SingularInfo {
+                    col: k,
+                    pivot_mag: pmax[l],
+                });
+                pivots[l] = 1.0;
+                continue;
+            }
+            let p = pidx[l];
+            piv[k * nl + l] = p;
+            if p != k {
+                for j in 0..n {
+                    v.swap((k * n + j) * nl + l, (p * n + j) * nl + l);
+                }
+            }
+            pivots[l] = v[(k * n + k) * nl + l];
+        }
+        let any_dead = dead.iter().any(Option::is_some);
+        // Elimination. The multipliers are computed per lane (dead
+        // lanes pinned to 0.0 so they self-skip); the row update keeps
+        // the lane loop innermost over contiguous doubles. The two-lane
+        // block gets a branch-light specialisation: explicit locals, no
+        // per-row slice juggling, one skip test for the (dominant)
+        // all-zero-multiplier rows.
+        if nl == 2 && !any_dead {
+            let p0 = pivots[0];
+            let p1 = pivots[1];
+            let kb = (k * n + k + 1) * 2;
+            let len = (n - k - 1) * 2;
+            for i in (k + 1)..n {
+                let ib = (i * n + k) * 2;
+                let f0 = v[ib] / p0;
+                let f1 = v[ib + 1] / p1;
+                v[ib] = f0;
+                v[ib + 1] = f1;
+                if f0 == 0.0 && f1 == 0.0 {
+                    continue;
+                }
+                let (head, tail) = v.split_at_mut(ib + 2);
+                let krow = &head[kb..kb + len];
+                let irow = &mut tail[..len];
+                if f0 != 0.0 && f1 != 0.0 {
+                    let mut xi = irow.chunks_exact_mut(4);
+                    let mut yi = krow.chunks_exact(4);
+                    for (x, y) in (&mut xi).zip(&mut yi) {
+                        x[0] -= f0 * y[0];
+                        x[1] -= f1 * y[1];
+                        x[2] -= f0 * y[2];
+                        x[3] -= f1 * y[3];
+                    }
+                    if let ([a, b], [c, d]) = (xi.into_remainder(), yi.remainder()) {
+                        *a -= f0 * c;
+                        *b -= f1 * d;
+                    }
+                } else {
+                    // One lane's multiplier underflowed to zero: that
+                    // lane must skip the row exactly like the scalar
+                    // kernel, so only the live lane updates.
+                    let (f, off) = if f0 != 0.0 { (f0, 0) } else { (f1, 1) };
+                    let mut c = off;
+                    while c < len {
+                        irow[c] -= f * krow[c];
+                        c += 2;
+                    }
+                }
+            }
+            continue;
+        }
+        for i in (k + 1)..n {
+            let mut all_nonzero = true;
+            let mut any_nonzero = false;
+            let ib = (i * n + k) * nl;
+            let row = &mut v[ib..ib + nl];
+            for l in 0..nl {
+                let f = if any_dead && dead[l].is_some() {
+                    0.0
+                } else {
+                    let f = row[l] / pivots[l];
+                    row[l] = f;
+                    f
+                };
+                factors[l] = f;
+                if f == 0.0 {
+                    all_nonzero = false;
+                } else {
+                    any_nonzero = true;
+                }
+            }
+            if !any_nonzero {
+                continue;
+            }
+            // Both rows' trailing strips (columns k+1..n, all lanes) are
+            // contiguous, and i > k puts the pivot row strictly before
+            // the updated row — one split serves the whole row update.
+            let len = (n - k - 1) * nl;
+            let kb = (k * n + k + 1) * nl;
+            let ib = (i * n + k + 1) * nl;
+            let (head, tail) = v.split_at_mut(ib);
+            let krow = &head[kb..kb + len];
+            let irow = &mut tail[..len];
+            if all_nonzero {
+                // Hot path: every lane updates this row. Per lane the
+                // update order over j is ascending, exactly the scalar
+                // kernel's; lanes never mix.
+                if nl == 2 {
+                    let f0 = factors[0];
+                    let f1 = factors[1];
+                    // Two lane pairs per iteration so the compiler can
+                    // keep a full [f0, f1, f0, f1] vector in flight.
+                    let mut xi = irow.chunks_exact_mut(4);
+                    let mut yi = krow.chunks_exact(4);
+                    for (x, y) in (&mut xi).zip(&mut yi) {
+                        x[0] -= f0 * y[0];
+                        x[1] -= f1 * y[1];
+                        x[2] -= f0 * y[2];
+                        x[3] -= f1 * y[3];
+                    }
+                    if let ([a, b], [c, d]) = (xi.into_remainder(), yi.remainder()) {
+                        *a -= f0 * c;
+                        *b -= f1 * d;
+                    }
+                } else {
+                    for (x, y) in irow.chunks_exact_mut(nl).zip(krow.chunks_exact(nl)) {
+                        for ((x, &f), &y) in x.iter_mut().zip(&factors).zip(y) {
+                            *x -= f * y;
+                        }
+                    }
+                }
+            } else {
+                // Mixed row: replay each updating lane alone, exactly
+                // the scalar `factor == 0.0` skip semantics (a zero
+                // multiplier must not turn a later `inf · 0` into NaN).
+                for (l, &f) in factors.iter().enumerate() {
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let mut c = l;
+                    while c < len {
+                        irow[c] -= f * krow[c];
+                        c += nl;
+                    }
+                }
+            }
+        }
+    }
+    // Unpack each surviving lane into a standalone factorisation
+    // (sequential read for the common two-lane block).
+    if nl == 2 && dead.iter().all(Option::is_none) {
+        let mut lu0 = Vec::with_capacity(n * n);
+        let mut lu1 = Vec::with_capacity(n * n);
+        for pair in v.chunks_exact(2) {
+            lu0.push(pair[0]);
+            lu1.push(pair[1]);
+        }
+        return [lu0, lu1]
+            .into_iter()
+            .enumerate()
+            .map(|(l, lu)| {
+                let p = (0..n).map(|k| piv[k * nl + l]).collect();
+                Ok(LuFactors::from_parts(n, lu, p))
+            })
+            .collect();
+    }
+    (0..nl)
+        .map(|l| {
+            if let Some(info) = dead[l] {
+                return Err(info);
+            }
+            let mut lu = vec![0.0f64; n * n];
+            for (c, slot) in lu.iter_mut().enumerate() {
+                *slot = v[c * nl + l];
+            }
+            let p = (0..n).map(|k| piv[k * nl + l]).collect();
+            Ok(LuFactors::from_parts(n, lu, p))
+        })
+        .collect()
+}
+
+/// Factors every captured lane system through the blocked kernel and
+/// wraps the survivors as adoption-ready primes.
+///
+/// Lanes are grouped by dimension (variants of one class share
+/// dimensions unless a rewired variant changed the unknown count), so
+/// an odd-dimension lane factors in its own group rather than poisoning
+/// the block. Slots whose capture was refused (`None`) or whose matrix
+/// is singular come back `None` — those lanes measure through the
+/// untouched scalar path.
+pub fn prime_lanes(systems: Vec<Option<LaneSystem>>) -> Vec<Option<Arc<LanePrime>>> {
+    let mut out: Vec<Option<Arc<LanePrime>>> = (0..systems.len()).map(|_| None).collect();
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, s) in systems.iter().enumerate() {
+        if let Some(s) = s {
+            groups.entry(s.dim()).or_default().push(i);
+        }
+    }
+    let mut systems = systems;
+    for (dim, idxs) in groups {
+        let factored = {
+            let mats: Vec<&[f64]> = idxs
+                .iter()
+                .map(|&i| {
+                    systems[i]
+                        .as_ref()
+                        .expect("grouped slot")
+                        .entries
+                        .as_slice()
+                })
+                .collect();
+            factor_lanes(dim, &mats)
+        };
+        for (&slot, res) in idxs.iter().zip(factored) {
+            if let Ok(lu) = res {
+                let s = systems[slot].take().expect("grouped slot");
+                out[slot] = Some(Arc::new(LanePrime {
+                    x0: s.x0,
+                    gmin: s.gmin,
+                    entries: s.entries,
+                    z: s.z,
+                    lu,
+                }));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DenseMatrix;
+
+    /// Deterministic LCG — the workspace has no external deps and these
+    /// tests only need reproducible, pivot-provoking fill.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread magnitudes over ~6 decades so pivot choices differ
+            // between lanes.
+            let u = (self.0 >> 11) as f64 / (1u64 << 53) as f64;
+            let mag = 10f64.powf((self.0 >> 7) as f64 % 7.0 - 3.0);
+            (u - 0.5) * mag
+        }
+    }
+
+    fn dense(n: usize, data: &[f64]) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n);
+        m.entries_mut().copy_from_slice(data);
+        m
+    }
+
+    fn assert_lane_matches_scalar(n: usize, data: &[f64], got: &LuFactors) {
+        let mut scalar = LuFactors::new();
+        scalar.refactor(&dense(n, data)).expect("scalar refactor");
+        let (sn, slu, spiv) = scalar.parts();
+        let (gn, glu, gpiv) = got.parts();
+        assert_eq!(sn, gn);
+        assert_eq!(spiv, gpiv, "pivot sequence diverged");
+        for (i, (a, b)) in slu.iter().zip(glu.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "factor cell {i} diverged");
+        }
+    }
+
+    #[test]
+    fn blocked_factors_match_scalar_bitwise() {
+        let n = 13;
+        let mut rng = Lcg(0xD07);
+        let lanes: Vec<Vec<f64>> = (0..5)
+            .map(|l| {
+                (0..n * n)
+                    .map(|c| {
+                        let x = rng.next_f64();
+                        // Strengthen each lane's diagonal differently so
+                        // every lane picks a different pivot sequence.
+                        if c % (n + 1) == 0 {
+                            x + (l as f64 + 1.0) * 3.0
+                        } else {
+                            x
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = lanes.iter().map(Vec::as_slice).collect();
+        let out = factor_lanes(n, &refs);
+        assert_eq!(out.len(), lanes.len());
+        for (lane, res) in lanes.iter().zip(&out) {
+            let lu = res.as_ref().expect("nonsingular lane");
+            assert_lane_matches_scalar(n, lane, lu);
+        }
+    }
+
+    #[test]
+    fn zero_multiplier_rows_skip_like_scalar() {
+        // Upper-triangular-ish lanes: everything below the diagonal is
+        // 0.0 or -0.0, so every multiplier hits the `factor == 0.0`
+        // skip; one dense lane rides along in the same block.
+        let n = 6;
+        let mut rng = Lcg(41);
+        let mut tri = vec![0.0f64; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                if c > r {
+                    tri[r * n + c] = rng.next_f64();
+                } else if c == r {
+                    tri[r * n + c] = 1.0 + rng.next_f64().abs();
+                } else if (r + c) % 2 == 0 {
+                    tri[r * n + c] = -0.0;
+                }
+            }
+        }
+        let dense_lane: Vec<f64> = (0..n * n)
+            .map(|c| rng.next_f64() + if c % (n + 1) == 0 { 4.0 } else { 0.0 })
+            .collect();
+        let out = factor_lanes(n, &[&tri, &dense_lane]);
+        assert_lane_matches_scalar(n, &tri, out[0].as_ref().expect("tri lane"));
+        assert_lane_matches_scalar(n, &dense_lane, out[1].as_ref().expect("dense lane"));
+    }
+
+    #[test]
+    fn singular_lane_dies_alone_with_scalar_error() {
+        let n = 5;
+        let mut rng = Lcg(7);
+        let good: Vec<Vec<f64>> = (0..2)
+            .map(|l| {
+                (0..n * n)
+                    .map(|c| {
+                        rng.next_f64()
+                            + if c % (n + 1) == 0 {
+                                2.0 + l as f64
+                            } else {
+                                0.0
+                            }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Middle lane: column 2 identically zero below and at the
+        // diagonal once eliminated — scalar reports singular at col 2.
+        let mut bad = good[0].clone();
+        for r in 0..n {
+            bad[r * n + 2] = 0.0;
+        }
+        let out = factor_lanes(n, &[&good[0], &bad, &good[1]]);
+        assert_lane_matches_scalar(n, &good[0], out[0].as_ref().expect("lane 0"));
+        assert_lane_matches_scalar(n, &good[1], out[2].as_ref().expect("lane 2"));
+        let got_err = out[1].as_ref().expect_err("singular lane");
+        let mut scalar = LuFactors::new();
+        let want_err = scalar
+            .refactor(&dense(n, &bad))
+            .expect_err("scalar singular");
+        assert_eq!(*got_err, want_err);
+    }
+
+    #[test]
+    fn single_lane_group_matches_scalar() {
+        let n = 9;
+        let mut rng = Lcg(99);
+        let lane: Vec<f64> = (0..n * n)
+            .map(|c| rng.next_f64() + if c % (n + 1) == 0 { 3.0 } else { 0.0 })
+            .collect();
+        let out = factor_lanes(n, &[&lane]);
+        assert_lane_matches_scalar(n, &lane, out[0].as_ref().expect("lane"));
+    }
+
+    /// Replays real campaign matrices dumped to `/tmp/soa_dump.bin`
+    /// (format: u64 n, u64 nl, then nl × n² f64 LE) to compare the
+    /// blocked kernel against per-lane scalar refactorisation on
+    /// representative fill. Dev-only timing aid, never run in CI.
+    #[test]
+    #[ignore]
+    fn bench_blocked_vs_scalar_dumped() {
+        let bytes = match std::fs::read("/tmp/soa_dump.bin") {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        let rd_u64 = |off: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[off..off + 8]);
+            u64::from_le_bytes(b)
+        };
+        let n = rd_u64(0) as usize;
+        let nl = rd_u64(8) as usize;
+        let mut lanes: Vec<Vec<f64>> = Vec::new();
+        let mut off = 16;
+        for _ in 0..nl {
+            let lane: Vec<f64> = (0..n * n)
+                .map(|c| f64::from_bits(rd_u64(off + c * 8)))
+                .collect();
+            off += n * n * 8;
+            lanes.push(lane);
+        }
+        let refs: Vec<&[f64]> = lanes.iter().map(|l| l.as_slice()).collect();
+        let reps = 20;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            let out = factor_lanes(n, &refs);
+            assert!(out.iter().all(Result::is_ok));
+        }
+        let blocked = t0.elapsed().as_secs_f64() / reps as f64;
+        let t1 = std::time::Instant::now();
+        for _ in 0..reps {
+            for lane in &lanes {
+                let mut f = LuFactors::new();
+                f.refactor(&dense(n, lane)).expect("scalar");
+            }
+        }
+        let scalar = t1.elapsed().as_secs_f64() / reps as f64;
+        let t2 = std::time::Instant::now();
+        for _ in 0..reps {
+            for lane in &lanes {
+                let out = factor_lanes(n, &[lane.as_slice()]);
+                assert!(out[0].is_ok());
+            }
+        }
+        let single = t2.elapsed().as_secs_f64() / reps as f64;
+        eprintln!(
+            "dumped n={n} nl={nl}: blocked {:.3}ms scalar {:.3}ms single-lane-blocked {:.3}ms \
+             ratio {:.2}",
+            blocked * 1e3,
+            scalar * 1e3,
+            single * 1e3,
+            blocked / scalar
+        );
+    }
+
+    #[test]
+    fn prime_lanes_groups_by_dim_and_skips_refusals() {
+        let mk = |n: usize, seed: u64| {
+            let mut rng = Lcg(seed);
+            let entries: Vec<f64> = (0..n * n)
+                .map(|c| rng.next_f64() + if c % (n + 1) == 0 { 3.0 } else { 0.0 })
+                .collect();
+            LaneSystem::new(vec![0.0; n], 1e-12, entries, vec![1.0; n])
+        };
+        let sys = vec![Some(mk(4, 1)), None, Some(mk(6, 2)), Some(mk(4, 3))];
+        let entries_of = |s: &Option<LaneSystem>| s.as_ref().unwrap().entries.clone();
+        let (e0, e2, e3) = (
+            entries_of(&sys[0]),
+            entries_of(&sys[2]),
+            entries_of(&sys[3]),
+        );
+        let primes = prime_lanes(sys);
+        assert_eq!(primes.len(), 4);
+        assert!(primes[1].is_none(), "refused capture must stay unprimed");
+        for (slot, (n, entries)) in [(0, (4, e0)), (2, (6, e2)), (3, (4, e3))] {
+            let p = primes[slot].as_ref().expect("primed lane");
+            assert_eq!(p.dim(), n);
+            assert_lane_matches_scalar(n, &entries, &p.lu);
+        }
+    }
+}

@@ -28,7 +28,12 @@ pub const FORMAT_VERSION: u64 = 3;
 ///   (the whole point of the determinism contract);
 /// - `max_classes` — truncation selects *which* classes run, it never
 ///   changes any class's evaluation, so smoke runs share entries with
-///   full runs (the journal guards its own class count separately).
+///   full runs (the journal guards its own class count separately);
+/// - `variant_lockstep` — the lockstep pre-pass is bitwise- *and*
+///   stats-invisible (a primed lane adopts the exact system and factors
+///   the scalar walk would have computed, and adoption bumps no
+///   [`dotm_sim::SimStats`] counter), so both settings produce identical
+///   persisted entries and must share them.
 pub fn pipeline_context(harness: &dyn MacroHarness, cfg: &PipelineConfig) -> u128 {
     let mut h = Fnv128::new();
     h.u64(FORMAT_VERSION);
@@ -197,5 +202,9 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.max_classes = Some(3);
         assert_eq!(pipeline_context(&h, &cfg), base, "class truncation");
+
+        let mut cfg = base_cfg();
+        cfg.variant_lockstep = false;
+        assert_eq!(pipeline_context(&h, &cfg), base, "variant lockstep");
     }
 }

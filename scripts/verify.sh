@@ -100,6 +100,23 @@ for threads in 1 4; do
 done
 echo "    reports byte-identical with the batch knob on and off"
 
+echo "==> equivalence: lockstep variant evaluation is bitwise-invisible (fig4, 1 and 4 threads)"
+# An adopted lane prime replays the exact bytes the scalar walk would
+# have assembled and factored, and bumps no report counter, so toggling
+# DOTM_VARIANT_LOCKSTEP may change nothing at all. Raw byte diff, no
+# accounting strip — same bar as the batch-assembly gate.
+for threads in 1 4; do
+    lockstep_on=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+        DOTM_THREADS=$threads DOTM_VARIANT_LOCKSTEP=1 \
+        cargo run --release --locked -p dotm-bench --bin fig4)
+    lockstep_off=$(DOTM_DEFECTS=3000 DOTM_MAX_CLASSES=10 DOTM_GS_COMMON=3 DOTM_GS_MM=2 \
+        DOTM_THREADS=$threads DOTM_VARIANT_LOCKSTEP=0 \
+        cargo run --release --locked -p dotm-bench --bin fig4)
+    diff <(echo "$lockstep_on") <(echo "$lockstep_off") || {
+        echo "FAIL: DOTM_VARIANT_LOCKSTEP changed the report ($threads threads)"; exit 1; }
+done
+echo "    reports byte-identical with the lockstep knob on and off"
+
 echo "==> equivalence + perf: rank updates never flip a verdict (ladder anchor)"
 # Factors the nominal circuit once per analysis slot and applies each
 # fault variant as a rank-k update; asserts every class verdict matches
@@ -127,6 +144,22 @@ DOTM_BENCH_JSON="$batch_json" DOTM_BATCH_MIN_SPEEDUP="${DOTM_BATCH_MIN_SPEEDUP:-
 echo "==> perf trajectory: batch counter metrics vs committed baseline (soft)"
 cargo run --release --locked -p dotm-bench --bin bench_compare -- \
     scripts/bench_baseline_7.json "$batch_json"
+
+echo "==> equivalence + perf: lockstep variant evaluation is bit-identical and faster (ladder anchor)"
+# Runs the anchor with the sequential walk and the lockstep SoA path;
+# asserts the two reports are bit-for-bit identical and the pre-pass
+# actually primed lanes, then gates the class-eval (assembly+LU) phase
+# cut. Unlike the wall-clock gates this ratio compares two in-process
+# phase accumulators from the same run pair, so the full 1.3x floor
+# holds even on shared runners; the pre-pass cost is reported beside it
+# in the JSON.
+variant_json="${DOTM_VARIANT_BENCH_JSON:-$(mktemp)}"
+DOTM_BENCH_JSON="$variant_json" DOTM_VARIANT_MIN_SPEEDUP="${DOTM_VARIANT_MIN_SPEEDUP:-1.3}" \
+    cargo run --release --locked -p dotm-bench --bin variant_speedup
+
+echo "==> perf trajectory: lockstep counter metrics vs committed baseline (soft)"
+cargo run --release --locked -p dotm-bench --bin bench_compare -- \
+    scripts/bench_baseline_10.json "$variant_json"
 
 echo "==> persistence: campaign store cold -> warm -> kill/resume -> corrupt"
 # The persistent-campaign gate, on a small fixed-seed configuration:
